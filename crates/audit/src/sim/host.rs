@@ -1,0 +1,463 @@
+//! The simulated host: virtual clock, pid/port allocation, event emission.
+
+use crate::event::{AttackTag, Operation};
+use crate::rawlog::{RawObject, RawProc, RawRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Kernel process id within the simulation.
+pub type Pid = u32;
+
+/// A live network connection handle returned by [`Host::connect`] /
+/// [`Host::accept`]; identifies the connection 5-tuple for subsequent
+/// [`Host::send`] / [`Host::recv`] calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conn {
+    /// Source IP of the connection as recorded.
+    pub src_ip: String,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination IP.
+    pub dst_ip: String,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: String,
+}
+
+/// A deterministic simulated host.
+///
+/// All randomness flows through one seeded RNG, so a `(seed, script)` pair
+/// reproduces the identical raw log. Syscall latencies and inter-event gaps
+/// are jittered to avoid degenerate equal timestamps.
+pub struct Host {
+    clock_ns: u64,
+    rng: StdRng,
+    next_pid: Pid,
+    next_port: u16,
+    procs: HashMap<Pid, RawProc>,
+    records: Vec<RawRecord>,
+    tag: Option<AttackTag>,
+    /// The host's own IP, used as source for outbound connections.
+    pub local_ip: String,
+}
+
+impl Host {
+    /// Boot a host with the given RNG seed. Pid 1 (`/sbin/init`) exists
+    /// from the start and owns all top-level daemons.
+    pub fn new(seed: u64) -> Self {
+        let mut procs = HashMap::new();
+        procs.insert(
+            1,
+            RawProc {
+                pid: 1,
+                exe: "/sbin/init".into(),
+                owner: "root".into(),
+                cmdline: "/sbin/init".into(),
+                start_time: 0,
+            },
+        );
+        Host {
+            clock_ns: 1_000,
+            rng: StdRng::seed_from_u64(seed),
+            next_pid: 2,
+            next_port: 40_000,
+            procs,
+            records: Vec::new(),
+            tag: None,
+            local_ip: "10.0.0.4".into(),
+        }
+    }
+
+    /// Current virtual time (ns since boot).
+    pub fn now(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Number of records emitted so far.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Consumes the host and returns the emitted records in time order.
+    pub fn into_records(self) -> Vec<RawRecord> {
+        self.records
+    }
+
+    /// Mutable access to the RNG, for workload generators.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Sets the ground-truth tag applied to subsequently emitted events.
+    pub fn set_tag(&mut self, case: &str, step: u32) {
+        self.tag = Some(AttackTag {
+            case: case.to_string(),
+            step,
+        });
+    }
+
+    /// Clears the ground-truth tag (subsequent events are benign).
+    pub fn clear_tag(&mut self) {
+        self.tag = None;
+    }
+
+    /// Advances the clock by roughly `ns`, with ±20% jitter.
+    pub fn advance(&mut self, ns: u64) {
+        let jitter = if ns >= 5 {
+            self.rng.random_range(0..=ns / 5 * 2)
+        } else {
+            0
+        };
+        // Center the jitter around `ns`.
+        self.clock_ns += ns.saturating_sub(ns / 5) + jitter;
+    }
+
+    fn syscall_window(&mut self) -> (u64, u64) {
+        // Inter-syscall gap 1–40 µs, duration 0.5–20 µs.
+        let gap = self.rng.random_range(1_000..40_000);
+        self.clock_ns += gap;
+        let start = self.clock_ns;
+        let dur = self.rng.random_range(500..20_000);
+        self.clock_ns += dur;
+        (start, self.clock_ns)
+    }
+
+    fn subject(&self, pid: Pid) -> RawProc {
+        self.procs
+            .get(&pid)
+            .unwrap_or_else(|| panic!("simulation bug: pid {pid} not alive"))
+            .clone()
+    }
+
+    fn emit(&mut self, pid: Pid, op: Operation, object: RawObject, bytes: u64) {
+        let (start, end) = self.syscall_window();
+        let subject = self.subject(pid);
+        self.records.push(RawRecord {
+            start,
+            end,
+            subject,
+            op,
+            object,
+            bytes,
+            tag: self.tag.clone(),
+        });
+    }
+
+    /// Forks a child from `parent` and execs `exe`; emits a `fork` event
+    /// (subject = parent, object = child) followed by an `execute` event
+    /// (subject = child, object = the executable file). Returns the child
+    /// pid.
+    pub fn spawn(&mut self, parent: Pid, exe: &str, cmdline: &str) -> Pid {
+        let owner = self.subject(parent).owner;
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let child = RawProc {
+            pid,
+            exe: exe.to_string(),
+            owner,
+            cmdline: cmdline.to_string(),
+            start_time: self.clock_ns,
+        };
+        self.procs.insert(pid, child.clone());
+        self.emit(parent, Operation::Fork, RawObject::Process(child), 0);
+        self.emit(
+            pid,
+            Operation::Execute,
+            RawObject::File {
+                path: exe.to_string(),
+            },
+            0,
+        );
+        pid
+    }
+
+    /// Spawns a child as a different user (e.g. web-server workers).
+    pub fn spawn_as(&mut self, parent: Pid, exe: &str, cmdline: &str, owner: &str) -> Pid {
+        let pid = self.spawn(parent, exe, cmdline);
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.owner = owner.to_string();
+        }
+        pid
+    }
+
+    /// Terminates a process (removes it from the live table; no event is
+    /// emitted — Sysdig exit events are not consumed by the paper).
+    pub fn exit(&mut self, pid: Pid) {
+        self.procs.remove(&pid);
+    }
+
+    /// Emits an `open` event for `path`.
+    pub fn open(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Open, file_obj(path), 0);
+    }
+
+    /// Emits a `close` event for `path`.
+    pub fn close(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Close, file_obj(path), 0);
+    }
+
+    /// Emits a single `read` of `bytes` from `path`.
+    pub fn read(&mut self, pid: Pid, path: &str, bytes: u64) {
+        self.emit(pid, Operation::Read, file_obj(path), bytes);
+    }
+
+    /// Emits a single `write` of `bytes` to `path`.
+    pub fn write(&mut self, pid: Pid, path: &str, bytes: u64) {
+        self.emit(pid, Operation::Write, file_obj(path), bytes);
+    }
+
+    /// Emits an open / chunked-read burst / close sequence — the bursty
+    /// pattern Causality-Preserved Reduction is designed to merge.
+    pub fn read_burst(&mut self, pid: Pid, path: &str, total: u64, chunk: u64) {
+        self.open(pid, path);
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            self.read(pid, path, n);
+            remaining -= n;
+        }
+        self.close(pid, path);
+    }
+
+    /// Emits an open / chunked-write burst / close sequence.
+    pub fn write_burst(&mut self, pid: Pid, path: &str, total: u64, chunk: u64) {
+        self.open(pid, path);
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            self.write(pid, path, n);
+            remaining -= n;
+        }
+        self.close(pid, path);
+    }
+
+    /// Emits a `rename` (object = destination path).
+    pub fn rename(&mut self, pid: Pid, _from: &str, to: &str) {
+        self.emit(pid, Operation::Rename, file_obj(to), 0);
+    }
+
+    /// Emits an `unlink` for `path`.
+    pub fn unlink(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Unlink, file_obj(path), 0);
+    }
+
+    /// Emits a `chmod` for `path`.
+    pub fn chmod(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Chmod, file_obj(path), 0);
+    }
+
+    /// Emits a `chown` for `path`.
+    pub fn chown(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Chown, file_obj(path), 0);
+    }
+
+    /// Emits an `mmap` for `path`.
+    pub fn mmap(&mut self, pid: Pid, path: &str) {
+        self.emit(pid, Operation::Mmap, file_obj(path), 0);
+    }
+
+    /// Opens an outbound connection to `dst_ip:dst_port`; emits `connect`.
+    pub fn connect(&mut self, pid: Pid, dst_ip: &str, dst_port: u16, protocol: &str) -> Conn {
+        let src_port = self.alloc_port();
+        let conn = Conn {
+            src_ip: self.local_ip.clone(),
+            src_port,
+            dst_ip: dst_ip.to_string(),
+            dst_port,
+            protocol: protocol.to_string(),
+        };
+        self.emit(pid, Operation::Connect, net_obj(&conn), 0);
+        conn
+    }
+
+    /// Accepts an inbound connection from `peer_ip` on `local_port`;
+    /// emits `accept`. The connection's destination is the remote peer,
+    /// matching Sysdig's fd direction for server sockets.
+    pub fn accept(&mut self, pid: Pid, peer_ip: &str, local_port: u16) -> Conn {
+        let peer_port = self.alloc_port();
+        let conn = Conn {
+            src_ip: self.local_ip.clone(),
+            src_port: local_port,
+            dst_ip: peer_ip.to_string(),
+            dst_port: peer_port,
+            protocol: "tcp".into(),
+        };
+        self.emit(pid, Operation::Accept, net_obj(&conn), 0);
+        conn
+    }
+
+    /// Emits a `send` of `bytes` over `conn`.
+    pub fn send(&mut self, pid: Pid, conn: &Conn, bytes: u64) {
+        self.emit(pid, Operation::Send, net_obj(conn), bytes);
+    }
+
+    /// Emits a `recv` of `bytes` over `conn`.
+    pub fn recv(&mut self, pid: Pid, conn: &Conn, bytes: u64) {
+        self.emit(pid, Operation::Recv, net_obj(conn), bytes);
+    }
+
+    /// Emits a chunked `send` burst over `conn`.
+    pub fn send_burst(&mut self, pid: Pid, conn: &Conn, total: u64, chunk: u64) {
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            self.send(pid, conn, n);
+            remaining -= n;
+        }
+    }
+
+    /// Emits a chunked `recv` burst over `conn`.
+    pub fn recv_burst(&mut self, pid: Pid, conn: &Conn, total: u64, chunk: u64) {
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            self.recv(pid, conn, n);
+            remaining -= n;
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if self.next_port >= 65_000 {
+            40_000
+        } else {
+            self.next_port + 1
+        };
+        p
+    }
+}
+
+fn file_obj(path: &str) -> RawObject {
+    RawObject::File {
+        path: path.to_string(),
+    }
+}
+
+fn net_obj(conn: &Conn) -> RawObject {
+    RawObject::Network {
+        src_ip: conn.src_ip.clone(),
+        src_port: conn.src_port,
+        dst_ip: conn.dst_ip.clone(),
+        dst_port: conn.dst_port,
+        protocol: conn.protocol.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+    use crate::rawlog::encode_lines;
+
+    #[test]
+    fn determinism_same_seed_same_log() {
+        let run = |seed| {
+            let mut h = Host::new(seed);
+            let sh = h.spawn(1, "/bin/bash", "/bin/bash");
+            h.read_burst(sh, "/etc/hosts", 10_000, 4096);
+            let c = h.connect(sh, "1.2.3.4", 80, "tcp");
+            h.send(sh, &c, 100);
+            encode_lines(&h.into_records())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn spawn_emits_fork_then_execute() {
+        let mut h = Host::new(1);
+        let pid = h.spawn(1, "/bin/tar", "/bin/tar cf x");
+        let recs = h.into_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].op, Operation::Fork);
+        assert_eq!(recs[0].subject.pid, 1);
+        match &recs[0].object {
+            RawObject::Process(p) => assert_eq!(p.pid, pid),
+            other => panic!("expected process object, got {other:?}"),
+        }
+        assert_eq!(recs[1].op, Operation::Execute);
+        assert_eq!(recs[1].subject.pid, pid);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let mut h = Host::new(3);
+        let pid = h.spawn(1, "/bin/cat", "/bin/cat");
+        for _ in 0..50 {
+            h.read(pid, "/etc/passwd", 128);
+        }
+        let recs = h.into_records();
+        for w in recs.windows(2) {
+            assert!(w[0].end <= w[1].start, "events must not overlap in time");
+        }
+    }
+
+    #[test]
+    fn bursts_parse_back() {
+        let mut h = Host::new(5);
+        let pid = h.spawn(1, "/bin/tar", "/bin/tar");
+        h.read_burst(pid, "/etc/passwd", 64 * 1024, 4096);
+        h.write_burst(pid, "/tmp/upload.tar", 64 * 1024, 8192);
+        let doc = encode_lines(&h.into_records());
+        let log = Parser::new().parse_document(&doc).unwrap();
+        // fork + execute + (open + 16 reads + close) + (open + 8 writes + close).
+        assert_eq!(log.events.len(), 2 + 18 + 10);
+        let reads = log
+            .events
+            .iter()
+            .filter(|e| e.op == Operation::Read)
+            .count();
+        assert_eq!(reads, 16);
+    }
+
+    #[test]
+    fn tags_apply_until_cleared() {
+        let mut h = Host::new(9);
+        let pid = h.spawn(1, "/bin/sh", "/bin/sh");
+        h.set_tag("case_x", 1);
+        h.read(pid, "/etc/shadow", 10);
+        h.clear_tag();
+        h.read(pid, "/etc/motd", 10);
+        let recs = h.into_records();
+        let tagged: Vec<_> = recs.iter().filter(|r| r.tag.is_some()).collect();
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].tag.as_ref().unwrap().case, "case_x");
+    }
+
+    #[test]
+    fn connect_and_accept_directions() {
+        let mut h = Host::new(11);
+        let cl = h.spawn(1, "/usr/bin/curl", "/usr/bin/curl");
+        let conn = h.connect(cl, "192.168.29.128", 443, "tcp");
+        assert_eq!(conn.dst_ip, "192.168.29.128");
+        assert_eq!(conn.src_ip, "10.0.0.4");
+        let srv = h.spawn(1, "/usr/sbin/apache2", "apache2");
+        let inbound = h.accept(srv, "203.0.113.9", 80);
+        assert_eq!(inbound.dst_ip, "203.0.113.9");
+        assert_eq!(inbound.src_port, 80);
+    }
+
+    #[test]
+    fn ephemeral_ports_wrap() {
+        let mut h = Host::new(13);
+        h.next_port = 64_999;
+        let pid = h.spawn(1, "/usr/bin/curl", "curl");
+        let c1 = h.connect(pid, "1.1.1.1", 80, "tcp");
+        let c2 = h.connect(pid, "1.1.1.1", 80, "tcp");
+        let c3 = h.connect(pid, "1.1.1.1", 80, "tcp");
+        assert_eq!(c1.src_port, 64_999);
+        assert_eq!(c2.src_port, 65_000);
+        assert_eq!(c3.src_port, 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not alive")]
+    fn acting_as_dead_pid_panics() {
+        let mut h = Host::new(1);
+        let pid = h.spawn(1, "/bin/ls", "ls");
+        h.exit(pid);
+        h.read(pid, "/tmp/x", 1);
+    }
+}

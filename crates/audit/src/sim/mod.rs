@@ -1,0 +1,26 @@
+//! Host simulator: a deterministic stand-in for a Sysdig-audited machine.
+//!
+//! The paper deploys ThreatRaptor on a live server where "benign system
+//! activities and malicious system activities co-exist" (§III). This module
+//! reproduces that setting reproducibly:
+//!
+//! * [`host::Host`] — kernel-style bookkeeping (pid allocation, live
+//!   process table, ephemeral ports) plus a virtual clock with jittered
+//!   syscall latencies; every action appends a [`crate::rawlog::RawRecord`].
+//! * [`benign`] — background workload generators (web serving, software
+//!   builds, shell sessions, cron jobs, backups, package updates, database
+//!   traffic) that emulate the "routine tasks" of the deployed server.
+//! * [`attack`] — scripted multi-step attacks: the paper's two demo
+//!   attacks (password cracking after Shellshock penetration, data leakage
+//!   after Shellshock penetration — the latter reproducing Fig. 2's IOC
+//!   chain verbatim) plus two additional CVE-style cases.
+//! * [`scenario`] — composes benign rounds and attacks into a full raw log
+//!   with ground-truth labels, then round-trips it through the text format
+//!   and parser so downstream layers consume *parsed logs*, as in Fig. 1.
+
+pub mod attack;
+pub mod benign;
+pub mod host;
+pub mod scenario;
+
+pub use host::{Host, Pid};

@@ -1,0 +1,439 @@
+//! Scenario composition: benign rounds interleaved with attacks, encoded
+//! to the raw log format and parsed back — the full Fig. 1 data path from
+//! "System Auditing" through "Log Parsing".
+
+use super::attack;
+use super::benign;
+use super::host::Host;
+use crate::event::EventId;
+use crate::parser::{ParsedLog, Parser};
+use crate::rawlog::encode_lines;
+use rand::Rng;
+
+/// The four scripted attack cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Fig. 2: data leakage after Shellshock penetration.
+    DataLeakage,
+    /// §III bullet 1: password cracking after Shellshock penetration.
+    PasswordCrack,
+    /// Additional case: malware drop with cron persistence.
+    MalwareDrop,
+    /// Additional case: database dump exfiltration.
+    DbExfil,
+}
+
+impl AttackKind {
+    /// All attack kinds, in a stable order.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::DataLeakage,
+        AttackKind::PasswordCrack,
+        AttackKind::MalwareDrop,
+        AttackKind::DbExfil,
+    ];
+
+    /// The ground-truth case name used in event tags.
+    pub fn case_name(self) -> &'static str {
+        match self {
+            AttackKind::DataLeakage => attack::CASE_DATA_LEAKAGE,
+            AttackKind::PasswordCrack => attack::CASE_PASSWORD_CRACK,
+            AttackKind::MalwareDrop => attack::CASE_MALWARE_DROP,
+            AttackKind::DbExfil => attack::CASE_DB_EXFIL,
+        }
+    }
+
+    /// Number of hunted steps (events the synthesized query retrieves).
+    pub fn hunted_step_count(self) -> u32 {
+        match self {
+            AttackKind::DataLeakage => 8,
+            AttackKind::PasswordCrack => 6,
+            AttackKind::MalwareDrop => 4,
+            AttackKind::DbExfil => 6,
+        }
+    }
+
+    /// Runs the attack script against the host.
+    pub fn run(self, host: &mut Host) {
+        match self {
+            AttackKind::DataLeakage => attack::data_leakage(host),
+            AttackKind::PasswordCrack => attack::password_crack(host),
+            AttackKind::MalwareDrop => attack::malware_drop(host),
+            AttackKind::DbExfil => attack::db_exfil(host),
+        }
+    }
+}
+
+/// Relative weights of benign workload rounds.
+///
+/// One "round" of each workload emits a few hundred events; the scenario
+/// builder cycles rounds according to these weights until the target event
+/// count is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenignMix {
+    /// Web-server request batches.
+    pub web: u32,
+    /// Software build rounds.
+    pub builds: u32,
+    /// Interactive SSH sessions.
+    pub ssh: u32,
+    /// Cron log-rotation rounds.
+    pub cron: u32,
+    /// Backup (benign tar) rounds.
+    pub backup: u32,
+    /// Package-update rounds.
+    pub updates: u32,
+    /// Database-traffic rounds.
+    pub db: u32,
+}
+
+impl Default for BenignMix {
+    fn default() -> Self {
+        // A server profile: web + db dominate, with periodic maintenance.
+        BenignMix {
+            web: 6,
+            builds: 2,
+            ssh: 2,
+            cron: 1,
+            backup: 1,
+            updates: 1,
+            db: 4,
+        }
+    }
+}
+
+impl BenignMix {
+    fn weighted_rounds(&self) -> Vec<BenignRound> {
+        let mut rounds = Vec::new();
+        let mut push = |n: u32, r: BenignRound| {
+            for _ in 0..n {
+                rounds.push(r);
+            }
+        };
+        push(self.web, BenignRound::Web);
+        push(self.builds, BenignRound::Build);
+        push(self.ssh, BenignRound::Ssh);
+        push(self.cron, BenignRound::Cron);
+        push(self.backup, BenignRound::Backup);
+        push(self.updates, BenignRound::Update);
+        push(self.db, BenignRound::Db);
+        if rounds.is_empty() {
+            rounds.push(BenignRound::Web);
+        }
+        rounds
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BenignRound {
+    Web,
+    Build,
+    Ssh,
+    Cron,
+    Backup,
+    Update,
+    Db,
+}
+
+impl BenignRound {
+    fn run(self, host: &mut Host) {
+        match self {
+            BenignRound::Web => {
+                benign::web_server(host, 12);
+            }
+            BenignRound::Build => {
+                benign::dev_build(host, 5);
+            }
+            BenignRound::Ssh => {
+                benign::ssh_session(host, 6);
+            }
+            BenignRound::Cron => {
+                benign::cron_logrotate(host);
+            }
+            BenignRound::Backup => {
+                benign::backup_job(host, 15);
+            }
+            BenignRound::Update => {
+                benign::package_update(host, 2);
+            }
+            BenignRound::Db => {
+                benign::db_server(host, 10);
+            }
+        }
+    }
+}
+
+/// Declarative scenario specification.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// RNG seed; identical specs with identical seeds produce identical
+    /// raw logs.
+    pub seed: u64,
+    /// Attacks to interleave with benign activity.
+    pub attacks: Vec<AttackKind>,
+    /// Benign workload mix.
+    pub mix: BenignMix,
+    /// Approximate number of raw events to emit (the builder stops adding
+    /// benign rounds once this is reached; attacks always run in full).
+    pub target_events: usize,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            seed: 42,
+            attacks: vec![AttackKind::DataLeakage],
+            mix: BenignMix::default(),
+            target_events: 20_000,
+        }
+    }
+}
+
+/// Fluent builder for [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Starts from the default spec (data-leakage attack, 20k events).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Replaces the attack list.
+    pub fn attacks(mut self, attacks: &[AttackKind]) -> Self {
+        self.spec.attacks = attacks.to_vec();
+        self
+    }
+
+    /// Removes all attacks (pure benign scenario).
+    pub fn no_attacks(mut self) -> Self {
+        self.spec.attacks.clear();
+        self
+    }
+
+    /// Sets the approximate raw event count.
+    pub fn target_events(mut self, n: usize) -> Self {
+        self.spec.target_events = n;
+        self
+    }
+
+    /// Sets the benign mix.
+    pub fn mix(mut self, mix: BenignMix) -> Self {
+        self.spec.mix = mix;
+        self
+    }
+
+    /// Builds the scenario: runs the simulation, encodes raw text, parses
+    /// it back.
+    pub fn build(self) -> Scenario {
+        Scenario::generate(self.spec)
+    }
+}
+
+/// A fully generated scenario: the raw log text, the parsed log, and the
+/// spec that produced them.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Specification used to generate the scenario.
+    pub spec: ScenarioSpec,
+    /// Raw Sysdig-like log text.
+    pub raw: String,
+    /// Parsed entities + events (what downstream layers consume).
+    pub log: ParsedLog,
+}
+
+impl Scenario {
+    /// Generates a scenario from a spec.
+    pub fn generate(spec: ScenarioSpec) -> Scenario {
+        let mut host = Host::new(spec.seed);
+        let rounds = spec.mix.weighted_rounds();
+        let mut round_idx = 0usize;
+
+        // Choose, per attack, the benign-event threshold after which it
+        // fires (spread across the middle 60% of the scenario).
+        let mut attack_points: Vec<(usize, AttackKind)> = spec
+            .attacks
+            .iter()
+            .map(|&kind| {
+                let lo = spec.target_events / 5;
+                let hi = (spec.target_events * 4 / 5).max(lo + 1);
+                let at = host.rng().random_range(lo..hi);
+                (at, kind)
+            })
+            .collect();
+        attack_points.sort_by_key(|(at, _)| *at);
+
+        let mut next_attack = 0usize;
+        while host.record_count() < spec.target_events || next_attack < attack_points.len() {
+            // Fire any attacks whose threshold has been crossed.
+            while next_attack < attack_points.len()
+                && host.record_count() >= attack_points[next_attack].0
+            {
+                attack_points[next_attack].1.run(&mut host);
+                next_attack += 1;
+            }
+            if host.record_count() >= spec.target_events {
+                // Target reached; only remaining attacks (if any) keep us
+                // looping, and they fire above.
+                if next_attack >= attack_points.len() {
+                    break;
+                }
+                // Fast-forward: fire remaining attacks immediately.
+                attack_points[next_attack].1.run(&mut host);
+                next_attack += 1;
+                continue;
+            }
+            rounds[round_idx % rounds.len()].run(&mut host);
+            round_idx += 1;
+            host.advance(5_000_000);
+        }
+
+        let raw = encode_lines(&host.into_records());
+        let log = Parser::new()
+            .parse_document(&raw)
+            .expect("simulator output must always parse");
+        Scenario { spec, raw, log }
+    }
+
+    /// Ground-truth hunted events for `case`: ids of events tagged with
+    /// that case and a step number below the context base.
+    pub fn ground_truth(&self, case: &str) -> Vec<EventId> {
+        self.log
+            .events
+            .iter()
+            .filter(|e| {
+                e.tag
+                    .as_ref()
+                    .is_some_and(|t| t.case == case && t.step < attack::CONTEXT_STEP_BASE)
+            })
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// All attack events (hunted + context) for `case`.
+    pub fn attack_events(&self, case: &str) -> Vec<EventId> {
+        self.log
+            .events
+            .iter()
+            .filter(|e| e.tag.as_ref().is_some_and(|t| t.case == case))
+            .map(|e| e.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_builds_and_contains_attack() {
+        let sc = ScenarioBuilder::new().seed(42).target_events(3_000).build();
+        assert!(sc.log.events.len() >= 3_000);
+        let gt = sc.ground_truth(attack::CASE_DATA_LEAKAGE);
+        assert_eq!(gt.len(), 8, "Fig. 2 chain has exactly 8 hunted events");
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = ScenarioBuilder::new().seed(7).target_events(2_000).build();
+        let b = ScenarioBuilder::new().seed(7).target_events(2_000).build();
+        assert_eq!(a.raw, b.raw);
+        let c = ScenarioBuilder::new().seed(8).target_events(2_000).build();
+        assert_ne!(a.raw, c.raw);
+    }
+
+    #[test]
+    fn all_attacks_fire_even_past_target() {
+        let sc = ScenarioBuilder::new()
+            .seed(3)
+            .attacks(&AttackKind::ALL)
+            .target_events(1_000)
+            .build();
+        for kind in AttackKind::ALL {
+            let gt = sc.ground_truth(kind.case_name());
+            assert_eq!(
+                gt.len() as u32,
+                kind.hunted_step_count(),
+                "{} hunted events",
+                kind.case_name()
+            );
+        }
+    }
+
+    #[test]
+    fn benign_scenario_has_no_tags() {
+        let sc = ScenarioBuilder::new()
+            .seed(5)
+            .no_attacks()
+            .target_events(1_500)
+            .build();
+        assert!(sc.log.events.iter().all(|e| e.tag.is_none()));
+    }
+
+    #[test]
+    fn attack_events_superset_of_ground_truth() {
+        let sc = ScenarioBuilder::new().seed(11).target_events(2_000).build();
+        let all = sc.attack_events(attack::CASE_DATA_LEAKAGE);
+        let hunted = sc.ground_truth(attack::CASE_DATA_LEAKAGE);
+        assert!(all.len() > hunted.len());
+        for id in &hunted {
+            assert!(all.contains(id));
+        }
+    }
+
+    #[test]
+    fn mix_weights_respected() {
+        let mix = BenignMix {
+            web: 0,
+            builds: 0,
+            ssh: 0,
+            cron: 0,
+            backup: 0,
+            updates: 0,
+            db: 1,
+        };
+        let sc = ScenarioBuilder::new()
+            .seed(1)
+            .no_attacks()
+            .mix(mix)
+            .target_events(500)
+            .build();
+        // Only the db workload (plus init) should appear.
+        let exes: std::collections::HashSet<_> = sc
+            .log
+            .entities
+            .iter()
+            .filter_map(|e| e.as_process())
+            .map(|p| p.exename.as_str())
+            .collect();
+        assert!(exes.contains("/usr/lib/postgresql/bin/postgres"));
+        assert!(!exes.contains("/usr/sbin/apache2"));
+    }
+
+    #[test]
+    fn empty_mix_falls_back_to_web() {
+        let mix = BenignMix {
+            web: 0,
+            builds: 0,
+            ssh: 0,
+            cron: 0,
+            backup: 0,
+            updates: 0,
+            db: 0,
+        };
+        let sc = ScenarioBuilder::new()
+            .seed(1)
+            .no_attacks()
+            .mix(mix)
+            .target_events(200)
+            .build();
+        assert!(!sc.log.events.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Dataset statistics over parsed logs, used by examples and the
+//! experiment harnesses (e.g. E6's before/after-CPR comparison).
+
+use crate::event::{EventType, Operation};
+use crate::parser::ParsedLog;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics for a parsed log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogStats {
+    /// Total number of events.
+    pub events: usize,
+    /// Total number of entities.
+    pub entities: usize,
+    /// File entities.
+    pub files: usize,
+    /// Process entities.
+    pub processes: usize,
+    /// Network-connection entities.
+    pub connections: usize,
+    /// Events per operation.
+    pub by_op: BTreeMap<Operation, usize>,
+    /// Events per event type (file / process / network).
+    pub by_type: BTreeMap<&'static str, usize>,
+    /// Number of ground-truth attack events (any step).
+    pub attack_events: usize,
+    /// Scenario duration in nanoseconds (last end − first start).
+    pub duration_ns: u64,
+}
+
+impl LogStats {
+    /// Computes statistics over a parsed log.
+    pub fn compute(log: &ParsedLog) -> LogStats {
+        let (files, processes, connections) = log.entity_counts();
+        let mut by_op: BTreeMap<Operation, usize> = BTreeMap::new();
+        let mut by_type: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut attack_events = 0usize;
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        for ev in &log.events {
+            *by_op.entry(ev.op).or_default() += 1;
+            let ty = match ev.event_type() {
+                EventType::File => "file",
+                EventType::Process => "process",
+                EventType::Network => "network",
+            };
+            *by_type.entry(ty).or_default() += 1;
+            if ev.is_attack() {
+                attack_events += 1;
+            }
+            first = first.min(ev.start);
+            last = last.max(ev.end);
+        }
+        LogStats {
+            events: log.events.len(),
+            entities: log.entities.len(),
+            files,
+            processes,
+            connections,
+            by_op,
+            by_type,
+            attack_events,
+            duration_ns: last.saturating_sub(if first == u64::MAX { 0 } else { first }),
+        }
+    }
+}
+
+impl fmt::Display for LogStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events:      {}", self.events)?;
+        writeln!(
+            f,
+            "entities:    {} ({} files, {} processes, {} connections)",
+            self.entities, self.files, self.processes, self.connections
+        )?;
+        writeln!(f, "attack evts: {}", self.attack_events)?;
+        writeln!(f, "duration:    {:.3} s", self.duration_ns as f64 / 1e9)?;
+        writeln!(f, "by type:")?;
+        for (ty, n) in &self.by_type {
+            writeln!(f, "  {ty:<9} {n}")?;
+        }
+        writeln!(f, "by op:")?;
+        for (op, n) in &self.by_op {
+            writeln!(f, "  {:<9} {n}", op.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::scenario::ScenarioBuilder;
+
+    #[test]
+    fn stats_totals_are_consistent() {
+        let sc = ScenarioBuilder::new().seed(42).target_events(2_000).build();
+        let stats = LogStats::compute(&sc.log);
+        assert_eq!(stats.events, sc.log.events.len());
+        assert_eq!(stats.entities, sc.log.entities.len());
+        assert_eq!(
+            stats.files + stats.processes + stats.connections,
+            stats.entities
+        );
+        let op_total: usize = stats.by_op.values().sum();
+        assert_eq!(op_total, stats.events);
+        let ty_total: usize = stats.by_type.values().sum();
+        assert_eq!(ty_total, stats.events);
+        assert!(stats.duration_ns > 0);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let sc = ScenarioBuilder::new().seed(1).target_events(500).build();
+        let text = LogStats::compute(&sc.log).to_string();
+        assert!(text.contains("events:"));
+        assert!(text.contains("by op:"));
+        assert!(text.contains("read"));
+    }
+
+    #[test]
+    fn empty_log_stats() {
+        let stats = LogStats::compute(&ParsedLog::default());
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.duration_ns, 0);
+    }
+}

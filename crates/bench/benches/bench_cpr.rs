@@ -1,0 +1,36 @@
+//! Criterion bench behind E6: Causality-Preserved Reduction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threatraptor::prelude::*;
+use threatraptor_storage::cpr;
+
+fn bench_cpr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpr_reduce");
+    for &size in &[20_000usize, 80_000] {
+        let scenario = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(size)
+            .build();
+        group.throughput(Throughput::Elements(scenario.log.events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let (reduced, stats) = cpr::reduce(&scenario.log.events);
+                    assert!(stats.factor() > 1.0);
+                    reduced.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_cpr
+}
+criterion_main!(benches);

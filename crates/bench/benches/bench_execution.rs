@@ -1,0 +1,53 @@
+//! Criterion bench behind E3: per-case query execution time by strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use threatraptor::prelude::*;
+use threatraptor_bench::all_cases;
+use threatraptor_storage::AuditStore;
+
+fn bench_execution(c: &mut Criterion) {
+    let scenario = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&[
+            AttackKind::DataLeakage,
+            AttackKind::PasswordCrack,
+            AttackKind::MalwareDrop,
+            AttackKind::DbExfil,
+        ])
+        .target_events(50_000)
+        .build();
+    let store = AuditStore::ingest(&scenario.log, true);
+    let engine = Engine::new(&store);
+
+    let mut group = c.benchmark_group("execution_50k");
+    for case in all_cases() {
+        for mode in [
+            ExecMode::Scheduled,
+            ExecMode::Unscheduled,
+            ExecMode::RelationalOnly,
+            ExecMode::GraphOnly,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(case.name, format!("{mode:?}")),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let r = engine
+                            .hunt_mode(case.reference_tbql, mode)
+                            .expect("query executes");
+                        assert!(!r.is_empty());
+                        r.rows.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_execution
+}
+criterion_main!(benches);

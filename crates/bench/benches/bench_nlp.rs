@@ -1,0 +1,44 @@
+//! Criterion bench behind E7: threat behavior extraction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threatraptor_bench::corpus::corpus;
+use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
+use threatraptor_nlp::ThreatExtractor;
+
+fn bench_nlp(c: &mut Criterion) {
+    let extractor = ThreatExtractor::new();
+    // Warm the shared IOC rule set so compile time is not measured.
+    extractor.extract(FIG2_OSCTI_TEXT);
+
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Bytes(FIG2_OSCTI_TEXT.len() as u64));
+    group.bench_function("fig2_report", |b| {
+        b.iter(|| {
+            let r = extractor.extract(FIG2_OSCTI_TEXT);
+            assert_eq!(r.graph.node_count(), 9);
+            r.graph.edge_count()
+        })
+    });
+
+    // One representative per family.
+    for id in [
+        "apt_c2rotation",
+        "malware_stealer",
+        "advisory_supplychain",
+    ] {
+        let reports = corpus();
+        let report = reports.iter().find(|r| r.id == id).expect("known id");
+        group.throughput(Throughput::Bytes(report.text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("report", id), report, |b, report| {
+            b.iter(|| extractor.extract(report.text).graph.edge_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_nlp
+}
+criterion_main!(benches);

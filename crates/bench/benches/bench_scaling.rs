@@ -1,0 +1,42 @@
+//! Criterion bench behind E4: scheduled vs unscheduled as the log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threatraptor::prelude::*;
+use threatraptor_storage::AuditStore;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_fig2");
+    for &size in &[10_000usize, 40_000, 160_000] {
+        let scenario = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(size)
+            .build();
+        let store = AuditStore::ingest(&scenario.log, true);
+        let engine = Engine::new(&store);
+        group.throughput(Throughput::Elements(store.event_count() as u64));
+        for mode in [ExecMode::Scheduled, ExecMode::Unscheduled] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), size),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let r = engine
+                            .hunt_mode(threatraptor::FIG2_TBQL, mode)
+                            .expect("query executes");
+                        assert!(!r.is_empty());
+                        r.rows.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E2 — threat behavior extraction accuracy.
+//!
+//! Reconstructs the full-length paper's extraction-accuracy evaluation:
+//! precision/recall/F1 of IOC extraction and of IOC relation extraction,
+//! per report family and overall, over the annotated OSCTI corpus.
+
+use threatraptor_bench::corpus::corpus;
+use threatraptor_bench::fmt;
+use threatraptor_bench::metrics::{extraction_scores, Prf};
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("== E2: threat behavior extraction accuracy ==\n");
+
+    let mut per_family: BTreeMap<&str, (Prf, Prf, usize)> = BTreeMap::new();
+    let mut total = (Prf::default(), Prf::default());
+    for report in corpus() {
+        let (ioc, rel) = extraction_scores(&report);
+        let entry = per_family
+            .entry(report.family)
+            .or_insert((Prf::default(), Prf::default(), 0));
+        entry.0.merge(ioc);
+        entry.1.merge(rel);
+        entry.2 += 1;
+        total.0.merge(ioc);
+        total.1.merge(rel);
+    }
+
+    let mut rows = Vec::new();
+    for (family, (ioc, rel, n)) in &per_family {
+        rows.push(vec![
+            family.to_string(),
+            n.to_string(),
+            fmt::f3(ioc.precision()),
+            fmt::f3(ioc.recall()),
+            fmt::f3(ioc.f1()),
+            fmt::f3(rel.precision()),
+            fmt::f3(rel.recall()),
+            fmt::f3(rel.f1()),
+        ]);
+    }
+    rows.push(vec![
+        "overall".into(),
+        per_family.values().map(|(_, _, n)| n).sum::<usize>().to_string(),
+        fmt::f3(total.0.precision()),
+        fmt::f3(total.0.recall()),
+        fmt::f3(total.0.f1()),
+        fmt::f3(total.1.precision()),
+        fmt::f3(total.1.recall()),
+        fmt::f3(total.1.f1()),
+    ]);
+    println!(
+        "{}",
+        fmt::table(
+            &[
+                "family", "reports", "IOC P", "IOC R", "IOC F1", "Rel P", "Rel R", "Rel F1"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "shape check: IOC F1 ({:.3}) >= relation F1 ({:.3}) — {}",
+        total.0.f1(),
+        total.1.f1(),
+        if total.0.f1() >= total.1.f1() { "holds" } else { "VIOLATED" }
+    );
+}

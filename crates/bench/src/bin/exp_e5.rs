@@ -1,0 +1,50 @@
+//! E5 — query conciseness: TBQL vs SQL vs Cypher.
+//!
+//! Reconstructs the full paper's conciseness comparison: for each attack
+//! case, the size of the TBQL hunting query against the equivalent SQL
+//! and Cypher an analyst would have to write over the same schema.
+
+use threatraptor_bench::reference::{cypher_equivalent, size_metrics, sql_equivalent};
+use threatraptor_bench::{all_cases, fmt};
+use threatraptor_tbql::analyze::analyze;
+use threatraptor_tbql::parser::parse_query;
+use threatraptor_tbql::printer::print_query;
+
+fn main() {
+    println!("== E5: query conciseness (non-whitespace characters) ==\n");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for case in all_cases() {
+        let q = parse_query(case.reference_tbql).expect("reference parses");
+        let aq = analyze(&q).expect("reference analyzes");
+        let tbql = print_query(&q);
+        let sql = sql_equivalent(&aq);
+        let cypher = cypher_equivalent(&aq);
+        let (tc, tw, tl) = size_metrics(&tbql);
+        let (sc, sw, sl) = size_metrics(&sql);
+        let (cc, cw, cl) = size_metrics(&cypher);
+        ratios.push((sc as f64 / tc as f64, cc as f64 / tc as f64));
+        rows.push(vec![
+            case.name.to_string(),
+            format!("{tc} ({tw}w/{tl}l)"),
+            format!("{sc} ({sw}w/{sl}l)"),
+            format!("{cc} ({cw}w/{cl}l)"),
+            format!("{:.1}x", sc as f64 / tc as f64),
+            format!("{:.1}x", cc as f64 / tc as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        fmt::table(
+            &["case", "TBQL", "SQL", "Cypher", "SQL/TBQL", "Cypher/TBQL"],
+            &rows
+        )
+    );
+    let avg_sql: f64 = ratios.iter().map(|r| r.0).sum::<f64>() / ratios.len() as f64;
+    let avg_cy: f64 = ratios.iter().map(|r| r.1).sum::<f64>() / ratios.len() as f64;
+    println!("average blow-up: SQL {avg_sql:.1}x, Cypher {avg_cy:.1}x over TBQL");
+    println!("\n-- sample: the data-leakage SQL equivalent --\n");
+    let case = &all_cases()[0];
+    let aq = analyze(&parse_query(case.reference_tbql).unwrap()).unwrap();
+    println!("{}", sql_equivalent(&aq));
+}

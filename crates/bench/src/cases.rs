@@ -1,0 +1,118 @@
+//! The four attack cases: simulated attack, OSCTI report describing it,
+//! and the analyst-written reference TBQL query.
+//!
+//! These drive E1 (end-to-end), E3 (execution efficiency), E5
+//! (conciseness), and E8 (synthesis correctness).
+
+use threatraptor_audit::sim::scenario::AttackKind;
+use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
+
+use crate::corpus::{DB_EXFIL_REPORT, MALWARE_DROP_REPORT, PASSWORD_CRACK_REPORT};
+
+/// One attack case.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackCase {
+    /// Simulator attack.
+    pub kind: AttackKind,
+    /// Display name.
+    pub name: &'static str,
+    /// OSCTI report text describing the attack.
+    pub report: &'static str,
+    /// The hunting query a security analyst would write by hand (TBQL).
+    pub reference_tbql: &'static str,
+}
+
+/// Reference query for the password-cracking case.
+pub const PASSWORD_CRACK_TBQL: &str = r#"
+proc p1["%/usr/bin/curl%"] connect ip i1["162.125.6.2"] as evt1
+p1 write file f1["%/tmp/cloud.jpg%"] as evt2
+proc p2["%/usr/bin/wget%"] connect ip i2["192.168.29.128"] as evt3
+p2 write file f2["%/tmp/cracker%"] as evt4
+proc p3["%/tmp/cracker%"] read file f3["%/etc/shadow%"] as evt5
+p3 write file f4["%/tmp/passwords.txt%"] as evt6
+with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+     evt4 before evt5, evt5 before evt6
+return distinct p1, i1, f1, p2, i2, f2, p3, f3, f4
+"#;
+
+/// Reference query for the malware-drop case.
+pub const MALWARE_DROP_TBQL: &str = r#"
+proc p1["%/usr/bin/wget%"] connect ip i1["203.0.113.66"] as evt1
+p1 write file f1["%/tmp/.hidden/payload%"] as evt2
+proc p2["%/tmp/.hidden/payload%"] connect ip i2["203.0.113.66"] as evt3
+p2 write file f2["%/etc/cron.d/backdoor%"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, i1, f1, p2, i2, f2
+"#;
+
+/// Reference query for the database-exfiltration case.
+pub const DB_EXFIL_TBQL: &str = r#"
+proc p1["%/usr/bin/pg_dump%"] read file f1["%/var/lib/pgdata/base/13400/16384%"] as evt1
+p1 write file f2["%/tmp/db.sql%"] as evt2
+proc p2["%/bin/gzip%"] read f2 as evt3
+p2 write file f3["%/tmp/db.sql.gz%"] as evt4
+proc p3["%/usr/bin/scp%"] read f3 as evt5
+p3 connect ip i1["198.51.100.77"] as evt6
+with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+     evt4 before evt5, evt5 before evt6
+return distinct p1, f1, f2, p2, f3, p3, i1
+"#;
+
+/// All four attack cases.
+pub fn all_cases() -> Vec<AttackCase> {
+    vec![
+        AttackCase {
+            kind: AttackKind::DataLeakage,
+            name: "data-leakage",
+            report: FIG2_OSCTI_TEXT,
+            reference_tbql: threatraptor_tbql::parser::FIG2_TBQL,
+        },
+        AttackCase {
+            kind: AttackKind::PasswordCrack,
+            name: "password-crack",
+            report: PASSWORD_CRACK_REPORT,
+            reference_tbql: PASSWORD_CRACK_TBQL,
+        },
+        AttackCase {
+            kind: AttackKind::MalwareDrop,
+            name: "malware-drop",
+            report: MALWARE_DROP_REPORT,
+            reference_tbql: MALWARE_DROP_TBQL,
+        },
+        AttackCase {
+            kind: AttackKind::DbExfil,
+            name: "db-exfil",
+            report: DB_EXFIL_REPORT,
+            reference_tbql: DB_EXFIL_TBQL,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_tbql::analyze::analyze;
+    use threatraptor_tbql::parser::parse_query;
+
+    #[test]
+    fn reference_queries_parse_and_analyze() {
+        for case in all_cases() {
+            let q = parse_query(case.reference_tbql)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            analyze(&q).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        }
+    }
+
+    #[test]
+    fn pattern_counts_match_hunted_steps() {
+        for case in all_cases() {
+            let q = parse_query(case.reference_tbql).unwrap();
+            assert_eq!(
+                q.pattern_count() as u32,
+                case.kind.hunted_step_count(),
+                "case {}",
+                case.name
+            );
+        }
+    }
+}

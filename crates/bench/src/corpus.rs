@@ -1,0 +1,607 @@
+//! Annotated OSCTI corpus for the extraction-accuracy experiment (E2).
+//!
+//! Live OSCTI feeds carry no gold annotations, so accuracy cannot be
+//! measured against them; this corpus substitutes curated report texts in
+//! four style families — the paper's demo narratives, APT write-ups,
+//! malware analyses, and incident advisories — each annotated with its
+//! gold IOCs and gold IOC relations (subject, verb lemma, object).
+//!
+//! Gold annotations are *semantic*: they list what a careful analyst
+//! would extract, regardless of whether the pipeline succeeds — several
+//! reports intentionally contain constructions (deep passives, nominal
+//! subjects) that stress the extractor.
+
+use threatraptor_nlp::ioc::IocType;
+use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
+
+/// A gold IOC annotation (canonical form and type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldIoc {
+    /// Canonical IOC text as it appears (re-fanged) in the report.
+    pub text: &'static str,
+    /// IOC type.
+    pub ty: IocType,
+}
+
+/// A gold IOC relation annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldRelation {
+    /// Subject IOC (canonical text).
+    pub subject: &'static str,
+    /// Relation verb lemma.
+    pub verb: &'static str,
+    /// Object IOC (canonical text).
+    pub object: &'static str,
+}
+
+/// One annotated report.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Report identifier.
+    pub id: &'static str,
+    /// Style family: `demo`, `apt`, `malware`, `advisory`.
+    pub family: &'static str,
+    /// Report text (possibly defanged).
+    pub text: &'static str,
+    /// Gold IOCs.
+    pub gold_iocs: &'static [GoldIoc],
+    /// Gold relations.
+    pub gold_relations: &'static [GoldRelation],
+}
+
+use IocType::*;
+
+macro_rules! ioc {
+    ($text:literal, $ty:expr) => {
+        GoldIoc {
+            text: $text,
+            ty: $ty,
+        }
+    };
+}
+
+macro_rules! rel {
+    ($s:literal, $v:literal, $o:literal) => {
+        GoldRelation {
+            subject: $s,
+            verb: $v,
+            object: $o,
+        }
+    };
+}
+
+/// The OSCTI report of the password-cracking demo attack (§III bullet 1).
+pub const PASSWORD_CRACK_REPORT: &str = "\
+After penetrating the host through the Shellshock vulnerability, the \
+attacker staged a password cracking operation. The attacker used \
+/usr/bin/curl to connect to 162.125.6.2. It downloaded an image to \
+/tmp/cloud.jpg. The C2 address was encoded in the EXIF metadata of the \
+image. Then the attacker used /usr/bin/wget to connect to 192.168.29.128. \
+It wrote the password cracker to /tmp/cracker. /tmp/cracker read user \
+credentials from /etc/shadow. It wrote the recovered passwords to \
+/tmp/passwords.txt.";
+
+/// The OSCTI report of the malware-drop attack (additional case).
+pub const MALWARE_DROP_REPORT: &str = "\
+The intrusion began over SSH. The attacker used /usr/bin/wget to connect \
+to 203.0.113.66. It wrote the payload to /tmp/.hidden/payload. \
+/tmp/.hidden/payload connected to 203.0.113.66 for tasking. It wrote a \
+persistence entry to /etc/cron.d/backdoor.";
+
+/// The OSCTI report of the database-exfiltration attack (additional
+/// case).
+pub const DB_EXFIL_REPORT: &str = "\
+The attacker targeted the production database. The attacker used \
+/usr/bin/pg_dump to read the table heap at /var/lib/pgdata/base/13400/16384. \
+It wrote the dump to /tmp/db.sql. Then the attacker used /bin/gzip to \
+compress /tmp/db.sql. /bin/gzip wrote the compressed archive to \
+/tmp/db.sql.gz. Finally, the attacker used /usr/bin/scp to read \
+/tmp/db.sql.gz. It connected to 198.51.100.77.";
+
+/// Returns the full annotated corpus.
+pub fn corpus() -> Vec<CorpusReport> {
+    vec![
+        // ------------------------------------------------ demo family --
+        CorpusReport {
+            id: "demo_data_leakage",
+            family: "demo",
+            text: FIG2_OSCTI_TEXT,
+            gold_iocs: &[
+                ioc!("/bin/tar", FilePath),
+                ioc!("/etc/passwd", FilePath),
+                ioc!("/tmp/upload.tar", FilePath),
+                ioc!("/bin/bzip2", FilePath),
+                ioc!("/tmp/upload.tar.bz2", FilePath),
+                ioc!("/usr/bin/gpg", FilePath),
+                ioc!("/tmp/upload", FilePath),
+                ioc!("/usr/bin/curl", FilePath),
+                ioc!("192.168.29.128", Ip),
+            ],
+            gold_relations: &[
+                rel!("/bin/tar", "read", "/etc/passwd"),
+                rel!("/bin/tar", "write", "/tmp/upload.tar"),
+                rel!("/bin/bzip2", "compress", "/tmp/upload.tar"),
+                rel!("/bin/bzip2", "read", "/tmp/upload.tar"),
+                rel!("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+                rel!("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+                rel!("/usr/bin/gpg", "write", "/tmp/upload"),
+                rel!("/usr/bin/curl", "read", "/tmp/upload"),
+                rel!("/usr/bin/curl", "connect", "192.168.29.128"),
+            ],
+        },
+        CorpusReport {
+            id: "demo_password_crack",
+            family: "demo",
+            text: PASSWORD_CRACK_REPORT,
+            gold_iocs: &[
+                ioc!("/usr/bin/curl", FilePath),
+                ioc!("162.125.6.2", Ip),
+                ioc!("/tmp/cloud.jpg", FilePath),
+                ioc!("/usr/bin/wget", FilePath),
+                ioc!("192.168.29.128", Ip),
+                ioc!("/tmp/cracker", FilePath),
+                ioc!("/etc/shadow", FilePath),
+                ioc!("/tmp/passwords.txt", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/curl", "connect", "162.125.6.2"),
+                rel!("/usr/bin/curl", "download", "/tmp/cloud.jpg"),
+                rel!("/usr/bin/wget", "connect", "192.168.29.128"),
+                rel!("/usr/bin/wget", "write", "/tmp/cracker"),
+                rel!("/tmp/cracker", "read", "/etc/shadow"),
+                rel!("/tmp/cracker", "write", "/tmp/passwords.txt"),
+            ],
+        },
+        CorpusReport {
+            id: "demo_malware_drop",
+            family: "demo",
+            text: MALWARE_DROP_REPORT,
+            gold_iocs: &[
+                ioc!("/usr/bin/wget", FilePath),
+                ioc!("203.0.113.66", Ip),
+                ioc!("/tmp/.hidden/payload", FilePath),
+                ioc!("/etc/cron.d/backdoor", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/wget", "connect", "203.0.113.66"),
+                rel!("/usr/bin/wget", "write", "/tmp/.hidden/payload"),
+                rel!("/tmp/.hidden/payload", "connect", "203.0.113.66"),
+                rel!("/tmp/.hidden/payload", "write", "/etc/cron.d/backdoor"),
+            ],
+        },
+        CorpusReport {
+            id: "demo_db_exfil",
+            family: "demo",
+            text: DB_EXFIL_REPORT,
+            gold_iocs: &[
+                ioc!("/usr/bin/pg_dump", FilePath),
+                ioc!("/var/lib/pgdata/base/13400/16384", FilePath),
+                ioc!("/tmp/db.sql", FilePath),
+                ioc!("/bin/gzip", FilePath),
+                ioc!("/tmp/db.sql.gz", FilePath),
+                ioc!("/usr/bin/scp", FilePath),
+                ioc!("198.51.100.77", Ip),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/pg_dump", "read", "/var/lib/pgdata/base/13400/16384"),
+                rel!("/usr/bin/pg_dump", "write", "/tmp/db.sql"),
+                rel!("/bin/gzip", "compress", "/tmp/db.sql"),
+                rel!("/bin/gzip", "write", "/tmp/db.sql.gz"),
+                rel!("/usr/bin/scp", "read", "/tmp/db.sql.gz"),
+                rel!("/usr/bin/scp", "connect", "198.51.100.77"),
+            ],
+        },
+        CorpusReport {
+            id: "demo_shellshock",
+            family: "demo",
+            text: "The attacker exploited CVE-2014-6271 to penetrate the host. \
+                   After the penetration, /bin/bash executed /tmp/probe.sh. \
+                   /tmp/probe.sh read /etc/passwd and /etc/hosts.",
+            gold_iocs: &[
+                ioc!("CVE-2014-6271", Cve),
+                ioc!("/bin/bash", FilePath),
+                ioc!("/tmp/probe.sh", FilePath),
+                ioc!("/etc/passwd", FilePath),
+                ioc!("/etc/hosts", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/bin/bash", "execute", "/tmp/probe.sh"),
+                rel!("/tmp/probe.sh", "read", "/etc/passwd"),
+                rel!("/tmp/probe.sh", "read", "/etc/hosts"),
+            ],
+        },
+        // ------------------------------------------------- apt family --
+        CorpusReport {
+            id: "apt_wateringhole",
+            family: "apt",
+            text: "APT-29 operators compromised the site update[.]example-cdn[.]com. \
+                   Victims downloaded /tmp/flashupdate.elf from 203.0.113.12. \
+                   The attacker used /tmp/flashupdate.elf to write a beacon implant \
+                   to /usr/local/lib/libsync.so. /tmp/flashupdate.elf connected to \
+                   198.51.100.3.",
+            gold_iocs: &[
+                ioc!("update.example-cdn.com", Domain),
+                ioc!("/tmp/flashupdate.elf", FilePath),
+                ioc!("203.0.113.12", Ip),
+                ioc!("/usr/local/lib/libsync.so", FilePath),
+                ioc!("198.51.100.3", Ip),
+            ],
+            gold_relations: &[
+                rel!("/tmp/flashupdate.elf", "write", "/usr/local/lib/libsync.so"),
+                rel!("/tmp/flashupdate.elf", "connect", "198.51.100.3"),
+            ],
+        },
+        CorpusReport {
+            id: "apt_spearphish",
+            family: "apt",
+            text: "The spearphishing email from hr-payroll[at]evil-corp[.]com delivered \
+                   a weaponized attachment. Opening the attachment caused \
+                   /usr/bin/soffice to write /tmp/dropper.elf. /tmp/dropper.elf \
+                   connected to 203.0.113.80 and downloaded /tmp/.cache/agent. \
+                   The attacker executed /tmp/.cache/agent to scan /etc/shadow.",
+            gold_iocs: &[
+                ioc!("hr-payroll@evil-corp.com", Email),
+                ioc!("/usr/bin/soffice", FilePath),
+                ioc!("/tmp/dropper.elf", FilePath),
+                ioc!("203.0.113.80", Ip),
+                ioc!("/tmp/.cache/agent", FilePath),
+                ioc!("/etc/shadow", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/soffice", "write", "/tmp/dropper.elf"),
+                rel!("/tmp/dropper.elf", "connect", "203.0.113.80"),
+                rel!("/tmp/dropper.elf", "download", "/tmp/.cache/agent"),
+                rel!("/tmp/.cache/agent", "scan", "/etc/shadow"),
+            ],
+        },
+        CorpusReport {
+            id: "apt_lateral",
+            family: "apt",
+            text: "After stealing credentials from /etc/krb5.keytab, the implant \
+                   /opt/.sys/agentd copied /root/.ssh/id_rsa to /tmp/.stage/keys. \
+                   It connected to 10.13.37.2 and uploaded the gathered keys. The \
+                   operators registered a service by writing \
+                   /etc/systemd/system/sysd.service.",
+            gold_iocs: &[
+                ioc!("/etc/krb5.keytab", FilePath),
+                ioc!("/opt/.sys/agentd", FilePath),
+                ioc!("/root/.ssh/id_rsa", FilePath),
+                ioc!("/tmp/.stage/keys", FilePath),
+                ioc!("10.13.37.2", Ip),
+                ioc!("/etc/systemd/system/sysd.service", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/opt/.sys/agentd", "steal", "/etc/krb5.keytab"),
+                rel!("/opt/.sys/agentd", "copy", "/root/.ssh/id_rsa"),
+                rel!("/opt/.sys/agentd", "copy", "/tmp/.stage/keys"),
+                rel!("/opt/.sys/agentd", "connect", "10.13.37.2"),
+            ],
+        },
+        CorpusReport {
+            id: "apt_c2rotation",
+            family: "apt",
+            text: "The backdoor /usr/lib/cron/crond beacons to c2[.]rotate-a[.]xyz \
+                   daily. When the primary channel fails, it connects to \
+                   185.220.101.7. The backdoor reads /proc/net/tcp to enumerate \
+                   connections and writes its state to /var/tmp/.state.",
+            gold_iocs: &[
+                ioc!("/usr/lib/cron/crond", FilePath),
+                ioc!("c2.rotate-a.xyz", Domain),
+                ioc!("185.220.101.7", Ip),
+                ioc!("/proc/net/tcp", FilePath),
+                ioc!("/var/tmp/.state", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/usr/lib/cron/crond", "beacon", "c2.rotate-a.xyz"),
+                rel!("/usr/lib/cron/crond", "connect", "185.220.101.7"),
+                rel!("/usr/lib/cron/crond", "read", "/proc/net/tcp"),
+                rel!("/usr/lib/cron/crond", "write", "/var/tmp/.state"),
+            ],
+        },
+        CorpusReport {
+            id: "apt_exfil_staging",
+            family: "apt",
+            text: "Collected documents were compressed into /tmp/.arch/out.7z by \
+                   /usr/bin/7z. /usr/bin/7z read /home/finance/q3-report.xlsx during \
+                   staging. The archive was uploaded to 91.92.109.44 by \
+                   /usr/bin/rsync.",
+            gold_iocs: &[
+                ioc!("/tmp/.arch/out.7z", FilePath),
+                ioc!("/usr/bin/7z", FilePath),
+                ioc!("/home/finance/q3-report.xlsx", FilePath),
+                ioc!("91.92.109.44", Ip),
+                ioc!("/usr/bin/rsync", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/7z", "compress", "/tmp/.arch/out.7z"),
+                rel!("/usr/bin/7z", "read", "/home/finance/q3-report.xlsx"),
+                rel!("/usr/bin/rsync", "upload", "/tmp/.arch/out.7z"),
+                rel!("/tmp/.arch/out.7z", "upload", "91.92.109.44"),
+            ],
+        },
+        // --------------------------------------------- malware family --
+        CorpusReport {
+            id: "malware_dropper",
+            family: "malware",
+            text: "The dropper sample.elf has SHA256 \
+                   e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855. \
+                   On execution, sample.elf writes /tmp/.X11/payload and executes \
+                   /tmp/.X11/payload. The payload connects to 45.77.12.9.",
+            gold_iocs: &[
+                ioc!("sample.elf", FileName),
+                ioc!(
+                    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+                    Sha256
+                ),
+                ioc!("/tmp/.X11/payload", FilePath),
+                ioc!("45.77.12.9", Ip),
+            ],
+            gold_relations: &[
+                rel!("sample.elf", "write", "/tmp/.X11/payload"),
+                rel!("sample.elf", "execute", "/tmp/.X11/payload"),
+                rel!("/tmp/.X11/payload", "connect", "45.77.12.9"),
+            ],
+        },
+        CorpusReport {
+            id: "malware_ransom",
+            family: "malware",
+            text: "The ransomware binary /usr/local/bin/lockd reads \
+                   /home/user/docs/ledger.xlsx and writes \
+                   /home/user/docs/ledger.enc. It deletes /home/user/docs/ledger.xlsx \
+                   afterwards. Recovery notes post the key to pay[.]ransom-pad[.]top.",
+            gold_iocs: &[
+                ioc!("/usr/local/bin/lockd", FilePath),
+                ioc!("/home/user/docs/ledger.xlsx", FilePath),
+                ioc!("/home/user/docs/ledger.enc", FilePath),
+                ioc!("pay.ransom-pad.top", Domain),
+            ],
+            gold_relations: &[
+                rel!("/usr/local/bin/lockd", "read", "/home/user/docs/ledger.xlsx"),
+                rel!("/usr/local/bin/lockd", "write", "/home/user/docs/ledger.enc"),
+                rel!("/usr/local/bin/lockd", "delete", "/home/user/docs/ledger.xlsx"),
+            ],
+        },
+        CorpusReport {
+            id: "malware_cryptominer",
+            family: "malware",
+            text: "The miner /opt/.cache/xmr starts at boot via /etc/rc.local. It \
+                   reads /proc/cpuinfo to size its workers and connects to \
+                   pool[.]mine-fast[.]online. The installer wrote /opt/.cache/xmr \
+                   after fetching it from 104.18.2.2.",
+            gold_iocs: &[
+                ioc!("/opt/.cache/xmr", FilePath),
+                ioc!("/etc/rc.local", FilePath),
+                ioc!("/proc/cpuinfo", FilePath),
+                ioc!("pool.mine-fast.online", Domain),
+                ioc!("104.18.2.2", Ip),
+            ],
+            gold_relations: &[
+                rel!("/opt/.cache/xmr", "start", "/etc/rc.local"),
+                rel!("/opt/.cache/xmr", "read", "/proc/cpuinfo"),
+                rel!("/opt/.cache/xmr", "connect", "pool.mine-fast.online"),
+            ],
+        },
+        CorpusReport {
+            id: "malware_worm",
+            family: "malware",
+            text: "The worm copies itself to /mnt/share/wupdater.elf on every mounted \
+                   share. It scans 10.0.0.0/8 for exposed SMB services. Infected \
+                   hosts fetch the worm from 172.16.40.9 and execute \
+                   /tmp/wupdater.elf.",
+            gold_iocs: &[
+                ioc!("/mnt/share/wupdater.elf", FilePath),
+                ioc!("10.0.0.0/8", IpSubnet),
+                ioc!("172.16.40.9", Ip),
+                ioc!("/tmp/wupdater.elf", FilePath),
+            ],
+            gold_relations: &[rel!("/mnt/share/wupdater.elf", "scan", "10.0.0.0/8")],
+        },
+        CorpusReport {
+            id: "malware_stealer",
+            family: "malware",
+            text: "The stealer /var/tmp/.fonts/sd reads /home/user/.mozilla/logins.json \
+                   and /home/user/.ssh/known_hosts. It sends the stolen data to \
+                   drop[.]panel-x[.]site. Its MD5 is 9e107d9d372bb6826bd81d3542a419d6.",
+            gold_iocs: &[
+                ioc!("/var/tmp/.fonts/sd", FilePath),
+                ioc!("/home/user/.mozilla/logins.json", FilePath),
+                ioc!("/home/user/.ssh/known_hosts", FilePath),
+                ioc!("drop.panel-x.site", Domain),
+                ioc!("9e107d9d372bb6826bd81d3542a419d6", Md5),
+            ],
+            gold_relations: &[
+                rel!("/var/tmp/.fonts/sd", "read", "/home/user/.mozilla/logins.json"),
+                rel!("/var/tmp/.fonts/sd", "read", "/home/user/.ssh/known_hosts"),
+                rel!("/var/tmp/.fonts/sd", "send", "drop.panel-x.site"),
+            ],
+        },
+        // -------------------------------------------- advisory family --
+        CorpusReport {
+            id: "advisory_shellshock",
+            family: "advisory",
+            text: "Advisory 2014-09: Shellshock exploitation observed in the wild.\n\n\
+                   - The attacker exploited CVE-2014-6271 against /usr/sbin/apache2.\n\
+                   - /usr/sbin/apache2 spawned /bin/bash with a crafted environment.\n\
+                   - /bin/bash downloaded /tmp/shock.sh from 203.0.113.99.\n\
+                   - /bin/bash executed /tmp/shock.sh.\n",
+            gold_iocs: &[
+                ioc!("CVE-2014-6271", Cve),
+                ioc!("/usr/sbin/apache2", FilePath),
+                ioc!("/bin/bash", FilePath),
+                ioc!("/tmp/shock.sh", FilePath),
+                ioc!("203.0.113.99", Ip),
+            ],
+            gold_relations: &[
+                rel!("/usr/sbin/apache2", "spawn", "/bin/bash"),
+                rel!("/bin/bash", "download", "/tmp/shock.sh"),
+                rel!("/bin/bash", "download", "203.0.113.99"),
+                rel!("/bin/bash", "execute", "/tmp/shock.sh"),
+            ],
+        },
+        CorpusReport {
+            id: "advisory_vpn",
+            family: "advisory",
+            text: "Incident summary for the VPN appliance compromise:\n\n\
+                   - Exploitation of the appliance at 198.51.100.200 was observed.\n\
+                   - The webshell /var/www/vpn/help.jsp wrote /tmp/tunnel.\n\
+                   - /tmp/tunnel connected to 203.0.113.177 over port 443.\n\
+                   - Operators used /tmp/tunnel to read /etc/passwd.\n",
+            gold_iocs: &[
+                ioc!("198.51.100.200", Ip),
+                ioc!("/var/www/vpn/help.jsp", FilePath),
+                ioc!("/tmp/tunnel", FilePath),
+                ioc!("203.0.113.177", Ip),
+                ioc!("/etc/passwd", FilePath),
+            ],
+            gold_relations: &[
+                rel!("/var/www/vpn/help.jsp", "write", "/tmp/tunnel"),
+                rel!("/tmp/tunnel", "connect", "203.0.113.177"),
+                rel!("/tmp/tunnel", "read", "/etc/passwd"),
+            ],
+        },
+        CorpusReport {
+            id: "advisory_supplychain",
+            family: "advisory",
+            text: "Supply-chain compromise of the build pipeline:\n\n\
+                   - The build server fetched dependency updates from \
+                     registry[.]pkg-mirror[.]io.\n\
+                   - The postinstall script /usr/lib/node/.hooks/post.sh wrote \
+                     /usr/bin/node-helper.\n\
+                   - /usr/bin/node-helper read /root/.npmrc and sent tokens to \
+                     45.33.99.10.\n",
+            gold_iocs: &[
+                ioc!("registry.pkg-mirror.io", Domain),
+                ioc!("/usr/lib/node/.hooks/post.sh", FilePath),
+                ioc!("/usr/bin/node-helper", FilePath),
+                ioc!("/root/.npmrc", FilePath),
+                ioc!("45.33.99.10", Ip),
+            ],
+            gold_relations: &[
+                rel!("/usr/lib/node/.hooks/post.sh", "write", "/usr/bin/node-helper"),
+                rel!("/usr/bin/node-helper", "read", "/root/.npmrc"),
+                rel!("/usr/bin/node-helper", "send", "45.33.99.10"),
+            ],
+        },
+        CorpusReport {
+            id: "advisory_insider",
+            family: "advisory",
+            text: "Insider data-theft investigation notes:\n\n\
+                   - The contractor account copied /srv/designs/blueprints.pdf to \
+                     /media/usb0/exportb.pdf.\n\
+                   - /usr/bin/cp read /srv/designs/blueprints.pdf during the copy.\n\
+                   - Later, /usr/bin/scp uploaded /media/usb0/exportb.pdf to \
+                     172.104.22.8.\n",
+            gold_iocs: &[
+                ioc!("/srv/designs/blueprints.pdf", FilePath),
+                ioc!("/media/usb0/exportb.pdf", FilePath),
+                ioc!("/usr/bin/cp", FilePath),
+                ioc!("/usr/bin/scp", FilePath),
+                ioc!("172.104.22.8", Ip),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/cp", "read", "/srv/designs/blueprints.pdf"),
+                rel!("/usr/bin/scp", "upload", "/media/usb0/exportb.pdf"),
+                rel!("/usr/bin/scp", "upload", "172.104.22.8"),
+            ],
+        },
+        CorpusReport {
+            id: "advisory_dbleak",
+            family: "advisory",
+            text: "Database leak advisory:\n\n\
+                   - Monitoring flagged /usr/bin/mysqldump reading \
+                     /var/lib/mysql/customers.ibd.\n\
+                   - The dump was written to /tmp/cust.sql.\n\
+                   - /usr/bin/nc sent /tmp/cust.sql to 89.44.200.13.\n",
+            gold_iocs: &[
+                ioc!("/usr/bin/mysqldump", FilePath),
+                ioc!("/var/lib/mysql/customers.ibd", FilePath),
+                ioc!("/tmp/cust.sql", FilePath),
+                ioc!("/usr/bin/nc", FilePath),
+                ioc!("89.44.200.13", Ip),
+            ],
+            gold_relations: &[
+                rel!("/usr/bin/mysqldump", "read", "/var/lib/mysql/customers.ibd"),
+                rel!("/usr/bin/nc", "send", "/tmp/cust.sql"),
+                rel!("/usr/bin/nc", "send", "89.44.200.13"),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_nlp::ioc::normalize_defang;
+
+    #[test]
+    fn corpus_has_four_families() {
+        let c = corpus();
+        assert_eq!(c.len(), 20);
+        for family in ["demo", "apt", "malware", "advisory"] {
+            assert_eq!(
+                c.iter().filter(|r| r.family == family).count(),
+                5,
+                "family {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn gold_iocs_literally_appear_in_normalized_text() {
+        for report in corpus() {
+            let norm = normalize_defang(report.text);
+            for g in report.gold_iocs {
+                assert!(
+                    norm.contains(g.text),
+                    "report {}: gold IOC `{}` not in text",
+                    report.id,
+                    g.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gold_relation_endpoints_are_gold_iocs() {
+        for report in corpus() {
+            let texts: Vec<&str> = report.gold_iocs.iter().map(|g| g.text).collect();
+            for r in report.gold_relations {
+                assert!(
+                    texts.contains(&r.subject),
+                    "report {}: relation subject `{}` not annotated",
+                    report.id,
+                    r.subject
+                );
+                assert!(
+                    texts.contains(&r.object),
+                    "report {}: relation object `{}` not annotated",
+                    report.id,
+                    r.object
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_verbs_are_lexicon_lemmas() {
+        for report in corpus() {
+            for r in report.gold_relations {
+                assert!(
+                    threatraptor_nlp::verbs::is_relation_verb(r.verb),
+                    "report {}: `{}` is not a relation-verb lemma",
+                    report.id,
+                    r.verb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c = corpus();
+        let mut ids: Vec<&str> = c.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), c.len());
+    }
+}

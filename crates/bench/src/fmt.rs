@@ -1,0 +1,90 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders an aligned table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    // Widths in characters (not bytes): cells may contain `µ` etc.
+    let clen = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = headers.iter().map(|h| clen(h)).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(clen(cell));
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    rule(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {h:<w$} ", w = widths[i]));
+    }
+    out.push_str("|\n");
+    rule(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {cell:<w$} ", w = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    rule(&mut out);
+    out
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3} s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_layout() {
+        let t = table(
+            &["case", "time"],
+            &[
+                vec!["data-leakage".into(), "1.2 ms".into()],
+                vec!["db-exfil".into(), "900 µs".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == width), "{t}");
+        assert!(t.contains("| data-leakage |"));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(dur(Duration::from_micros(500)), "500 µs");
+        assert_eq!(dur(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(dur(Duration::from_millis(1_500)), "1.500 s");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Pattern compilation: TBQL → relational plans and graph path queries.
+//!
+//! Event patterns become a three-way join (subject entity table ⋈ event
+//! table ⋈ object entity table) — "a SQL data query which joins entity
+//! tables with event table". Path patterns become graph
+//! [`PathQuery`]s — "since it is difficult to perform graph pattern search
+//! using SQL, ThreatRaptor compiles it into a Cypher data query".
+
+use crate::error::EngineError;
+use std::collections::HashMap;
+use threatraptor_storage::graphdb::PathQuery;
+use threatraptor_storage::relational::{CmpOp as SqlCmp, Predicate, SqlSelect, TableRef, JoinCond, Value};
+use threatraptor_storage::store::{self, AuditStore};
+use threatraptor_tbql::analyze::AnalyzedQuery;
+use threatraptor_tbql::ast::{
+    CmpOp, EntityType, Expr, Lit, Pattern, TimeWindow,
+};
+
+/// A compiled pattern ready for execution.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    /// Pattern id (`evt1` …).
+    pub id: String,
+    /// Index in declaration order.
+    pub decl_index: usize,
+    /// Subject variable.
+    pub subject_var: String,
+    /// Object variable.
+    pub object_var: String,
+    /// Object entity table name.
+    pub object_table: &'static str,
+    /// Execution shape.
+    pub shape: CompiledShape,
+    /// Optional time window.
+    pub window: Option<TimeWindow>,
+    /// Pruning score (higher executes earlier).
+    pub score: i64,
+}
+
+/// Execution shape of a compiled pattern.
+#[derive(Debug, Clone)]
+pub enum CompiledShape {
+    /// Single event: operation alternatives.
+    Event {
+        /// Operation names (`read` …).
+        ops: Vec<String>,
+    },
+    /// Variable-length path.
+    Path {
+        /// Minimum hops.
+        min_hops: u32,
+        /// Maximum hops.
+        max_hops: u32,
+        /// Final-hop operation.
+        last_op: String,
+    },
+}
+
+/// A fully compiled query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Patterns in declaration order.
+    pub patterns: Vec<CompiledPattern>,
+    /// Per-variable storage predicate (merged across mentions).
+    pub var_predicates: HashMap<String, Predicate>,
+    /// Per-variable entity table.
+    pub var_tables: HashMap<String, &'static str>,
+    /// Temporal `before` pairs (pattern ids).
+    pub before: Vec<(String, String)>,
+    /// Return projection `(var, attr)`.
+    pub returns: Vec<(String, String)>,
+    /// Distinct projection.
+    pub distinct: bool,
+}
+
+/// Converts a TBQL filter expression to a storage predicate.
+pub fn expr_to_predicate(expr: &Expr) -> Predicate {
+    match expr {
+        Expr::Cmp { attr, op, value } => {
+            let v = match value {
+                Lit::Str(s) => Value::str(s.clone()),
+                Lit::Int(i) => Value::int(*i),
+            };
+            match op {
+                CmpOp::Like => match value {
+                    Lit::Str(s) => Predicate::like(attr.clone(), s.clone()),
+                    Lit::Int(i) => Predicate::like(attr.clone(), i.to_string()),
+                },
+                CmpOp::Eq => Predicate::Cmp(attr.clone(), SqlCmp::Eq, v),
+                CmpOp::Ne => Predicate::Cmp(attr.clone(), SqlCmp::Ne, v),
+                CmpOp::Lt => Predicate::Cmp(attr.clone(), SqlCmp::Lt, v),
+                CmpOp::Le => Predicate::Cmp(attr.clone(), SqlCmp::Le, v),
+                CmpOp::Gt => Predicate::Cmp(attr.clone(), SqlCmp::Gt, v),
+                CmpOp::Ge => Predicate::Cmp(attr.clone(), SqlCmp::Ge, v),
+            }
+        }
+        Expr::And(legs) => Predicate::And(legs.iter().map(expr_to_predicate).collect()),
+        Expr::Or(legs) => Predicate::Or(legs.iter().map(expr_to_predicate).collect()),
+    }
+}
+
+/// Entity table for a TBQL entity type.
+pub fn table_for(ty: EntityType) -> &'static str {
+    match ty {
+        EntityType::Proc => store::TABLE_PROCESS,
+        EntityType::File => store::TABLE_FILE,
+        EntityType::Ip => store::TABLE_NETWORK,
+    }
+}
+
+/// Compiles an analyzed query.
+pub fn compile(aq: &AnalyzedQuery) -> Result<CompiledQuery, EngineError> {
+    let mut var_predicates = HashMap::new();
+    let mut var_tables = HashMap::new();
+    for (var, info) in &aq.entities {
+        let pred = Predicate::and(info.filters.iter().map(expr_to_predicate).collect());
+        var_predicates.insert(var.clone(), pred);
+        var_tables.insert(var.clone(), table_for(info.ty));
+    }
+
+    let mut patterns = Vec::with_capacity(aq.query.patterns.len());
+    for (i, pat) in aq.query.patterns.iter().enumerate() {
+        let id = aq.pattern_ids[i].clone();
+        let subject_var = pat.subject().id.clone();
+        let object_var = pat.object().id.clone();
+        let object_table = var_tables
+            .get(&object_var)
+            .copied()
+            .ok_or_else(|| EngineError::Execution(format!("untyped variable `{object_var}`")))?;
+        let (shape, window, max_len) = match pat {
+            Pattern::Event(e) => (
+                CompiledShape::Event { ops: e.ops.clone() },
+                e.window,
+                1u32,
+            ),
+            Pattern::Path(p) => {
+                let min = p.min_hops.unwrap_or(1);
+                let max = p.max_hops.unwrap_or(min.max(4));
+                (
+                    CompiledShape::Path {
+                        min_hops: min,
+                        max_hops: max,
+                        last_op: p.last_op.clone(),
+                    },
+                    p.window,
+                    max,
+                )
+            }
+        };
+        let score = crate::score::pruning_score(
+            &aq.entities[&subject_var],
+            &aq.entities[&object_var],
+            window,
+            max_len,
+        );
+        patterns.push(CompiledPattern {
+            id,
+            decl_index: i,
+            subject_var,
+            object_var,
+            object_table,
+            shape,
+            window,
+            score,
+        });
+    }
+
+    Ok(CompiledQuery {
+        patterns,
+        var_predicates,
+        var_tables,
+        before: aq.before.clone(),
+        returns: aq.returns.clone(),
+        distinct: aq.distinct,
+    })
+}
+
+impl CompiledQuery {
+    /// Builds the relational plan for an event pattern, with extra
+    /// propagated predicates per variable (the scheduler's filter
+    /// pushdown).
+    pub fn event_plan(
+        &self,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+    ) -> SqlSelect {
+        let CompiledShape::Event { ops } = &pat.shape else {
+            panic!("event_plan on a path pattern");
+        };
+        let mut event_pred = vec![op_predicate(ops)];
+        if let Some(w) = pat.window {
+            event_pred.push(Predicate::Cmp(
+                "start".into(),
+                SqlCmp::Ge,
+                Value::from(w.lo),
+            ));
+            event_pred.push(Predicate::Cmp("end".into(), SqlCmp::Le, Value::from(w.hi)));
+        }
+        let var_pred = |var: &str| {
+            let mut legs = vec![self.var_predicates[var].clone()];
+            if let Some(p) = extra.get(var) {
+                legs.push(p.clone());
+            }
+            Predicate::and(legs)
+        };
+        SqlSelect {
+            from: vec![
+                TableRef::new(self.var_tables[&pat.subject_var], "s"),
+                TableRef::new(store::TABLE_EVENT, "e"),
+                TableRef::new(pat.object_table, "o"),
+            ],
+            joins: vec![
+                JoinCond::new("s", "id", "e", "subject"),
+                JoinCond::new("o", "id", "e", "object"),
+            ],
+            filters: vec![
+                ("s".into(), var_pred(&pat.subject_var)),
+                ("e".into(), Predicate::and(event_pred)),
+                ("o".into(), var_pred(&pat.object_var)),
+            ],
+            projection: vec![
+                ("s".into(), "id".into()),
+                ("e".into(), "id".into()),
+                ("o".into(), "id".into()),
+            ],
+            distinct: false,
+        }
+    }
+
+    /// Builds the graph path query for a path pattern; `src`/`dst` come
+    /// from evaluating the endpoint predicates against the entity tables.
+    pub fn path_plan(
+        &self,
+        pat: &CompiledPattern,
+        store: &AuditStore,
+        extra: &HashMap<String, Predicate>,
+    ) -> PathQuery {
+        let CompiledShape::Path {
+            min_hops,
+            max_hops,
+            last_op,
+        } = &pat.shape
+        else {
+            panic!("path_plan on an event pattern");
+        };
+        let endpoint = |var: &str| {
+            let table = store.db.table(self.var_tables[var]);
+            let mut legs = vec![self.var_predicates[var].clone()];
+            if let Some(p) = extra.get(var) {
+                legs.push(p.clone());
+            }
+            let pred = Predicate::and(legs);
+            let set: std::collections::HashSet<threatraptor_audit::entity::EntityId> = table
+                .select(&pred)
+                .into_iter()
+                .map(|rid| {
+                    threatraptor_audit::entity::EntityId(
+                        table.cell(rid, "id").as_int().expect("id is integral") as u32,
+                    )
+                })
+                .collect();
+            set
+        };
+        PathQuery {
+            src: Some(endpoint(&pat.subject_var)),
+            dst: Some(endpoint(&pat.object_var)),
+            min_hops: *min_hops,
+            max_hops: *max_hops,
+            last_op: Some(
+                last_op
+                    .parse()
+                    .expect("operation names validated by analysis"),
+            ),
+            mid_ops: None,
+            time_monotone: true,
+            window: pat.window.map(|w| (w.lo, w.hi)),
+            max_matches: 100_000,
+        }
+    }
+
+    /// Renders a path pattern as Cypher text (for the conciseness
+    /// comparison and for debugging).
+    pub fn to_cypher(&self, pat: &CompiledPattern) -> String {
+        let CompiledShape::Path {
+            min_hops,
+            max_hops,
+            last_op,
+        } = &pat.shape
+        else {
+            // Event patterns render as single-hop relationships.
+            let CompiledShape::Event { ops } = &pat.shape else {
+                unreachable!()
+            };
+            let ops = ops
+                .iter()
+                .map(|o| o.to_uppercase())
+                .collect::<Vec<_>>()
+                .join("|");
+            return format!(
+                "MATCH ({s}:{st})-[e:{ops}]->({o}:{ot}) WHERE {w} RETURN {s}, e, {o};",
+                s = pat.subject_var,
+                st = label(self.var_tables[&pat.subject_var]),
+                o = pat.object_var,
+                ot = label(pat.object_table),
+                w = cypher_where(self, pat),
+            );
+        };
+        format!(
+            "MATCH p = ({s}:{st})-[*{min}..{max}]->({o}:{ot}) \
+             WHERE {w} AND last(relationships(p)).op = '{last_op}' RETURN p;",
+            s = pat.subject_var,
+            st = label(self.var_tables[&pat.subject_var]),
+            min = min_hops,
+            max = max_hops,
+            o = pat.object_var,
+            ot = label(pat.object_table),
+            w = cypher_where(self, pat),
+        )
+    }
+}
+
+fn label(table: &str) -> &'static str {
+    match table {
+        store::TABLE_PROCESS => "Process",
+        store::TABLE_FILE => "File",
+        store::TABLE_NETWORK => "Connection",
+        _ => "Entity",
+    }
+}
+
+fn cypher_where(cq: &CompiledQuery, pat: &CompiledPattern) -> String {
+    let mut parts = Vec::new();
+    for var in [&pat.subject_var, &pat.object_var] {
+        let pred = &cq.var_predicates[var];
+        if !matches!(pred, Predicate::True) {
+            parts.push(
+                pred.to_sql(var)
+                    .replace(" LIKE '%", " CONTAINS '")
+                    .replace("%'", "'"),
+            );
+        }
+    }
+    if parts.is_empty() {
+        "true".to_string()
+    } else {
+        parts.join(" AND ")
+    }
+}
+
+/// Event-table predicate for operation alternatives.
+pub fn op_predicate(ops: &[String]) -> Predicate {
+    if ops.len() == 1 {
+        Predicate::eq("op", ops[0].as_str())
+    } else {
+        Predicate::InSet(
+            "op".into(),
+            ops.iter().map(|o| Value::str(o.as_str())).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_tbql::analyze::analyze;
+    use threatraptor_tbql::parser::{parse_query, FIG2_TBQL};
+
+    fn compiled(src: &str) -> CompiledQuery {
+        compile(&analyze(&parse_query(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig2_compiles_with_scores() {
+        let cq = compiled(FIG2_TBQL);
+        assert_eq!(cq.patterns.len(), 8);
+        // Every variable carries one LIKE filter, so event patterns tie —
+        // except evt8, whose exact-match IP earns the equality bonus.
+        let score = |id: &str| cq.patterns.iter().find(|p| p.id == id).unwrap().score;
+        assert_eq!(score("evt1"), score("evt2"));
+        assert!(score("evt8") > score("evt1"));
+        assert_eq!(cq.before.len(), 7);
+        assert!(cq.distinct);
+        assert_eq!(cq.returns.len(), 9);
+    }
+
+    #[test]
+    fn event_plan_shape() {
+        let cq = compiled(r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return p"#);
+        let plan = cq.event_plan(&cq.patterns[0], &HashMap::new());
+        assert_eq!(plan.from.len(), 3);
+        let sql = plan.to_sql();
+        assert!(sql.contains("process AS s"));
+        assert!(sql.contains("event AS e"));
+        assert!(sql.contains("file AS o"));
+        assert!(sql.contains("s.id = e.subject"));
+        assert!(sql.contains("e.op = 'read'"));
+        assert!(sql.contains("s.exename LIKE '%/bin/tar%'"));
+    }
+
+    #[test]
+    fn window_becomes_time_predicates() {
+        let cq = compiled("proc p read file f as e1 window [100, 900] return p");
+        let plan = cq.event_plan(&cq.patterns[0], &HashMap::new());
+        let sql = plan.to_sql();
+        assert!(sql.contains("e.start >= 100"));
+        assert!(sql.contains("e.end <= 900"));
+    }
+
+    #[test]
+    fn op_alternatives_become_in_set() {
+        let cq = compiled("proc p read || write file f as e1 return p");
+        let plan = cq.event_plan(&cq.patterns[0], &HashMap::new());
+        let sql = plan.to_sql();
+        assert!(sql.contains("e.op IN ('read', 'write')"), "{sql}");
+    }
+
+    #[test]
+    fn expr_to_predicate_covers_ops() {
+        let e = Expr::Cmp {
+            attr: "pid".into(),
+            op: CmpOp::Ge,
+            value: Lit::Int(10),
+        };
+        assert_eq!(
+            expr_to_predicate(&e),
+            Predicate::Cmp("pid".into(), SqlCmp::Ge, Value::int(10))
+        );
+        let e = Expr::Or(vec![
+            Expr::Cmp {
+                attr: "owner".into(),
+                op: CmpOp::Eq,
+                value: Lit::Str("root".into()),
+            },
+            Expr::Cmp {
+                attr: "exename".into(),
+                op: CmpOp::Like,
+                value: Lit::Str("%sh".into()),
+            },
+        ]);
+        let p = expr_to_predicate(&e);
+        assert!(matches!(p, Predicate::Or(ref legs) if legs.len() == 2));
+    }
+
+    #[test]
+    fn cypher_rendering() {
+        let cq = compiled(r#"proc p["%gpg%"] ~>(2~4)[read] file f as pp return p"#);
+        let cypher = cq.to_cypher(&cq.patterns[0]);
+        assert!(cypher.contains("[*2..4]"), "{cypher}");
+        assert!(cypher.contains("last(relationships(p)).op = 'read'"));
+        assert!(cypher.contains("CONTAINS 'gpg'"));
+
+        let cq = compiled("proc p read || write file f as e1 return p");
+        let cypher = cq.to_cypher(&cq.patterns[0]);
+        assert!(cypher.contains("[e:READ|WRITE]"), "{cypher}");
+    }
+
+    #[test]
+    fn path_scores_penalize_length() {
+        let cq = compiled(
+            r#"proc p["%x%"] ~>(1~2)[read] file f as a
+               proc q["%x%"] ~>(1~6)[read] file g as b
+               return p"#,
+        );
+        let score = |id: &str| cq.patterns.iter().find(|p| p.id == id).unwrap().score;
+        assert!(score("a") > score("b"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine errors.
+
+use std::fmt;
+use threatraptor_tbql::error::TbqlError;
+
+/// Errors surfaced while compiling or executing a TBQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query failed TBQL semantic analysis.
+    Semantic(TbqlError),
+    /// The query references something the store cannot serve.
+    Execution(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Semantic(e) => write!(f, "semantic error: {e}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TbqlError> for EngineError {
+    fn from(e: TbqlError) -> Self {
+        EngineError::Semantic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_tbql::error::Span;
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::from(TbqlError::new(Span::new(0, 1), "bad"));
+        assert!(e.to_string().contains("semantic"));
+        let e = EngineError::Execution("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,738 @@
+//! The executor: scheduling, constraint propagation, cross-pattern
+//! assembly, and the baseline execution modes.
+
+use crate::compile::{compile, CompiledPattern, CompiledQuery, CompiledShape};
+use crate::error::EngineError;
+use crate::result::{HuntResult, HuntStats, Match};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use threatraptor_audit::entity::EntityId;
+use threatraptor_audit::event::Operation;
+use threatraptor_storage::relational::{Predicate, Value};
+use threatraptor_storage::store::AuditStore;
+use threatraptor_tbql::analyze::{analyze, AnalyzedQuery};
+use threatraptor_tbql::ast::Query;
+use threatraptor_tbql::parser::parse_query;
+
+/// Execution strategies. `Scheduled` is ThreatRaptor's; the others are
+/// the baselines of the efficiency experiments (E3/E4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Pruning-score scheduling with constraint propagation across
+    /// patterns connected by shared entities (the paper's §II-F design).
+    Scheduled,
+    /// Declaration order, every pattern executed independently with only
+    /// its own filters (no propagation); independent data queries run in
+    /// parallel.
+    Unscheduled,
+    /// Everything through the relational backend: path patterns are
+    /// expanded hop by hop with event-table joins (what plain SQL forces
+    /// you into).
+    RelationalOnly,
+    /// Everything through the graph backend: event patterns scan edges
+    /// without relational indexes.
+    GraphOnly,
+}
+
+impl ExecMode {
+    /// Human-readable label (used by the experiment harnesses).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Scheduled => "ThreatRaptor (scheduled)",
+            ExecMode::Unscheduled => "Unscheduled",
+            ExecMode::RelationalOnly => "Relational-only (SQL)",
+            ExecMode::GraphOnly => "Graph-only (Cypher)",
+        }
+    }
+}
+
+/// One pattern's data-query output row.
+#[derive(Debug, Clone)]
+struct PatternRow {
+    subject: EntityId,
+    object: EntityId,
+    events: Vec<usize>,
+    start: u64,
+    end: u64,
+}
+
+/// The query engine over one audit store.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'s> {
+    store: &'s AuditStore,
+}
+
+impl<'s> Engine<'s> {
+    /// Creates an engine over a store.
+    pub fn new(store: &'s AuditStore) -> Engine<'s> {
+        Engine { store }
+    }
+
+    /// Parses, analyzes, compiles, and executes TBQL source with the
+    /// scheduled strategy.
+    pub fn hunt(&self, tbql: &str) -> Result<HuntResult, EngineError> {
+        self.hunt_mode(tbql, ExecMode::Scheduled)
+    }
+
+    /// Like [`Engine::hunt`] with an explicit execution mode.
+    pub fn hunt_mode(&self, tbql: &str, mode: ExecMode) -> Result<HuntResult, EngineError> {
+        let query = parse_query(tbql)?;
+        self.hunt_query(&query, mode)
+    }
+
+    /// Executes an already parsed query.
+    pub fn hunt_query(&self, query: &Query, mode: ExecMode) -> Result<HuntResult, EngineError> {
+        let analyzed = analyze(query)?;
+        self.hunt_analyzed(&analyzed, mode)
+    }
+
+    /// Executes an analyzed query.
+    pub fn hunt_analyzed(
+        &self,
+        analyzed: &AnalyzedQuery,
+        mode: ExecMode,
+    ) -> Result<HuntResult, EngineError> {
+        let compiled = compile(analyzed)?;
+        self.execute(&compiled, mode)
+    }
+
+    /// Executes a compiled query.
+    pub fn execute(
+        &self,
+        cq: &CompiledQuery,
+        mode: ExecMode,
+    ) -> Result<HuntResult, EngineError> {
+        let t0 = Instant::now();
+        let mut stats = HuntStats::default();
+
+        // Execution order.
+        let mut order: Vec<&CompiledPattern> = cq.patterns.iter().collect();
+        if mode == ExecMode::Scheduled {
+            order.sort_by_key(|p| (std::cmp::Reverse(p.score), p.decl_index));
+        }
+
+        let mut partial: Option<Vec<Match>> = None;
+        for pat in &order {
+            // Constraint propagation (scheduled mode only): bindings from
+            // already-executed patterns become IN-set filters on shared
+            // variables.
+            let mut extra: HashMap<String, Predicate> = HashMap::new();
+            if mode == ExecMode::Scheduled {
+                if let Some(ms) = &partial {
+                    for var in [&pat.subject_var, &pat.object_var] {
+                        let ids: HashSet<Value> = ms
+                            .iter()
+                            .filter_map(|m| m.bindings.get(var))
+                            .map(|e| Value::from(e.0))
+                            .collect();
+                        if !ids.is_empty() {
+                            extra.insert(var.clone(), Predicate::InSet("id".into(), ids));
+                        }
+                    }
+                }
+            }
+
+            let rows = self.run_pattern(cq, pat, &extra, mode);
+            stats.execution_order.push(pat.id.clone());
+            stats.rows_fetched.push((pat.id.clone(), rows.len()));
+
+            partial = Some(self.join(cq, partial, rows, pat));
+            if partial.as_ref().is_some_and(Vec::is_empty) {
+                // No match can exist; still record remaining patterns as
+                // skipped with zero rows for the stats.
+                break;
+            }
+        }
+
+        let matches = partial.unwrap_or_default();
+        // Projection.
+        let columns: Vec<String> = cq
+            .returns
+            .iter()
+            .map(|(var, attr)| format!("{var}.{attr}"))
+            .collect();
+        let mut rows: Vec<Vec<String>> = matches
+            .iter()
+            .map(|m| {
+                cq.returns
+                    .iter()
+                    .map(|(var, attr)| {
+                        let id = m.bindings[var];
+                        self.store
+                            .entity(id)
+                            .attr(attr)
+                            .unwrap_or_else(|| "<none>".into())
+                    })
+                    .collect()
+            })
+            .collect();
+        if cq.distinct {
+            rows.sort();
+            rows.dedup();
+        }
+        stats.elapsed = t0.elapsed();
+        Ok(HuntResult {
+            columns,
+            rows,
+            matches,
+            stats,
+        })
+    }
+
+    /// Runs one pattern's data query.
+    fn run_pattern(
+        &self,
+        cq: &CompiledQuery,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+        mode: ExecMode,
+    ) -> Vec<PatternRow> {
+        match (&pat.shape, mode) {
+            (CompiledShape::Event { .. }, ExecMode::GraphOnly) => {
+                self.event_via_graph(cq, pat, extra)
+            }
+            (CompiledShape::Event { .. }, _) => self.event_via_sql(cq, pat, extra),
+            (CompiledShape::Path { .. }, ExecMode::RelationalOnly) => {
+                self.path_via_sql(cq, pat, extra)
+            }
+            (CompiledShape::Path { .. }, _) => self.path_via_graph(cq, pat, extra),
+        }
+    }
+
+    /// Event pattern through the relational backend.
+    ///
+    /// Access-path selection over the event table's indexes (the paper's
+    /// "mature indexing mechanisms"): probe by subject ids, by object
+    /// ids, or by operation — whichever is estimated cheapest — then
+    /// filter residual conditions. Entity predicates are evaluated once
+    /// against the (small) entity tables.
+    fn event_via_sql(
+        &self,
+        cq: &CompiledQuery,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+    ) -> Vec<PatternRow> {
+        let CompiledShape::Event { ops } = &pat.shape else {
+            unreachable!()
+        };
+        let s_ids = self.entity_filter_set(cq, &pat.subject_var, extra);
+        let o_ids = self.entity_filter_set(cq, &pat.object_var, extra);
+        if s_ids.is_empty() || o_ids.is_empty() {
+            return Vec::new();
+        }
+        let events = self.store.db.table(threatraptor_storage::store::TABLE_EVENT);
+        let op_set: HashSet<Operation> =
+            ops.iter().map(|o| o.parse().expect("ops validated")).collect();
+
+        // Estimate each access path by exact index-bucket sizes.
+        let probe_cost = |col: &str, ids: &HashSet<EntityId>| -> usize {
+            ids.iter()
+                .map(|id| {
+                    events
+                        .index_lookup(col, &[Value::from(id.0)])
+                        .map(|v| v.len())
+                        .unwrap_or(usize::MAX / 4)
+                })
+                .sum()
+        };
+        let op_values: Vec<Value> = ops.iter().map(|o| Value::str(o.as_str())).collect();
+        let op_cost = events
+            .index_lookup("op", &op_values)
+            .map(|v| v.len())
+            .unwrap_or(usize::MAX / 4);
+        let s_cost = probe_cost("subject", &s_ids);
+        let o_cost = probe_cost("object", &o_ids);
+
+        let candidates: Vec<usize> = if s_cost <= o_cost && s_cost <= op_cost {
+            s_ids
+                .iter()
+                .flat_map(|id| {
+                    events
+                        .index_lookup("subject", &[Value::from(id.0)])
+                        .unwrap_or_default()
+                })
+                .collect()
+        } else if o_cost <= op_cost {
+            o_ids
+                .iter()
+                .flat_map(|id| {
+                    events
+                        .index_lookup("object", &[Value::from(id.0)])
+                        .unwrap_or_default()
+                })
+                .collect()
+        } else {
+            events.index_lookup("op", &op_values).unwrap_or_default()
+        };
+
+        let mut out = Vec::with_capacity(candidates.len() / 4 + 1);
+        for pos in candidates {
+            let ev = self.store.event_at(pos);
+            if !op_set.contains(&ev.op)
+                || !s_ids.contains(&ev.subject)
+                || !o_ids.contains(&ev.object)
+            {
+                continue;
+            }
+            if let Some(w) = pat.window {
+                if ev.start < w.lo || ev.end > w.hi {
+                    continue;
+                }
+            }
+            out.push(PatternRow {
+                subject: ev.subject,
+                object: ev.object,
+                events: vec![pos],
+                start: ev.start,
+                end: ev.end,
+            });
+        }
+        out.sort_by_key(|r| r.events[0]);
+        out
+    }
+
+    /// Event pattern through the graph backend: scan all edges, filter by
+    /// operation and endpoint predicates (no relational indexes — the
+    /// baseline cost the paper's hybrid design avoids).
+    fn event_via_graph(
+        &self,
+        cq: &CompiledQuery,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+    ) -> Vec<PatternRow> {
+        let CompiledShape::Event { ops } = &pat.shape else {
+            unreachable!()
+        };
+        let op_set: HashSet<Operation> = ops
+            .iter()
+            .map(|o| o.parse().expect("ops validated"))
+            .collect();
+        let s_ok = self.entity_filter_set(cq, &pat.subject_var, extra);
+        let o_ok = self.entity_filter_set(cq, &pat.object_var, extra);
+        // A graph store has no attribute indexes over edges; it scans.
+        // The scan is parallelized across worker threads (crossbeam),
+        // as a production graph database would.
+        let n = self.store.graph.edge_count();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .clamp(1, 8);
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<PatternRow> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(n));
+                let op_set = &op_set;
+                let s_ok = &s_ok;
+                let o_ok = &o_ok;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for idx in lo..hi {
+                        let edge = self.store.graph.edge(idx);
+                        if !op_set.contains(&edge.op) {
+                            continue;
+                        }
+                        if let Some(w) = pat.window {
+                            if edge.start < w.lo || edge.end > w.hi {
+                                continue;
+                            }
+                        }
+                        if !s_ok.contains(&edge.src) || !o_ok.contains(&edge.dst) {
+                            continue;
+                        }
+                        local.push(PatternRow {
+                            subject: edge.src,
+                            object: edge.dst,
+                            events: vec![edge.event_pos],
+                            start: edge.start,
+                            end: edge.end,
+                        });
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        out.sort_by_key(|r| r.events[0]);
+        out
+    }
+
+    /// Path pattern through the graph backend.
+    fn path_via_graph(
+        &self,
+        cq: &CompiledQuery,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+    ) -> Vec<PatternRow> {
+        let pq = cq.path_plan(pat, self.store, extra);
+        pq.search(&self.store.graph)
+            .into_iter()
+            .map(|p| {
+                let first = self.store.graph.edge(p.edges[0]);
+                let last = self.store.graph.edge(*p.edges.last().expect("non-empty"));
+                PatternRow {
+                    subject: first.src,
+                    object: last.dst,
+                    events: p
+                        .edges
+                        .iter()
+                        .map(|&e| self.store.graph.edge(e).event_pos)
+                        .collect(),
+                    start: first.start,
+                    end: last.end,
+                }
+            })
+            .collect()
+    }
+
+    /// Path pattern through the relational backend: hop-by-hop frontier
+    /// expansion with event-table index lookups — the join cascade a pure
+    /// SQL backend would execute.
+    fn path_via_sql(
+        &self,
+        cq: &CompiledQuery,
+        pat: &CompiledPattern,
+        extra: &HashMap<String, Predicate>,
+    ) -> Vec<PatternRow> {
+        let CompiledShape::Path {
+            min_hops,
+            max_hops,
+            last_op,
+        } = &pat.shape
+        else {
+            unreachable!()
+        };
+        let last_op: Operation = last_op.parse().expect("ops validated");
+        let srcs = self.entity_filter_set(cq, &pat.subject_var, extra);
+        let dsts = self.entity_filter_set(cq, &pat.object_var, extra);
+        let events_table = self.store.db.table(threatraptor_storage::store::TABLE_EVENT);
+
+        // Partial path state: (current node, first start, last end, hops).
+        #[derive(Clone)]
+        struct PartialPath {
+            node: EntityId,
+            start: u64,
+            end: u64,
+            events: Vec<usize>,
+        }
+        let mut frontier: Vec<PartialPath> = srcs
+            .iter()
+            .map(|&n| PartialPath {
+                node: n,
+                start: 0,
+                end: 0,
+                events: Vec::new(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        for hop in 1..=*max_hops {
+            let mut next = Vec::new();
+            for p in &frontier {
+                // SELECT * FROM event WHERE subject = p.node AND start >= p.end
+                let rows = events_table
+                    .index_lookup("subject", &[Value::from(p.node.0)])
+                    .unwrap_or_default();
+                for rid in rows {
+                    let ev = self.store.event_at(rid);
+                    if !p.events.is_empty() && ev.start < p.end {
+                        continue; // time-monotone
+                    }
+                    if p.events.contains(&rid) {
+                        continue;
+                    }
+                    if let Some(w) = pat.window {
+                        if ev.start < w.lo || ev.end > w.hi {
+                            continue;
+                        }
+                    }
+                    let mut np = p.clone();
+                    if np.events.is_empty() {
+                        np.start = ev.start;
+                    }
+                    np.end = ev.end;
+                    np.events.push(rid);
+                    np.node = ev.object;
+                    if hop >= *min_hops && ev.op == last_op && dsts.contains(&ev.object) {
+                        out.push(PatternRow {
+                            subject: EntityId(
+                                self.store.event_at(np.events[0]).subject.0,
+                            ),
+                            object: ev.object,
+                            events: np.events.clone(),
+                            start: np.start,
+                            end: np.end,
+                        });
+                    }
+                    next.push(np);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Entity ids satisfying a variable's merged predicate.
+    fn entity_filter_set(
+        &self,
+        cq: &CompiledQuery,
+        var: &str,
+        extra: &HashMap<String, Predicate>,
+    ) -> HashSet<EntityId> {
+        let table = self.store.db.table(cq.var_tables[var]);
+        let mut legs = vec![cq.var_predicates[var].clone()];
+        if let Some(p) = extra.get(var) {
+            legs.push(p.clone());
+        }
+        let pred = Predicate::and(legs);
+        table
+            .select(&pred)
+            .into_iter()
+            .map(|rid| EntityId(table.cell(rid, "id").as_int().expect("id column") as u32))
+            .collect()
+    }
+
+    /// Joins a pattern's rows into the partial match set, enforcing
+    /// shared-entity equality and all decidable temporal constraints.
+    fn join(
+        &self,
+        cq: &CompiledQuery,
+        partial: Option<Vec<Match>>,
+        rows: Vec<PatternRow>,
+        pat: &CompiledPattern,
+    ) -> Vec<Match> {
+        let same_var = pat.subject_var == pat.object_var;
+        let rows: Vec<PatternRow> = rows
+            .into_iter()
+            .filter(|r| !same_var || r.subject == r.object)
+            .collect();
+
+        let Some(partial) = partial else {
+            return rows
+                .into_iter()
+                .map(|r| {
+                    let mut bindings = HashMap::new();
+                    bindings.insert(pat.subject_var.clone(), r.subject);
+                    bindings.insert(pat.object_var.clone(), r.object);
+                    let mut events = HashMap::new();
+                    events.insert(pat.id.clone(), r.events);
+                    let mut times = HashMap::new();
+                    times.insert(pat.id.clone(), (r.start, r.end));
+                    Match {
+                        bindings,
+                        events,
+                        times,
+                    }
+                })
+                .collect();
+        };
+
+        let mut out = Vec::new();
+        for m in &partial {
+            for r in &rows {
+                // Shared-variable equality.
+                if let Some(&b) = m.bindings.get(&pat.subject_var) {
+                    if b != r.subject {
+                        continue;
+                    }
+                }
+                if let Some(&b) = m.bindings.get(&pat.object_var) {
+                    if b != r.object {
+                        continue;
+                    }
+                }
+                // Temporal constraints involving this pattern.
+                let ok = cq.before.iter().all(|(a, b)| {
+                    let ta = if a == &pat.id {
+                        Some((r.start, r.end))
+                    } else {
+                        m.times.get(a).copied()
+                    };
+                    let tb = if b == &pat.id {
+                        Some((r.start, r.end))
+                    } else {
+                        m.times.get(b).copied()
+                    };
+                    match (ta, tb) {
+                        (Some(x), Some(y)) => x.1 < y.0,
+                        _ => true, // undecidable yet
+                    }
+                });
+                if !ok {
+                    continue;
+                }
+                let mut nm = m.clone();
+                nm.bindings.insert(pat.subject_var.clone(), r.subject);
+                nm.bindings.insert(pat.object_var.clone(), r.object);
+                nm.events.insert(pat.id.clone(), r.events.clone());
+                nm.times.insert(pat.id.clone(), (r.start, r.end));
+                out.push(nm);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    fn store() -> AuditStore {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(5_000)
+            .build();
+        AuditStore::ingest(&sc.log, true)
+    }
+
+    #[test]
+    fn fig2_query_finds_the_attack() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(5_000)
+            .build();
+        let store = AuditStore::ingest(&sc.log, true);
+        let engine = Engine::new(&store);
+        let result = engine.hunt(FIG2_TBQL).expect("hunt succeeds");
+        assert!(!result.is_empty(), "the attack must be found");
+        // Exactly the ground-truth chain.
+        let (precision, recall) =
+            result.precision_recall(&store, &sc.ground_truth("data_leakage"));
+        assert_eq!(precision, 1.0, "no benign events may match");
+        assert_eq!(recall, 1.0, "all 8 steps must be matched");
+        // The projection mirrors Fig. 2's return clause.
+        assert_eq!(result.columns[0], "p1.exename");
+        assert!(result.rows.iter().any(|r| r[0] == "/bin/tar"));
+    }
+
+    #[test]
+    fn all_modes_agree_on_results() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let scheduled = engine
+            .hunt_mode(FIG2_TBQL, ExecMode::Scheduled)
+            .unwrap();
+        for mode in [
+            ExecMode::Unscheduled,
+            ExecMode::RelationalOnly,
+            ExecMode::GraphOnly,
+        ] {
+            let r = engine.hunt_mode(FIG2_TBQL, mode).unwrap();
+            assert_eq!(r.rows, scheduled.rows, "mode {mode:?} must agree");
+        }
+    }
+
+    #[test]
+    fn scheduled_executes_most_constrained_first() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine.hunt_mode(FIG2_TBQL, ExecMode::Scheduled).unwrap();
+        // evt1 (2 filters) and evt8 (2 filters) precede 1-filter patterns.
+        let order = &r.stats.execution_order;
+        let pos = |id: &str| order.iter().position(|x| x == id).unwrap();
+        assert!(pos("evt1") < pos("evt2"));
+        assert!(pos("evt8") < pos("evt2"));
+        // Unscheduled keeps declaration order.
+        let r = engine.hunt_mode(FIG2_TBQL, ExecMode::Unscheduled).unwrap();
+        assert_eq!(r.stats.execution_order[0], "evt1");
+        assert_eq!(r.stats.execution_order[1], "evt2");
+    }
+
+    #[test]
+    fn propagation_reduces_fetched_rows() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let scheduled = engine.hunt_mode(FIG2_TBQL, ExecMode::Scheduled).unwrap();
+        let unscheduled = engine.hunt_mode(FIG2_TBQL, ExecMode::Unscheduled).unwrap();
+        let total = |r: &HuntResult| -> usize { r.stats.rows_fetched.iter().map(|(_, n)| n).sum() };
+        assert!(
+            total(&scheduled) <= total(&unscheduled),
+            "propagation must not fetch more rows ({} vs {})",
+            total(&scheduled),
+            total(&unscheduled)
+        );
+    }
+
+    #[test]
+    fn temporal_constraints_prune() {
+        let store = store();
+        let engine = Engine::new(&store);
+        // Reversed ordering must not match (bzip2 runs after tar).
+        let reversed = "proc p2[\"%/bin/bzip2%\"] read file f2[\"%/tmp/upload.tar%\"] as e1\n\
+                        proc p1[\"%/bin/tar%\"] write f2 as e2\n\
+                        with e1 before e2\n\
+                        return p1, p2";
+        let r = engine.hunt(reversed).unwrap();
+        assert!(r.is_empty(), "temporal contradiction with reality");
+    }
+
+    #[test]
+    fn path_patterns_find_multi_hop_flows() {
+        let store = store();
+        let engine = Engine::new(&store);
+        // /etc/passwd flows to the C2 IP through tar→file→bzip2→… chain?
+        // A 1~4 hop path from the tar process to a file whose final hop is
+        // a write must exist (tar writes /tmp/upload.tar).
+        let q = "proc p[\"%/bin/tar%\"] ~>(1~2)[write] file f[\"%/tmp/upload.tar%\"] as pp1\n\
+                 return p, f";
+        let r = engine.hunt(q).unwrap();
+        assert!(!r.is_empty());
+        // Graph and SQL expansion agree.
+        let sql = engine.hunt_mode(q, ExecMode::RelationalOnly).unwrap();
+        assert_eq!(r.rows, sql.rows);
+    }
+
+    #[test]
+    fn empty_result_for_absent_behavior() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine
+            .hunt("proc p[\"%/bin/ghost%\"] read file f return p")
+            .unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.precision_recall(&store, &[]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn semantic_errors_propagate() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let err = engine.hunt("file x read file f return f").unwrap_err();
+        assert!(matches!(err, EngineError::Semantic(_)));
+    }
+
+    #[test]
+    fn window_restricts_matches() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(5_000)
+            .build();
+        let store = AuditStore::ingest(&sc.log, true);
+        let engine = Engine::new(&store);
+        // The attack happens somewhere inside the scenario; a window
+        // ending at t=1 excludes it.
+        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 window [0, 1] return p";
+        let r = engine.hunt(q).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn self_loop_patterns_require_same_entity() {
+        let store = store();
+        let engine = Engine::new(&store);
+        // `p fork p` would require a process forking itself — none exist.
+        let r = engine.hunt("proc p fork p as e1 return p").unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # threatraptor-engine
+//!
+//! The TBQL query execution engine (paper §II-F).
+//!
+//! "To execute a TBQL query with multiple patterns, ThreatRaptor compiles
+//! each pattern into a semantically equivalent SQL or Cypher data query,
+//! and schedules the execution of these data queries in different
+//! database backends. … For each pattern, ThreatRaptor computes a
+//! *pruning score* by counting the number of constraints declared; a
+//! pattern with more constraints has a higher score. For a variable-length
+//! event path pattern, ThreatRaptor additionally considers the path
+//! length … when scheduling the execution of the data queries,
+//! ThreatRaptor considers both the pruning scores and the pattern
+//! dependencies: if two patterns are connected by the same system entity,
+//! ThreatRaptor will first execute the data query whose associated
+//! pattern has a higher pruning score, and then use the execution results
+//! to constrain the execution of the other data query (by adding
+//! filters)."
+//!
+//! Modules:
+//! * [`compile`] — event patterns → relational select-project-join plans
+//!   (with SQL text rendering); path patterns → graph path queries (with
+//!   Cypher text rendering);
+//! * [`score`] — pruning scores;
+//! * [`exec`] — the scheduler/executor, including the baseline execution
+//!   modes used by the efficiency experiments (unscheduled,
+//!   relational-only, graph-only);
+//! * [`result`] — hunt results, per-pattern matches, and evaluation
+//!   against ground truth.
+
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod result;
+pub mod score;
+
+pub use error::EngineError;
+pub use exec::{Engine, ExecMode};
+pub use result::{HuntResult, HuntStats, Match};

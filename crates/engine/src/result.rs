@@ -1,0 +1,159 @@
+//! Hunt results: bindings, matched events, evaluation helpers.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::time::Duration;
+use threatraptor_audit::entity::EntityId;
+use threatraptor_audit::event::EventId;
+use threatraptor_storage::store::AuditStore;
+
+/// One complete match of all patterns: entity bindings plus the events
+/// that witnessed each pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Entity variable → bound entity.
+    pub bindings: HashMap<String, EntityId>,
+    /// Pattern id → witnessing event positions (into the store's event
+    /// vector); one for event patterns, one per hop for path patterns.
+    pub events: HashMap<String, Vec<usize>>,
+    /// Pattern id → `(start, end)` window of the witnessing events.
+    pub times: HashMap<String, (u64, u64)>,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HuntStats {
+    /// Pattern ids in the order they were executed.
+    pub execution_order: Vec<String>,
+    /// Rows produced by each pattern's data query, in execution order.
+    pub rows_fetched: Vec<(String, usize)>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// The result of executing a TBQL query.
+#[derive(Debug, Clone)]
+pub struct HuntResult {
+    /// Projected column names (`p1.exename`, …).
+    pub columns: Vec<String>,
+    /// Projected rows (deduplicated when the query says `distinct`).
+    pub rows: Vec<Vec<String>>,
+    /// Full matches (before projection).
+    pub matches: Vec<Match>,
+    /// Statistics.
+    pub stats: HuntStats,
+}
+
+impl HuntResult {
+    /// True when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// All matched event ids (original ids, stable across CPR).
+    pub fn matched_event_ids(&self, store: &AuditStore) -> BTreeSet<EventId> {
+        self.matches
+            .iter()
+            .flat_map(|m| m.events.values().flatten())
+            .map(|&pos| store.event_at(pos).id)
+            .collect()
+    }
+
+    /// Precision/recall of matched events against ground truth.
+    ///
+    /// Returns `(precision, recall)`; empty result sets yield precision 1
+    /// when nothing was expected, 0 otherwise.
+    pub fn precision_recall(
+        &self,
+        store: &AuditStore,
+        ground_truth: &[EventId],
+    ) -> (f64, f64) {
+        let got = self.matched_event_ids(store);
+        let want: BTreeSet<EventId> = ground_truth.iter().copied().collect();
+        let tp = got.intersection(&want).count() as f64;
+        let precision = if got.is_empty() {
+            if want.is_empty() {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            tp / got.len() as f64
+        };
+        let recall = if want.is_empty() {
+            1.0
+        } else {
+            tp / want.len() as f64
+        };
+        (precision, recall)
+    }
+
+    /// Renders the projected rows as an aligned text table (the "system
+    /// auditing records" panel of the demo UI).
+    pub fn render_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, c) in self.columns.iter().enumerate() {
+            write!(out, "| {c:<w$} ", w = widths[i]).unwrap();
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(out, "| {cell:<w$} ", w = widths[i]).unwrap();
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with_rows(rows: Vec<Vec<String>>) -> HuntResult {
+        HuntResult {
+            columns: vec!["p1.exename".into(), "f1.name".into()],
+            rows,
+            matches: Vec::new(),
+            stats: HuntStats::default(),
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let r = result_with_rows(vec![
+            vec!["/bin/tar".into(), "/etc/passwd".into()],
+            vec!["/usr/bin/gpg".into(), "/tmp/upload".into()],
+        ]);
+        let t = r.render_table();
+        assert!(t.contains("| p1.exename   |"));
+        assert!(t.contains("| /bin/tar     |"));
+        let lines: Vec<&str> = t.lines().collect();
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "{t}");
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = result_with_rows(vec![]);
+        assert!(r.is_empty());
+        let t = r.render_table();
+        assert!(t.contains("p1.exename"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Protection removal (stage 3 tail) and tree annotation (stage 4).
+//!
+//! "We annotate nodes in the dependency trees whose associated tokens are
+//! useful for coreference resolution and relation extraction tasks (e.g.,
+//! IOCs, candidate IOC relation verbs, pronouns)." (§II-C)
+
+use crate::dep::DepTree;
+use crate::ioc::Ioc;
+use crate::lemma::lemmatize;
+use crate::pos::PosTag;
+use crate::verbs;
+use std::collections::HashMap;
+
+/// Replaces protection dummies with their original IOCs: for each node
+/// whose token starts at a recorded slot offset, the token text becomes
+/// the IOC text and `token.ioc` is set ("we then replace the dummy word
+/// with the original IOCs in the trees").
+pub fn restore_iocs(tree: &mut DepTree, slots: &HashMap<usize, Ioc>) {
+    for node in &mut tree.nodes {
+        if let Some(ioc) = slots.get(&node.token.start) {
+            node.token.text = ioc.text.clone();
+            node.token.ioc = Some(ioc.clone());
+        }
+    }
+}
+
+/// Pronouns that participate in coreference. Human pronouns (he/she/him)
+/// and relative pronouns (which) are excluded: they refer to actors or
+/// clauses, never to IOC artifacts.
+const COREF_PRONOUNS: &[&str] = &["it", "they", "them", "itself"];
+
+/// Annotates IOC nodes, candidate relation verbs (lemmatized), pronouns,
+/// and definite-NP coreference sites ("the tar file", "the tool").
+pub fn annotate(tree: &mut DepTree) {
+    // Definite-NP sites need child inspection; collect first.
+    let def_np_sites: Vec<usize> = tree
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| {
+            n.pos == PosTag::Noun
+                && n.token.ioc.is_none()
+                && crate::coref::compatible_types(&n.token.lower()).is_some()
+                && tree.nodes.iter().any(|m| {
+                    m.head == Some(*i)
+                        && m.label == crate::dep::DepLabel::Det
+                        && matches!(m.token.lower().as_str(), "the" | "this" | "that")
+                })
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    for (i, node) in tree.nodes.iter_mut().enumerate() {
+        node.ann.is_ioc = node.token.ioc.is_some();
+        if node.pos == PosTag::Verb {
+            let lemma = lemmatize(&node.token.lower());
+            if verbs::is_relation_verb(&lemma) {
+                node.ann.relation_verb = Some(lemma);
+            }
+        }
+        if node.pos == PosTag::Pron && COREF_PRONOUNS.contains(&node.token.lower().as_str()) {
+            node.ann.is_pronoun = true;
+        }
+        if def_np_sites.contains(&i) {
+            node.ann.is_pronoun = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depparse::parse;
+    use crate::ioc::IocType;
+    use crate::protect::protect;
+    use crate::token::tokenize;
+
+    #[test]
+    fn restore_then_annotate_fig2_sentence() {
+        let block = "the attacker used /bin/tar to read user credentials from /etc/passwd";
+        let p = protect(block);
+        let mut tree = parse(tokenize(&p.text, 0));
+        restore_iocs(&mut tree, &p.slots);
+        annotate(&mut tree);
+
+        let ioc_nodes: Vec<&str> = tree
+            .nodes
+            .iter()
+            .filter(|n| n.ann.is_ioc)
+            .map(|n| n.token.text.as_str())
+            .collect();
+        assert_eq!(ioc_nodes, vec!["/bin/tar", "/etc/passwd"]);
+        let verbs: Vec<&str> = tree
+            .nodes
+            .iter()
+            .filter_map(|n| n.ann.relation_verb.as_deref())
+            .collect();
+        assert_eq!(verbs, vec!["read"], "`used` is instrumental, not a relation verb");
+        let tar = tree
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "/bin/tar")
+            .unwrap();
+        assert_eq!(tar.token.ioc.as_ref().unwrap().ty, IocType::FilePath);
+    }
+
+    #[test]
+    fn pronouns_marked() {
+        let mut tree = parse(tokenize("It wrote data to something", 0));
+        annotate(&mut tree);
+        let it = &tree.nodes[0];
+        assert!(it.ann.is_pronoun);
+        assert!(tree.nodes.iter().any(|n| n.ann.relation_verb.as_deref() == Some("write")));
+    }
+
+    #[test]
+    fn unprotected_dummy_still_plain() {
+        // A literal "something" with no slot entry stays a plain noun.
+        let p = protect("nothing to see here");
+        let mut tree = parse(tokenize(&p.text, 0));
+        restore_iocs(&mut tree, &p.slots);
+        annotate(&mut tree);
+        assert!(tree.nodes.iter().all(|n| !n.ann.is_ioc));
+    }
+}

@@ -1,0 +1,286 @@
+//! Coreference resolution (Algorithm 1, stage 6).
+//!
+//! "Across all trees of all sentences within a block, we resolve the
+//! coreference nodes for the same IOC by checking their POS tags and
+//! dependencies, and create connections between the nodes in the trees."
+//!
+//! Two resolution mechanisms:
+//!
+//! * **pronouns** (`it`, `they`, …): resolved to the most *agentive* IOC
+//!   of the preceding sentence — an IOC that acted as subject, or as the
+//!   direct object of an instrumental verb ("the attacker used **X** to
+//!   …" makes X the acting tool) — falling back to the nearest preceding
+//!   IOC mention;
+//! * **definite NPs** (`the tar file`, `the tool`, `the image`): resolved
+//!   to the nearest preceding IOC whose type is compatible with the head
+//!   noun.
+
+use crate::dep::{DepLabel, DepTree};
+use crate::ioc::{Ioc, IocType};
+use crate::lemma::lemmatize;
+use crate::pos::PosTag;
+use crate::verbs;
+
+/// Head nouns of definite NPs that can corefer with an IOC, with the IOC
+/// types they may resolve to.
+pub fn compatible_types(head_noun: &str) -> Option<&'static [IocType]> {
+    const FILEISH: &[IocType] = &[IocType::FilePath, IocType::FileName];
+    const HOSTISH: &[IocType] = &[IocType::Ip, IocType::IpSubnet, IocType::Domain, IocType::Url];
+    match head_noun {
+        "file" | "archive" | "image" | "document" | "script" | "binary" | "payload"
+        | "executable" | "dropper" | "sample" | "backdoor" => Some(FILEISH),
+        "tool" | "utility" | "process" | "program" | "cracker" | "malware" => Some(FILEISH),
+        "host" | "server" | "address" | "domain" | "site" | "c2" | "destination" => Some(HOSTISH),
+        _ => None,
+    }
+}
+
+/// Candidate antecedent with an agentivity rank (lower = better).
+#[derive(Debug, Clone)]
+struct Antecedent {
+    ioc: Ioc,
+    rank: u8,
+    order: usize,
+}
+
+/// Collects antecedent candidates from one tree, ranked:
+/// 0 = subject IOC, 1 = instrument-object IOC, 2 = any other IOC.
+fn candidates_of(tree: &DepTree, upto_offset: Option<usize>) -> Vec<Antecedent> {
+    let mut out = Vec::new();
+    for (i, node) in tree.nodes.iter().enumerate() {
+        let Some(ioc) = node.token.ioc.clone() else {
+            continue;
+        };
+        if let Some(limit) = upto_offset {
+            if node.token.start >= limit {
+                continue;
+            }
+        }
+        let rank = match node.label {
+            DepLabel::Nsubj | DepLabel::NsubjPass => 0,
+            DepLabel::Dobj => {
+                // Object of an instrumental verb is the acting tool.
+                let head_is_instrument = node.head.is_some_and(|h| {
+                    tree.nodes[h].pos == PosTag::Verb
+                        && verbs::is_instrument_verb(&lemmatize(&tree.nodes[h].token.lower()))
+                });
+                if head_is_instrument {
+                    1
+                } else {
+                    2
+                }
+            }
+            DepLabel::Appos => {
+                // Apposition inherits its host's role.
+                let host = node.head;
+                match host.map(|h| tree.nodes[h].label) {
+                    Some(DepLabel::Nsubj) | Some(DepLabel::NsubjPass) => 0,
+                    Some(DepLabel::Dobj) => 1,
+                    _ => 2,
+                }
+            }
+            _ => 2,
+        };
+        out.push(Antecedent {
+            ioc,
+            rank,
+            order: node.token.start,
+        });
+        let _ = i;
+    }
+    out
+}
+
+/// Resolves coreference for tree `idx` against all earlier trees of the
+/// same block (and earlier tokens of the same tree). Sets
+/// `ann.coref` on resolved pronoun / definite-NP nodes. Returns the
+/// number of resolutions.
+pub fn resolve(trees: &mut [DepTree], idx: usize) -> usize {
+    let mut resolved = 0usize;
+    // Gather mention sites first to appease the borrow checker.
+    let sites: Vec<(usize, Option<&'static [IocType]>)> = trees[idx]
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| {
+            if n.ann.pruned || !n.ann.is_pronoun || n.token.ioc.is_some() {
+                return None;
+            }
+            // A definite NP site constrains antecedent types by its head
+            // noun; a true pronoun accepts any IOC type. Skip NPs already
+            // named by an IOC apposition/compound child.
+            let has_ioc_child = trees[idx]
+                .nodes
+                .iter()
+                .any(|m| m.head == Some(i) && m.token.ioc.is_some());
+            if has_ioc_child {
+                return None;
+            }
+            if n.pos == PosTag::Noun {
+                // Product NPs of creation verbs name the artifact being
+                // produced ("wrote the compressed archive to X"): they
+                // corefer *forward* to the prep object, never backward.
+                if n.label == DepLabel::Dobj {
+                    let creation = n.head.is_some_and(|h| {
+                        matches!(
+                            lemmatize(&trees[idx].nodes[h].token.lower()).as_str(),
+                            "write" | "create" | "drop" | "save" | "store" | "append"
+                        )
+                    });
+                    if creation {
+                        return None;
+                    }
+                }
+                compatible_types(&n.token.lower()).map(|types| (i, Some(types)))
+            } else {
+                Some((i, None))
+            }
+        })
+        .collect();
+
+    for (node_idx, type_filter) in sites {
+        let mention_offset = trees[idx].nodes[node_idx].token.start;
+        // Candidates: previous trees (all), current tree (before mention).
+        let mut cands: Vec<(usize, Antecedent)> = Vec::new();
+        for (t, tree) in trees.iter().enumerate().take(idx + 1) {
+            let limit = if t == idx { Some(mention_offset) } else { None };
+            for a in candidates_of(tree, limit) {
+                cands.push((t, a));
+            }
+        }
+        if let Some(types) = type_filter {
+            // Definite NPs never corefer within their own clause — "the
+            // tar file" in "leveraged /bin/bzip2 to compress the tar
+            // file" refers back, not to the instrument beside it.
+            cands.retain(|(t, a)| *t < idx && types.contains(&a.ioc.ty));
+            // Nearest compatible mention wins (recency).
+            cands.sort_by_key(|(t, a)| (std::cmp::Reverse(*t), std::cmp::Reverse(a.order)));
+        } else {
+            // Pronoun: prefer the immediately preceding sentence, then
+            // agentivity rank, then recency.
+            cands.sort_by_key(|(t, a)| {
+                let sentence_distance = idx - t; // 0 = same sentence
+                let pref = if sentence_distance == 1 { 0 } else { 1 };
+                (pref, a.rank, std::cmp::Reverse(a.order))
+            });
+        }
+        if let Some((_, best)) = cands.first() {
+            trees[idx].nodes[node_idx].ann.coref = Some(best.ioc.clone());
+            resolved += 1;
+        }
+    }
+    resolved
+}
+
+/// Resolves coreference across all trees of a block, in order (the
+/// Algorithm 1 line 13 loop).
+pub fn resolve_block(trees: &mut [DepTree]) -> usize {
+    (0..trees.len()).map(|i| resolve(trees, i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{annotate, restore_iocs};
+    use crate::depparse::parse;
+    use crate::protect::protect;
+    use crate::simplify::simplify;
+    use crate::text::segment_sentences;
+    use crate::token::tokenize;
+
+    fn block_trees(block: &str) -> Vec<DepTree> {
+        let p = protect(block);
+        segment_sentences(&p.text)
+            .into_iter()
+            .map(|sp| {
+                let mut tree = parse(tokenize(sp.slice(&p.text), sp.start));
+                restore_iocs(&mut tree, &p.slots);
+                annotate(&mut tree);
+                simplify(&mut tree);
+                tree
+            })
+            .collect()
+    }
+
+    #[test]
+    fn it_resolves_to_instrument_of_previous_sentence() {
+        // Fig. 2: "…used /bin/tar to read…from /etc/passwd. It wrote…"
+        let mut trees = block_trees(
+            "As a first step, the attacker used /bin/tar to read user credentials \
+             from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar.",
+        );
+        assert_eq!(trees.len(), 2);
+        let n = resolve_block(&mut trees);
+        assert!(n >= 1);
+        let it = trees[1]
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "It")
+            .expect("pronoun present");
+        assert_eq!(
+            it.ann.coref.as_ref().map(|i| i.text.as_str()),
+            Some("/bin/tar"),
+            "`It` must resolve to the instrument, not the last IOC"
+        );
+    }
+
+    #[test]
+    fn definite_np_resolves_by_type() {
+        let mut trees = block_trees(
+            "The attacker downloaded /tmp/cracker from the C2 server. \
+             Then the attacker executed the tool against /etc/shadow.",
+        );
+        resolve_block(&mut trees);
+        let tool = trees[1]
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "tool")
+            .expect("definite NP present");
+        assert_eq!(
+            tool.ann.coref.as_ref().map(|i| i.text.as_str()),
+            Some("/tmp/cracker")
+        );
+    }
+
+    #[test]
+    fn host_np_prefers_network_iocs() {
+        let mut trees = block_trees(
+            "The malware wrote /tmp/payload.bin and beaconed to 203.0.113.66. \
+             The implant then sent data to the server.",
+        );
+        resolve_block(&mut trees);
+        let server = trees[1]
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "server")
+            .expect("definite NP present");
+        assert_eq!(
+            server.ann.coref.as_ref().map(|i| i.text.as_str()),
+            Some("203.0.113.66"),
+            "type compatibility must skip the file IOC"
+        );
+    }
+
+    #[test]
+    fn no_candidates_no_resolution() {
+        let mut trees = block_trees("It started raining. The file was empty.");
+        let n = resolve_block(&mut trees);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn np_with_ioc_apposition_not_resolved() {
+        // "the curl utility (/usr/bin/curl)" already names its IOC.
+        let mut trees = block_trees(
+            "The attacker downloaded /tmp/x.sh from 10.0.0.9. \
+             The attacker leveraged the curl utility (/usr/bin/curl) to read the data.",
+        );
+        resolve_block(&mut trees);
+        let utility = trees[1]
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "utility")
+            .expect("noun present");
+        assert!(utility.ann.coref.is_none(), "appos already supplies the IOC");
+    }
+}

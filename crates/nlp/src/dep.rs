@@ -1,0 +1,345 @@
+//! Dependency trees.
+
+use crate::ioc::Ioc;
+use crate::pos::PosTag;
+use crate::token::Token;
+use std::fmt;
+
+/// Dependency labels (a pragmatic subset of Universal/Stanford labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepLabel {
+    /// Sentence root.
+    Root,
+    /// Nominal subject.
+    Nsubj,
+    /// Passive nominal subject.
+    NsubjPass,
+    /// Direct object.
+    Dobj,
+    /// Object of a preposition.
+    Pobj,
+    /// Prepositional modifier.
+    Prep,
+    /// Clausal complement of a preposition ("by **using** …").
+    Pcomp,
+    /// Auxiliary.
+    Aux,
+    /// Passive auxiliary.
+    AuxPass,
+    /// Determiner.
+    Det,
+    /// Adjectival modifier.
+    Amod,
+    /// Adverbial modifier.
+    Advmod,
+    /// Numeric modifier.
+    Nummod,
+    /// Noun compound modifier.
+    Compound,
+    /// Apposition ("the curl utility (**/usr/bin/curl**)").
+    Appos,
+    /// Conjunct.
+    Conj,
+    /// Coordinating conjunction.
+    Cc,
+    /// Infinitival marker ("**to** read").
+    Mark,
+    /// Open clausal complement ("used X **to read** Y").
+    Xcomp,
+    /// Clausal modifier of a noun ("process X **reading** from Y").
+    Acl,
+    /// Agent of a passive ("downloaded **by** X").
+    Agent,
+    /// Copular attribute.
+    Attr,
+    /// Punctuation.
+    Punct,
+    /// Unclassified attachment.
+    Dep,
+}
+
+impl fmt::Display for DepLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepLabel::Root => "root",
+            DepLabel::Nsubj => "nsubj",
+            DepLabel::NsubjPass => "nsubjpass",
+            DepLabel::Dobj => "dobj",
+            DepLabel::Pobj => "pobj",
+            DepLabel::Prep => "prep",
+            DepLabel::Pcomp => "pcomp",
+            DepLabel::Aux => "aux",
+            DepLabel::AuxPass => "auxpass",
+            DepLabel::Det => "det",
+            DepLabel::Amod => "amod",
+            DepLabel::Advmod => "advmod",
+            DepLabel::Nummod => "nummod",
+            DepLabel::Compound => "compound",
+            DepLabel::Appos => "appos",
+            DepLabel::Conj => "conj",
+            DepLabel::Cc => "cc",
+            DepLabel::Mark => "mark",
+            DepLabel::Xcomp => "xcomp",
+            DepLabel::Acl => "acl",
+            DepLabel::Agent => "agent",
+            DepLabel::Attr => "attr",
+            DepLabel::Punct => "punct",
+            DepLabel::Dep => "dep",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Annotations added by stage 4 (tree annotation) and stage 6 (coref).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeAnn {
+    /// The node's token is an IOC mention.
+    pub is_ioc: bool,
+    /// Lemma, when the node is a candidate IOC-relation verb.
+    pub relation_verb: Option<String>,
+    /// The node is a coreference-candidate pronoun or definite NP.
+    pub is_pronoun: bool,
+    /// IOC this node was resolved to by coreference.
+    pub coref: Option<Ioc>,
+    /// Marked removable by tree simplification (stage 5).
+    pub pruned: bool,
+}
+
+/// One node of a dependency tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepNode {
+    /// The underlying token (IOC-restored after stage 3).
+    pub token: Token,
+    /// POS tag.
+    pub pos: PosTag,
+    /// Head index (`None` for the root).
+    pub head: Option<usize>,
+    /// Dependency label to the head.
+    pub label: DepLabel,
+    /// Stage annotations.
+    pub ann: NodeAnn,
+}
+
+impl DepNode {
+    /// The IOC carried by this node: its own token's IOC, or the one
+    /// resolved by coreference.
+    pub fn effective_ioc(&self) -> Option<&Ioc> {
+        self.token.ioc.as_ref().or(self.ann.coref.as_ref())
+    }
+}
+
+/// A dependency tree over one sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepTree {
+    /// Nodes in token order.
+    pub nodes: Vec<DepNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl DepTree {
+    /// Children of node `i`, in token order.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.head == Some(i))
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Nodes from `i` up to the root (inclusive of both).
+    pub fn path_to_root(&self, i: usize) -> Vec<usize> {
+        let mut path = vec![i];
+        let mut cur = i;
+        while let Some(h) = self.nodes[cur].head {
+            path.push(h);
+            cur = h;
+            if path.len() > self.nodes.len() {
+                // Defensive: a cycle would loop forever; the parser's
+                // validation pass prevents this.
+                break;
+            }
+        }
+        path
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, a: usize, b: usize) -> usize {
+        let pa = self.path_to_root(a);
+        let pb: std::collections::HashSet<usize> = self.path_to_root(b).into_iter().collect();
+        for n in pa {
+            if pb.contains(&n) {
+                return n;
+            }
+        }
+        self.root
+    }
+
+    /// Labels on the downward path from `ancestor` (exclusive) to
+    /// `descendant` (inclusive): the label of each node as you descend.
+    pub fn labels_down(&self, ancestor: usize, descendant: usize) -> Vec<DepLabel> {
+        let mut up = Vec::new();
+        let mut cur = descendant;
+        while cur != ancestor {
+            up.push(self.nodes[cur].label);
+            match self.nodes[cur].head {
+                Some(h) => cur = h,
+                None => break,
+            }
+            if up.len() > self.nodes.len() {
+                break;
+            }
+        }
+        up.reverse();
+        up
+    }
+
+    /// Node indexes on the downward path from `ancestor` (exclusive) to
+    /// `descendant` (inclusive), in descending order.
+    pub fn nodes_down(&self, ancestor: usize, descendant: usize) -> Vec<usize> {
+        let mut up = Vec::new();
+        let mut cur = descendant;
+        while cur != ancestor {
+            up.push(cur);
+            match self.nodes[cur].head {
+                Some(h) => cur = h,
+                None => break,
+            }
+            if up.len() > self.nodes.len() {
+                break;
+            }
+        }
+        up.reverse();
+        up
+    }
+
+    /// Indexes of nodes carrying IOCs (directly or via coref), skipping
+    /// pruned nodes.
+    pub fn ioc_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.ann.pruned && n.effective_ioc().is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checks tree shape: exactly one root, all heads in range, acyclic.
+    pub fn validate(&self) -> Result<(), String> {
+        let roots: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.head.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if roots.len() != 1 {
+            return Err(format!("expected one root, found {roots:?}"));
+        }
+        if roots[0] != self.root {
+            return Err(format!("root field {} != headless node {}", self.root, roots[0]));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(h) = n.head {
+                if h >= self.nodes.len() {
+                    return Err(format!("node {i} head {h} out of range"));
+                }
+            }
+            // Walk up; must reach root within n steps.
+            let path = self.path_to_root(i);
+            if path.last() != Some(&self.root) {
+                return Err(format!("node {i} does not reach the root (cycle?)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line render for diagnostics: `token/POS->head(label)`.
+    pub fn render(&self) -> String {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let head = n
+                    .head
+                    .map(|h| self.nodes[h].token.text.clone())
+                    .unwrap_or_else(|| "ROOT".into());
+                format!("{i}:{}/{}→{}({})", n.token.text, n.pos, head, n.label)
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built tree for: "tar read passwd" (0←1→2).
+    fn mini() -> DepTree {
+        let node = |text: &str, pos, head, label| DepNode {
+            token: Token {
+                text: text.into(),
+                start: 0,
+                ioc: None,
+            },
+            pos,
+            head,
+            label,
+            ann: NodeAnn::default(),
+        };
+        DepTree {
+            nodes: vec![
+                node("tar", PosTag::Noun, Some(1), DepLabel::Nsubj),
+                node("read", PosTag::Verb, None, DepLabel::Root),
+                node("passwd", PosTag::Noun, Some(1), DepLabel::Dobj),
+            ],
+            root: 1,
+        }
+    }
+
+    #[test]
+    fn children_and_paths() {
+        let t = mini();
+        assert_eq!(t.children(1), vec![0, 2]);
+        assert_eq!(t.path_to_root(0), vec![0, 1]);
+        assert_eq!(t.lca(0, 2), 1);
+        assert_eq!(t.lca(0, 1), 1);
+        assert_eq!(t.labels_down(1, 2), vec![DepLabel::Dobj]);
+        assert!(t.labels_down(1, 1).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut t = mini();
+        assert!(t.validate().is_ok());
+        t.nodes[0].head = Some(0); // self-loop
+        assert!(t.validate().is_err());
+        let mut t2 = mini();
+        t2.nodes[1].head = Some(2);
+        t2.nodes[2].head = Some(1); // cycle, no root
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let r = mini().render();
+        assert!(r.contains("read/VERB→ROOT(root)"));
+        assert!(r.contains("tar/NOUN→read(nsubj)"));
+    }
+
+    #[test]
+    fn effective_ioc_prefers_token() {
+        use crate::ioc::{Ioc, IocType};
+        let mut n = mini().nodes[0].clone();
+        assert!(n.effective_ioc().is_none());
+        n.ann.coref = Some(Ioc {
+            text: "/bin/tar".into(),
+            ty: IocType::FilePath,
+            start: 0,
+            end: 8,
+        });
+        assert_eq!(n.effective_ioc().unwrap().text, "/bin/tar");
+    }
+}

@@ -1,0 +1,151 @@
+//! Hashed character-n-gram word vectors.
+//!
+//! Stage 7 merges IOC mentions using "both the character-level overlap and
+//! the word vector similarities" (§II-C). spaCy supplies pretrained
+//! vectors; offline we build subword vectors in the fastText spirit:
+//! each character trigram hashes into a fixed number of buckets with a
+//! hash-derived sign, and the word vector is the L2-normalized bucket sum.
+//! Strings sharing many trigrams (e.g. `/tmp/upload.tar` and
+//! `upload.tar`) land close in cosine space.
+
+/// Vector dimensionality.
+pub const DIM: usize = 64;
+
+/// A dense word vector.
+pub type Vector = [f32; DIM];
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Embeds a string from its character trigrams (with boundary markers).
+pub fn embed(word: &str) -> Vector {
+    let mut v = [0f32; DIM];
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(word.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < 3 {
+        return v;
+    }
+    let mut buf = String::with_capacity(12);
+    for tri in padded.windows(3) {
+        buf.clear();
+        buf.extend(tri);
+        let h = fnv1a(buf.as_bytes());
+        let bucket = (h % DIM as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[bucket] += sign;
+    }
+    // Opposite-sign trigrams can cancel to the zero vector on short
+    // words; fall back to a single whole-word bucket so every non-empty
+    // word has a unit embedding.
+    if v.iter().all(|x| *x == 0.0) {
+        let h = fnv1a(word.as_bytes());
+        v[(h % DIM as u64) as usize] = 1.0;
+    }
+    normalize(&mut v);
+    v
+}
+
+fn normalize(v: &mut Vector) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity of two vectors (both already normalized ⇒ dot
+/// product). Returns 0 for zero vectors.
+pub fn cosine(a: &Vector, b: &Vector) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Convenience: cosine similarity of two strings.
+pub fn similarity(a: &str, b: &str) -> f32 {
+    cosine(&embed(a), &embed(b))
+}
+
+/// Character-trigram Jaccard overlap — the "character-level overlap" leg
+/// of the merge criterion.
+pub fn char_overlap(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> std::collections::HashSet<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < 3 {
+            return std::iter::once(s.to_string()).collect();
+        }
+        chars.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = ga.union(&gb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        let s = similarity("/tmp/upload.tar", "/tmp/upload.tar");
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_paths_are_closer_than_unrelated() {
+        let related = similarity("/tmp/upload.tar", "upload.tar");
+        let unrelated = similarity("/tmp/upload.tar", "/etc/passwd");
+        assert!(
+            related > unrelated + 0.2,
+            "related={related} unrelated={unrelated}"
+        );
+    }
+
+    #[test]
+    fn overlap_behaviour() {
+        assert!((char_overlap("abcdef", "abcdef") - 1.0).abs() < 1e-9);
+        assert_eq!(char_overlap("abc", "xyz"), 0.0);
+        let partial = char_overlap("/tmp/upload.tar", "/tmp/upload.tar.bz2");
+        assert!(partial > 0.5 && partial < 1.0);
+    }
+
+    #[test]
+    fn short_strings_do_not_panic() {
+        assert!(similarity("a", "b").abs() < 1e-9, "sub-trigram words are zero vectors");
+        assert_eq!(char_overlap("", ""), 1.0);
+        assert!(char_overlap("ab", "ab") > 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded(a in "[a-z/.]{0,20}", b in "[a-z/.]{0,20}") {
+            let s = similarity(&a, &b);
+            prop_assert!((-1.0001..=1.0001).contains(&s));
+        }
+
+        #[test]
+        fn overlap_symmetric(a in "[a-z/.]{0,15}", b in "[a-z/.]{0,15}") {
+            prop_assert_eq!(char_overlap(&a, &b).to_bits(), char_overlap(&b, &a).to_bits());
+        }
+
+        #[test]
+        fn self_similarity_maximal(a in "[a-z/.]{3,20}") {
+            prop_assert!((similarity(&a, &a) - 1.0).abs() < 1e-4);
+            prop_assert!((char_overlap(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

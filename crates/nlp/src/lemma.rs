@@ -1,0 +1,185 @@
+//! Rule-based lemmatizer.
+//!
+//! Relation verbs are stored lemmatized (paper: "the selected verb (after
+//! lemmatization)"), so inflected report prose ("wrote", "reading",
+//! "connects") maps onto the canonical lexicon forms.
+
+use crate::verbs::is_known_verb;
+
+/// Irregular past/participle forms → lemma.
+const IRREGULAR: &[(&str, &str)] = &[
+    ("wrote", "write"),
+    ("written", "write"),
+    ("read", "read"),
+    ("sent", "send"),
+    ("stole", "steal"),
+    ("stolen", "steal"),
+    ("ran", "run"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("made", "make"),
+    ("found", "find"),
+    ("came", "come"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("chose", "choose"),
+    ("chosen", "choose"),
+    ("hid", "hide"),
+    ("hidden", "hide"),
+    ("built", "build"),
+    ("held", "hold"),
+    ("kept", "keep"),
+    ("bought", "buy"),
+    ("brought", "bring"),
+    ("left", "leave"),
+    ("led", "lead"),
+    ("put", "put"),
+    ("set", "set"),
+    ("dropped", "drop"),
+    ("was", "be"),
+    ("were", "be"),
+    ("been", "be"),
+    ("is", "be"),
+    ("are", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("did", "do"),
+    ("does", "do"),
+];
+
+/// Lemmatizes a (possibly inflected) word. Strategy:
+/// 1. lowercase;
+/// 2. irregular table;
+/// 3. suffix stripping for `-ing` / `-ed` / `-ies` / `-es` / `-s`,
+///    validating candidate stems against the verb lexicon where possible
+///    (so `using` → `use`, `running` → `run`, `creating` → `create`).
+pub fn lemmatize(word: &str) -> String {
+    let w = word.to_lowercase();
+    if let Some((_, lemma)) = IRREGULAR.iter().find(|(form, _)| *form == w) {
+        return (*lemma).to_string();
+    }
+    // -ing
+    if let Some(stem) = w.strip_suffix("ing") {
+        if stem.len() >= 2 {
+            if let Some(l) = best_stem(stem) {
+                return l;
+            }
+        }
+    }
+    // -ed
+    if let Some(stem) = w.strip_suffix("ed") {
+        if stem.len() >= 2 {
+            if let Some(l) = best_stem(stem) {
+                return l;
+            }
+            // `-ied` → `y` (copied → copy).
+            if let Some(st) = w.strip_suffix("ied") {
+                let cand = format!("{st}y");
+                if is_known_verb(&cand) {
+                    return cand;
+                }
+            }
+        }
+    }
+    // -ies → -y (queries → query)
+    if let Some(stem) = w.strip_suffix("ies") {
+        let cand = format!("{stem}y");
+        if is_known_verb(&cand) {
+            return cand;
+        }
+    }
+    // -es (matches → match, accesses → access)
+    if let Some(stem) = w.strip_suffix("es") {
+        if is_known_verb(stem) {
+            return stem.to_string();
+        }
+    }
+    // -s (reads → read)
+    if let Some(stem) = w.strip_suffix('s') {
+        if !stem.is_empty() && !stem.ends_with('s') && is_known_verb(stem) {
+            return stem.to_string();
+        }
+    }
+    w
+}
+
+/// Tries stem variants for `-ing`/`-ed` stripping: the raw stem, the stem
+/// plus `e`, and the stem with an undoubled final consonant.
+fn best_stem(stem: &str) -> Option<String> {
+    if is_known_verb(stem) {
+        return Some(stem.to_string());
+    }
+    let with_e = format!("{stem}e");
+    if is_known_verb(&with_e) {
+        return Some(with_e);
+    }
+    let chars: Vec<char> = stem.chars().collect();
+    if chars.len() >= 2 && chars[chars.len() - 1] == chars[chars.len() - 2] {
+        let undoubled: String = chars[..chars.len() - 1].iter().collect();
+        if is_known_verb(&undoubled) {
+            return Some(undoubled);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregulars() {
+        assert_eq!(lemmatize("wrote"), "write");
+        assert_eq!(lemmatize("Written"), "write");
+        assert_eq!(lemmatize("read"), "read");
+        assert_eq!(lemmatize("sent"), "send");
+        assert_eq!(lemmatize("ran"), "run");
+        assert_eq!(lemmatize("was"), "be");
+    }
+
+    #[test]
+    fn ing_forms() {
+        assert_eq!(lemmatize("reading"), "read");
+        assert_eq!(lemmatize("using"), "use");
+        assert_eq!(lemmatize("running"), "run");
+        assert_eq!(lemmatize("creating"), "create");
+        assert_eq!(lemmatize("connecting"), "connect");
+        assert_eq!(lemmatize("dropping"), "drop");
+        assert_eq!(lemmatize("leveraging"), "leverage");
+        assert_eq!(lemmatize("scanning"), "scan");
+        assert_eq!(lemmatize("copying"), "copy");
+    }
+
+    #[test]
+    fn ed_forms() {
+        assert_eq!(lemmatize("connected"), "connect");
+        assert_eq!(lemmatize("used"), "use");
+        assert_eq!(lemmatize("downloaded"), "download");
+        assert_eq!(lemmatize("leaked"), "leak");
+        assert_eq!(lemmatize("executed"), "execute");
+        assert_eq!(lemmatize("copied"), "copy");
+        assert_eq!(lemmatize("compressed"), "compress");
+    }
+
+    #[test]
+    fn s_forms() {
+        assert_eq!(lemmatize("reads"), "read");
+        assert_eq!(lemmatize("writes"), "write");
+        assert_eq!(lemmatize("connects"), "connect");
+        assert_eq!(lemmatize("queries"), "query");
+        assert_eq!(lemmatize("accesses"), "access");
+    }
+
+    #[test]
+    fn unknown_words_pass_through() {
+        assert_eq!(lemmatize("attacker"), "attacker");
+        assert_eq!(lemmatize("passwords"), "passwords"); // noun, not in verb lexicon
+        assert_eq!(lemmatize("Something"), "something");
+    }
+}

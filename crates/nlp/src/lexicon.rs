@@ -1,0 +1,95 @@
+//! Closed-class word lists for the POS tagger.
+//!
+//! The paper's pipeline is *unsupervised*: no trained models. Tagging
+//! relies on closed-class lexicons (these lists), a verb lexicon
+//! ([`crate::verbs`]), and shape/suffix heuristics ([`crate::pos`]).
+
+/// Determiners.
+pub const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "its", "his", "her", "their", "our",
+    "your", "my", "each", "every", "some", "any", "no", "all", "both", "another", "such",
+];
+
+/// Pronouns (coreference candidates among them).
+pub const PRONOUNS: &[&str] = &[
+    "it", "he", "she", "they", "them", "him", "itself", "himself", "themselves", "which", "who",
+    "whom", "what", "one",
+];
+
+/// Prepositions / particles tagged `ADP`.
+pub const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "to", "from", "by", "with", "into", "onto", "over", "under", "via",
+    "through", "against", "after", "before", "during", "between", "among", "within", "without",
+    "about", "across", "toward", "towards", "upon", "off", "as", "for", "behind", "inside",
+    "outside", "near", "back",
+];
+
+/// Coordinating conjunctions.
+pub const CCONJ: &[&str] = &["and", "or", "but", "nor", "yet"];
+
+/// Subordinating conjunctions / complementizers.
+pub const SCONJ: &[&str] = &[
+    "that", "because", "since", "while", "when", "where", "if", "although", "though", "once",
+    "until", "unless", "whereas", "so",
+];
+
+/// Auxiliary / copular verbs.
+pub const AUXILIARIES: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having",
+    "do", "does", "did", "will", "would", "can", "could", "may", "might", "must", "shall",
+    "should",
+];
+
+/// Common adverbs (beyond the `-ly` heuristic).
+pub const ADVERBS: &[&str] = &[
+    "then", "now", "here", "there", "thus", "hence", "also", "again", "first", "next", "later",
+    "often", "never", "always", "already", "still", "just", "very", "too", "not", "further",
+    "back", "instead", "meanwhile", "afterwards", "subsequently",
+];
+
+/// Common adjectives seen in threat reports (participles handled by the
+/// tagger's post-determiner rule).
+pub const ADJECTIVES: &[&str] = &[
+    "malicious", "sensitive", "valuable", "remote", "local", "important", "suspicious",
+    "compromised", "encrypted", "compressed", "hidden", "new", "final", "first", "second",
+    "third", "last", "multiple", "several", "various", "clear", "main", "initial", "following",
+    "same", "zipped", "gathered",
+];
+
+/// Whether `word` (lowercased) is in a slice.
+pub fn contains(list: &[&str], word: &str) -> bool {
+    list.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        assert!(contains(DETERMINERS, "the"));
+        assert!(contains(PRONOUNS, "it"));
+        assert!(contains(PREPOSITIONS, "from"));
+        assert!(contains(AUXILIARIES, "was"));
+        assert!(contains(CCONJ, "and"));
+        assert!(!contains(DETERMINERS, "tar"));
+    }
+
+    #[test]
+    fn lists_are_lowercase() {
+        for list in [
+            DETERMINERS,
+            PRONOUNS,
+            PREPOSITIONS,
+            CCONJ,
+            SCONJ,
+            AUXILIARIES,
+            ADVERBS,
+            ADJECTIVES,
+        ] {
+            for w in list {
+                assert_eq!(*w, w.to_lowercase(), "lexicon entries must be lowercase");
+            }
+        }
+    }
+}

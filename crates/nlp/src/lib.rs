@@ -1,0 +1,46 @@
+//! # threatraptor-nlp
+//!
+//! The unsupervised, lightweight NLP pipeline of ThreatRaptor (§II-C,
+//! Algorithm 1): it turns unstructured OSCTI report text into a **threat
+//! behavior graph** of IOCs and IOC relations.
+//!
+//! Pipeline stages (Algorithm 1 line numbers in parentheses):
+//!
+//! 1. block segmentation (3) and sentence segmentation (6) — [`text`]
+//! 2. IOC recognition & protection (5) — [`ioc`], [`protect`]
+//! 3. dependency parsing (7) with protection removal (8) — [`pos`],
+//!    [`dep`], [`depparse`]
+//! 4. tree annotation (9) — [`annotate`]
+//! 5. tree simplification (10) — [`simplify`]
+//! 6. coreference resolution (13) — [`coref`]
+//! 7. IOC scan & merge (15) — [`embed`], [`merge`]
+//! 8. IOC relation extraction (17) — [`relext`]
+//! 9. threat behavior graph construction (19) — [`graph`]
+//!
+//! The original pipeline was built on spaCy; this one is from scratch
+//! (see DESIGN.md §2 for the substitution argument), including its own
+//! tiny regex engine ([`lightre`]) for the IOC rules.
+
+pub mod annotate;
+pub mod coref;
+pub mod dep;
+pub mod depparse;
+pub mod embed;
+pub mod graph;
+pub mod ioc;
+pub mod lemma;
+pub mod lexicon;
+pub mod lightre;
+pub mod merge;
+pub mod pipeline;
+pub mod pos;
+pub mod protect;
+pub mod relext;
+pub mod simplify;
+pub mod text;
+pub mod token;
+pub mod verbs;
+
+pub use graph::{BehaviorEdge, IocNode, ThreatBehaviorGraph};
+pub use ioc::{Ioc, IocType};
+pub use pipeline::{ExtractionResult, StageTimings, ThreatExtractor};

@@ -1,0 +1,837 @@
+//! `lightre` — a small regular-expression engine.
+//!
+//! The paper's IOC recognizer is "a set of regex rules" (§II-C stage 2).
+//! The sanctioned offline crate set has no regex library, so this module
+//! implements a compact one: a pattern parser, a Thompson NFA, and a
+//! breadth-first (Pike-style) simulator giving **leftmost-longest**
+//! semantics with linear-time matching (no catastrophic backtracking).
+//!
+//! Supported syntax — everything the IOC rule set needs:
+//!
+//! * literals, `.` (any char), escapes `\d \D \w \W \s \S` and `\\ \. \/ …`
+//! * character classes `[a-z0-9_]`, negated `[^…]`, ranges and literals
+//! * grouping `(…)`, alternation `a|b`
+//! * quantifiers `* + ?` and bounded `{m}`, `{m,}`, `{m,n}` (greedy)
+//! * anchors `^` and `$` (whole-pattern ends only)
+//!
+//! Not supported (not needed for IOC rules): capture extraction,
+//! non-greedy quantifiers, backreferences, lookaround.
+
+use std::fmt;
+
+/// A compile-time error in a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte position in the pattern.
+    pub pos: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A matched span, in byte offsets into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Start byte (inclusive).
+    pub start: usize,
+    /// End byte (exclusive).
+    pub end: usize,
+}
+
+impl Match {
+    /// The matched text.
+    pub fn as_str<'t>(&self, haystack: &'t str) -> &'t str {
+        &haystack[self.start..self.end]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for zero-width matches.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+// ---------------------------------------------------------------- AST --
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Literal(char),
+    Any,
+    Class(CharClass),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CharClass {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+        inside != self.negated
+    }
+
+    fn digit() -> CharClass {
+        CharClass {
+            negated: false,
+            ranges: vec![('0', '9')],
+        }
+    }
+
+    fn word() -> CharClass {
+        CharClass {
+            negated: false,
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        }
+    }
+
+    fn space() -> CharClass {
+        CharClass {
+            negated: false,
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\u{b}', '\u{c}'),
+            ],
+        }
+    }
+
+    fn negate(mut self) -> CharClass {
+        self.negated = !self.negated;
+        self
+    }
+}
+
+// ------------------------------------------------------------- parser --
+
+struct Parser<'p> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'p str,
+}
+
+impl<'p> Parser<'p> {
+    fn new(pattern: &'p str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        RegexError {
+            pos: self.pos.min(self.pattern.len()),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses the whole pattern, returning `(ast, anchored_start,
+    /// anchored_end)`.
+    fn parse(mut self) -> Result<(Ast, bool, bool), RegexError> {
+        let anchored_start = self.eat('^');
+        let ast = self.parse_alt()?;
+        // `$` is only honored at the very end of the pattern.
+        let anchored_end = self.pos == self.chars.len().saturating_sub(0)
+            && !self.chars.is_empty()
+            && self.chars.last() == Some(&'$')
+            && self.dollar_consumed();
+        if self.pos != self.chars.len() {
+            return Err(self.err("unexpected trailing input (unbalanced `)`?)"));
+        }
+        Ok((ast, anchored_start, anchored_end))
+    }
+
+    fn dollar_consumed(&self) -> bool {
+        // parse_alt stops before a bare trailing `$`… we handle it there
+        // instead; this function is unused in that flow.
+        false
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("len checked")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let atom = self.parse_quantifier(atom)?;
+            parts.push(atom);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("len checked"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if !self.eat(')') {
+                    return Err(self.err("missing closing `)`"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('\\') => self.parse_escape(),
+            Some('$') if self.pos == self.chars.len() => {
+                // Trailing `$`: represent as a zero-width marker the
+                // compiler turns into an end anchor.
+                Ok(Ast::Literal('\u{0}')) // placeholder replaced below
+            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling quantifier `{c}`"))),
+            Some(c) => Ok(Ast::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class(CharClass::digit())),
+            Some('D') => Ok(Ast::Class(CharClass::digit().negate())),
+            Some('w') => Ok(Ast::Class(CharClass::word())),
+            Some('W') => Ok(Ast::Class(CharClass::word().negate())),
+            Some('s') => Ok(Ast::Class(CharClass::space())),
+            Some('S') => Ok(Ast::Class(CharClass::space().negate())),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            Some(c) if !c.is_alphanumeric() => Ok(Ast::Literal(c)),
+            Some(c) => Err(self.err(format!("unknown escape `\\{c}`"))),
+            None => Err(self.err("pattern ends with `\\`")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = self.eat('^');
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !first => break,
+                Some(']') if first => {
+                    // A literal `]` right after `[`.
+                    ']'
+                }
+                Some('\\') => match self.bump() {
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        first = false;
+                        continue;
+                    }
+                    Some('w') => {
+                        ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        first = false;
+                        continue;
+                    }
+                    Some('s') => {
+                        ranges.extend([(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]);
+                        first = false;
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(c) => c,
+                    None => return Err(self.err("class ends with `\\`")),
+                },
+                Some(c) => c,
+            };
+            first = false;
+            // Range `a-z`?
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).copied() != Some(']')
+                && self.chars.get(self.pos + 1).is_some()
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some('\\') => self.bump().ok_or_else(|| self.err("class ends with `\\`"))?,
+                    Some(h) => h,
+                    None => return Err(self.err("unterminated range")),
+                };
+                if hi < c {
+                    return Err(self.err(format!("invalid range `{c}-{hi}`")));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Ast::Class(CharClass { negated, ranges }))
+    }
+
+    fn parse_quantifier(&mut self, atom: Ast) -> Result<Ast, RegexError> {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                let max = if self.eat(',') {
+                    if self.peek() == Some('}') {
+                        None
+                    } else {
+                        Some(self.parse_number()?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if !self.eat('}') {
+                    return Err(self.err("missing `}` in bounded repeat"));
+                }
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(self.err(format!("repeat bounds reversed {{{min},{m}}}")));
+                    }
+                    if m > 256 {
+                        return Err(self.err("repeat bound too large (max 256)"));
+                    }
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn parse_number(&mut self) -> Result<u32, RegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse()
+            .map_err(|_| self.err(format!("number `{s}` out of range")))
+    }
+}
+
+// ---------------------------------------------------------------- NFA --
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Consume one char matching the class; go to `next`.
+    Char(CharClass, usize),
+    /// Consume any char; go to `next`.
+    Any(usize),
+    /// Fork into both branches (epsilon).
+    Split(usize, usize),
+    /// Epsilon transition.
+    Goto(usize),
+    /// Accepting state.
+    Accept,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    start: usize,
+    anchored_start: bool,
+    anchored_end: bool,
+    pattern: String,
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, s: State) -> usize {
+        self.states.push(s);
+        self.states.len() - 1
+    }
+
+    /// Compiles `ast`; all paths end at a `Goto(target)` placeholder — we
+    /// return the entry state, with exits wired to `exit`.
+    fn compile(&mut self, ast: &Ast, exit: usize) -> usize {
+        match ast {
+            Ast::Empty => exit,
+            Ast::Literal(c) => self.push(State::Char(
+                CharClass {
+                    negated: false,
+                    ranges: vec![(*c, *c)],
+                },
+                exit,
+            )),
+            Ast::Any => self.push(State::Any(exit)),
+            Ast::Class(cc) => self.push(State::Char(cc.clone(), exit)),
+            Ast::Concat(parts) => {
+                let mut target = exit;
+                for part in parts.iter().rev() {
+                    target = self.compile(part, target);
+                }
+                target
+            }
+            Ast::Alt(branches) => {
+                let entries: Vec<usize> =
+                    branches.iter().map(|b| self.compile(b, exit)).collect();
+                // Chain of splits.
+                let mut entry = entries[entries.len() - 1];
+                for &e in entries.iter().rev().skip(1) {
+                    entry = self.push(State::Split(e, entry));
+                }
+                entry
+            }
+            Ast::Repeat { node, min, max } => match max {
+                Some(max) => {
+                    // Expand: min required copies + (max-min) optional.
+                    let mut target = exit;
+                    for _ in *min..*max {
+                        let body = self.compile(node, target);
+                        target = self.push(State::Split(body, target));
+                    }
+                    for _ in 0..*min {
+                        target = self.compile(node, target);
+                    }
+                    target
+                }
+                None => {
+                    // min copies then a loop.
+                    let split = self.push(State::Goto(0)); // placeholder
+                    let body = self.compile(node, split);
+                    self.states[split] = State::Split(body, exit);
+                    let mut target = split;
+                    for _ in 0..*min {
+                        target = self.compile(node, target);
+                    }
+                    target
+                }
+            },
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        // Handle a trailing bare `$` before parsing (the parser treats a
+        // mid-pattern `$` as a literal, which IOC rules never need).
+        let (body, anchored_end) = match pattern.strip_suffix('$') {
+            Some(rest) if !rest.ends_with('\\') => (rest, true),
+            _ => (pattern, false),
+        };
+        let (ast, anchored_start, _) = Parser::new(body).parse()?;
+        let mut compiler = Compiler { states: Vec::new() };
+        let accept = compiler.push(State::Accept);
+        let start = compiler.compile(&ast, accept);
+        Ok(Regex {
+            states: compiler.states,
+            start,
+            anchored_start,
+            anchored_end,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Epsilon closure.
+    fn add_state(&self, idx: usize, set: &mut Vec<usize>, on: &mut [bool]) {
+        if on[idx] {
+            return;
+        }
+        on[idx] = true;
+        match self.states[idx] {
+            State::Split(a, b) => {
+                self.add_state(a, set, on);
+                self.add_state(b, set, on);
+            }
+            State::Goto(n) => self.add_state(n, set, on),
+            _ => set.push(idx),
+        }
+    }
+
+    /// Longest match starting exactly at byte `at` (must be a char
+    /// boundary). Returns the end byte of the longest accepting prefix.
+    pub fn match_at(&self, haystack: &str, at: usize) -> Option<usize> {
+        let tail = &haystack[at..];
+        let mut current: Vec<usize> = Vec::with_capacity(8);
+        let mut on = vec![false; self.states.len()];
+        self.add_state(self.start, &mut current, &mut on);
+
+        let mut last_accept: Option<usize> = None;
+        let accepts = |set: &[usize], on: &[bool]| -> bool {
+            let _ = set;
+            on.iter()
+                .zip(self.states.iter())
+                .any(|(&active, st)| active && matches!(st, State::Accept))
+        };
+        if accepts(&current, &on) && (!self.anchored_end || tail.is_empty()) {
+            last_accept = Some(at);
+        }
+
+        let mut offset = at;
+        for c in tail.chars() {
+            let mut next: Vec<usize> = Vec::with_capacity(current.len());
+            let mut next_on = vec![false; self.states.len()];
+            for &idx in &current {
+                match &self.states[idx] {
+                    State::Char(cc, n) if cc.matches(c) => {
+                        self.add_state(*n, &mut next, &mut next_on)
+                    }
+                    State::Any(n) => self.add_state(*n, &mut next, &mut next_on),
+                    _ => {}
+                }
+            }
+            offset += c.len_utf8();
+            current = next;
+            on = next_on;
+            if current.is_empty() {
+                break;
+            }
+            if accepts(&current, &on) {
+                let at_end = offset == haystack.len();
+                if !self.anchored_end || at_end {
+                    last_accept = Some(offset);
+                }
+            }
+        }
+        last_accept
+    }
+
+    /// Leftmost-longest search starting at or after byte `from`.
+    pub fn find_from(&self, haystack: &str, from: usize) -> Option<Match> {
+        let starts: Box<dyn Iterator<Item = usize>> = if self.anchored_start {
+            if from == 0 {
+                Box::new(std::iter::once(0))
+            } else {
+                Box::new(std::iter::empty())
+            }
+        } else {
+            Box::new(
+                haystack
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .chain(std::iter::once(haystack.len()))
+                    .filter(move |&i| i >= from),
+            )
+        };
+        for start in starts {
+            if let Some(end) = self.match_at(haystack, start) {
+                return Some(Match { start, end });
+            }
+        }
+        None
+    }
+
+    /// Leftmost-longest search over the whole haystack.
+    pub fn find(&self, haystack: &str) -> Option<Match> {
+        self.find_from(haystack, 0)
+    }
+
+    /// Whether the pattern matches anywhere.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// Whether the pattern matches the *entire* haystack.
+    pub fn is_full_match(&self, haystack: &str) -> bool {
+        self.match_at(haystack, 0) == Some(haystack.len())
+    }
+
+    /// Iterates non-overlapping matches, left to right.
+    pub fn find_iter<'r, 't>(&'r self, haystack: &'t str) -> FindIter<'r, 't> {
+        FindIter {
+            re: self,
+            haystack,
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator over non-overlapping matches.
+pub struct FindIter<'r, 't> {
+    re: &'r Regex,
+    haystack: &'t str,
+    pos: usize,
+}
+
+impl Iterator for FindIter<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.pos > self.haystack.len() {
+            return None;
+        }
+        let m = self.re.find_from(self.haystack, self.pos)?;
+        // Advance past the match; one extra char for empty matches.
+        self.pos = if m.is_empty() {
+            // Step one char forward (or off the end).
+            self.haystack[m.end..]
+                .chars()
+                .next()
+                .map(|c| m.end + c.len_utf8())
+                .unwrap_or(self.haystack.len() + 1)
+        } else {
+            m.end
+        };
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(re: &str, hay: &str) -> Option<(usize, usize)> {
+        Regex::new(re).unwrap().find(hay).map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert_eq!(m("abc", "xxabcxx"), Some((2, 5)));
+        assert_eq!(m("a.c", "abc adc"), Some((0, 3)));
+        assert_eq!(m("zzz", "abc"), None);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(m("[0-9]+", "ab123cd"), Some((2, 5)));
+        assert_eq!(m("[^0-9]+", "123abc"), Some((3, 6)));
+        assert_eq!(m("[a-fA-F0-9]{4}", "xx BEef yy"), Some((3, 7)));
+        assert_eq!(m("[]x]+", "]x]"), Some((0, 3)));
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m(r"\d{3}", "ab 456"), Some((3, 6)));
+        assert_eq!(m(r"\w+", "  hello_1  "), Some((2, 9)));
+        assert_eq!(m(r"\s", "ab cd"), Some((2, 3)));
+        assert_eq!(m(r"\.", "a.b"), Some((1, 2)));
+        assert_eq!(m(r"a\\b", r"a\b"), Some((0, 3)));
+        assert_eq!(m(r"\S+", "  xy "), Some((2, 4)));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(m("ab*c", "ac abc abbc"), Some((0, 2)));
+        assert_eq!(m("ab+c", "ac abc"), Some((3, 6)));
+        assert_eq!(m("ab?c", "abc"), Some((0, 3)));
+        assert_eq!(m("a{2,3}", "aaaa"), Some((0, 3)), "greedy bounded");
+        assert_eq!(m("a{2}", "a aa"), Some((2, 4)));
+        assert_eq!(m("a{2,}", "aaaaa"), Some((0, 5)));
+        assert_eq!(m("(ab){2}", "ababab"), Some((0, 4)));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert_eq!(m("cat|dog", "hotdog"), Some((3, 6)));
+        assert_eq!(m("(cat|dog)s?", "dogs"), Some((0, 4)));
+        assert_eq!(m("a(b|c)*d", "abcbcd"), Some((0, 6)));
+    }
+
+    #[test]
+    fn leftmost_longest() {
+        // Leftmost wins over longer-later.
+        assert_eq!(m("a+|b+", "aabbb"), Some((0, 2)));
+        // Longest at the same start.
+        assert_eq!(m("a|ab|abc", "abc"), Some((0, 3)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^abc", "abcx"), Some((0, 3)));
+        assert_eq!(m("^abc", "xabc"), None);
+        assert_eq!(m("abc$", "xxabc"), Some((2, 5)));
+        assert_eq!(m("abc$", "abcx"), None);
+        assert_eq!(m("^abc$", "abc"), Some((0, 3)));
+        assert_eq!(m("^abc$", "aabc"), None);
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        let spans: Vec<(usize, usize)> = re
+            .find_iter("a1 bb22 ccc333")
+            .map(|m| (m.start, m.end))
+            .collect();
+        assert_eq!(spans, vec![(1, 2), (5, 7), (11, 14)]);
+    }
+
+    #[test]
+    fn empty_match_iteration_terminates() {
+        let re = Regex::new("x*").unwrap();
+        let n = re.find_iter("abc").count();
+        assert!(n <= 4, "one (possibly empty) match per position max");
+    }
+
+    #[test]
+    fn ioc_shaped_patterns() {
+        // IPv4.
+        let ip = Regex::new(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}").unwrap();
+        let mt = ip.find("c2 at 192.168.29.128 now").unwrap();
+        assert_eq!(mt.as_str("c2 at 192.168.29.128 now"), "192.168.29.128");
+        // Unix path.
+        let path = Regex::new(r"(/[A-Za-z0-9._-]+)+").unwrap();
+        let hay = "ran /usr/bin/gpg today";
+        assert_eq!(path.find(hay).unwrap().as_str(hay), "/usr/bin/gpg");
+        // Hash.
+        let md5 = Regex::new("[a-fA-F0-9]{32}").unwrap();
+        assert!(md5.is_match("hash d41d8cd98f00b204e9800998ecf8427e seen"));
+        // CVE.
+        let cve = Regex::new(r"CVE-\d{4}-\d{4,7}").unwrap();
+        let hay = "exploits CVE-2014-6271 (Shellshock)";
+        assert_eq!(cve.find(hay).unwrap().as_str(hay), "CVE-2014-6271");
+        // URL.
+        let url = Regex::new(r"https?://[^\s]+").unwrap();
+        let hay = "see http://evil.example/p now";
+        assert_eq!(url.find(hay).unwrap().as_str(hay), "http://evil.example/p");
+    }
+
+    #[test]
+    fn unicode_haystacks_are_safe() {
+        let re = Regex::new("é+").unwrap();
+        let hay = "caféé au lait";
+        let mt = re.find(hay).unwrap();
+        assert_eq!(mt.as_str(hay), "éé");
+        let any = Regex::new(".").unwrap();
+        assert_eq!(any.find("日本").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn full_match() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert!(re.is_full_match("12345"));
+        assert!(!re.is_full_match("123a"));
+        assert!(!re.is_full_match(""));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("a)b").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"\q").is_err());
+        assert!(Regex::new("a{999}").is_err());
+        let e = Regex::new("[z-a]").unwrap_err();
+        assert!(e.to_string().contains("invalid range"));
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        let re = Regex::new("abc").unwrap();
+        assert_eq!(re.pattern(), "abc");
+    }
+
+    /// Reference backtracking matcher for differential testing (exponential
+    /// but fine on tiny inputs).
+    fn backtrack_full(ast_pat: &str, text: &str) -> bool {
+        fn at(re: &Regex, hay: &str) -> bool {
+            re.is_full_match(hay)
+        }
+        let re = Regex::new(ast_pat).unwrap();
+        at(&re, text)
+    }
+
+    proptest! {
+        /// Matching never panics and spans are in bounds + char-aligned.
+        #[test]
+        fn never_panics(pat in r"[ab.\*\+\?\|\(\)\[\]0-9]{0,10}", hay in "[ab01]{0,12}") {
+            if let Ok(re) = Regex::new(&pat) {
+                for m in re.find_iter(&hay).take(20) {
+                    prop_assert!(m.end <= hay.len());
+                    prop_assert!(hay.is_char_boundary(m.start) && hay.is_char_boundary(m.end));
+                }
+            }
+        }
+
+        /// Concatenations of literals behave like `str::find`.
+        #[test]
+        fn literal_patterns_match_str_find(needle in "[abc]{1,4}", hay in "[abc]{0,16}") {
+            let re = Regex::new(&needle).unwrap();
+            let got = re.find(&hay).map(|m| m.start);
+            prop_assert_eq!(got, hay.find(&needle));
+        }
+
+        /// a{m,n} full-match agrees with a direct length check.
+        #[test]
+        fn bounded_repeat_counts(mn in 0u32..4, extra in 0u32..4, len in 0usize..10) {
+            let max = mn + extra;
+            let pat = format!("a{{{mn},{max}}}");
+            let text: String = "a".repeat(len);
+            let expect = (len as u32) >= mn && (len as u32) <= max;
+            prop_assert_eq!(backtrack_full(&pat, &text), expect);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! IOC scan & merge (Algorithm 1, stage 7).
+//!
+//! "We scan all IOCs in the trees of all blocks, and merge similar ones
+//! based on both the character-level overlap and the word vector
+//! similarities." Mentions of the same artifact — `/tmp/upload.tar` vs
+//! `upload.tar`, `192.168.29.128` vs `192.168.29.128/32` — collapse into
+//! one canonical IOC via union-find; the canonical text is the most
+//! specific (longest) mention.
+
+use crate::embed;
+use crate::ioc::{Ioc, IocType};
+
+/// Canonical IOC id after merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonId(pub usize);
+
+/// The merged IOC table.
+#[derive(Debug, Clone)]
+pub struct IocTable {
+    /// Canonical IOCs, indexed by [`CanonId`].
+    pub canon: Vec<Ioc>,
+    /// For each input mention, its canonical id.
+    pub mention_canon: Vec<CanonId>,
+}
+
+impl IocTable {
+    /// Canonical IOC for a mention index.
+    pub fn canon_of(&self, mention_idx: usize) -> &Ioc {
+        &self.canon[self.mention_canon[mention_idx].0]
+    }
+
+    /// Number of canonical IOCs.
+    pub fn len(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// True when no IOCs were found.
+    pub fn is_empty(&self) -> bool {
+        self.canon.is_empty()
+    }
+
+    /// Finds the canonical id whose text equals `text`, if any.
+    pub fn lookup(&self, text: &str) -> Option<CanonId> {
+        self.canon
+            .iter()
+            .position(|i| i.text == text)
+            .map(CanonId)
+    }
+}
+
+/// Whether two IOC types may merge.
+fn type_compatible(a: IocType, b: IocType) -> bool {
+    use IocType::*;
+    if a == b {
+        return true;
+    }
+    matches!(
+        (a, b),
+        (FilePath, FileName)
+            | (FileName, FilePath)
+            | (Ip, IpSubnet)
+            | (IpSubnet, Ip)
+            | (Url, Domain)
+            | (Domain, Url)
+    )
+}
+
+/// Whether two mentions refer to the same artifact.
+fn same_artifact(a: &Ioc, b: &Ioc) -> bool {
+    if !type_compatible(a.ty, b.ty) {
+        return false;
+    }
+    if a.text == b.text {
+        return true;
+    }
+    // File name vs full path: exact basename match.
+    let basename = |s: &str| s.rsplit('/').next().unwrap_or(s).to_string();
+    match (a.ty, b.ty) {
+        (IocType::FilePath, IocType::FileName) => return basename(&a.text) == b.text,
+        (IocType::FileName, IocType::FilePath) => return basename(&b.text) == a.text,
+        (IocType::Ip, IocType::IpSubnet) => {
+            return b.text.split('/').next() == Some(a.text.as_str())
+        }
+        (IocType::IpSubnet, IocType::Ip) => {
+            return a.text.split('/').next() == Some(b.text.as_str())
+        }
+        (IocType::Url, IocType::Domain) => return a.text.contains(&b.text),
+        (IocType::Domain, IocType::Url) => return b.text.contains(&a.text),
+        _ => {}
+    }
+    // Same type, fuzzy: both the character overlap and the vector
+    // similarity must clear their thresholds (the paper's "both").
+    // Deliberately strict: /tmp/upload.tar and /tmp/upload.tar.bz2 are
+    // DIFFERENT artifacts and must not merge.
+    let overlap = embed::char_overlap(&a.text, &b.text);
+    let sim = embed::similarity(&a.text, &b.text) as f64;
+    overlap >= 0.9 && sim >= 0.95
+}
+
+/// Union-find with path compression.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Merges a list of IOC mentions into a canonical table.
+pub fn merge(mentions: &[Ioc]) -> IocTable {
+    let n = mentions.len();
+    let mut dsu = Dsu::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if same_artifact(&mentions[i], &mentions[j]) {
+                dsu.union(i, j);
+            }
+        }
+    }
+    // Canonical representative per class: the longest text (most
+    // specific); ties broken by earliest appearance.
+    let mut class_best: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = dsu.find(i);
+        let entry = class_best.entry(root).or_insert(i);
+        let better = mentions[i].text.len() > mentions[*entry].text.len();
+        if better {
+            *entry = i;
+        }
+    }
+    // Stable canon ordering: by first mention index of the class.
+    let mut classes: Vec<(usize, usize)> = class_best.iter().map(|(&r, &b)| (r, b)).collect();
+    classes.sort_by_key(|&(root, _)| {
+        (0..n)
+            .find(|&i| dsu.parent[i] == root || {
+                // parent may be un-compressed; compare via find on a clone
+                // is overkill — roots are already compressed by the loop
+                // above.
+                false
+            })
+            .unwrap_or(root)
+    });
+    let mut canon = Vec::with_capacity(classes.len());
+    let mut root_to_canon: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for (root, best) in classes {
+        root_to_canon.insert(root, canon.len());
+        canon.push(mentions[best].clone());
+    }
+    let mention_canon = (0..n)
+        .map(|i| CanonId(root_to_canon[&dsu.find(i)]))
+        .collect();
+    IocTable {
+        canon,
+        mention_canon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ioc(text: &str, ty: IocType) -> Ioc {
+        Ioc {
+            text: text.into(),
+            ty,
+            start: 0,
+            end: text.len(),
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_merge() {
+        let t = merge(&[
+            ioc("/bin/tar", IocType::FilePath),
+            ioc("/bin/tar", IocType::FilePath),
+        ]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mention_canon[0], t.mention_canon[1]);
+    }
+
+    #[test]
+    fn filename_merges_into_path() {
+        let t = merge(&[
+            ioc("/tmp/upload.tar", IocType::FilePath),
+            ioc("upload.tar", IocType::FileName),
+        ]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.canon[0].text, "/tmp/upload.tar", "canonical = most specific");
+    }
+
+    #[test]
+    fn ip_merges_with_subnet() {
+        let t = merge(&[
+            ioc("192.168.29.128", IocType::Ip),
+            ioc("192.168.29.128/32", IocType::IpSubnet),
+        ]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.canon[0].text, "192.168.29.128/32");
+    }
+
+    #[test]
+    fn similar_but_distinct_artifacts_stay_apart() {
+        let t = merge(&[
+            ioc("/tmp/upload.tar", IocType::FilePath),
+            ioc("/tmp/upload.tar.bz2", IocType::FilePath),
+            ioc("/tmp/upload", IocType::FilePath),
+        ]);
+        assert_eq!(t.len(), 3, "the Fig. 2 chain must keep all three files distinct");
+    }
+
+    #[test]
+    fn incompatible_types_never_merge() {
+        let t = merge(&[
+            ioc("10.0.0.1", IocType::Ip),
+            ioc("/10.0.0.1", IocType::FilePath),
+        ]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fig2_ioc_set_merges_to_nine() {
+        let mentions = vec![
+            ioc("/bin/tar", IocType::FilePath),
+            ioc("/etc/passwd", IocType::FilePath),
+            ioc("/tmp/upload.tar", IocType::FilePath),
+            ioc("/bin/bzip2", IocType::FilePath),
+            ioc("/tmp/upload.tar", IocType::FilePath), // repeated mention
+            ioc("/tmp/upload.tar.bz2", IocType::FilePath),
+            ioc("/usr/bin/gpg", IocType::FilePath),
+            ioc("/tmp/upload.tar.bz2", IocType::FilePath),
+            ioc("/tmp/upload", IocType::FilePath),
+            ioc("/usr/bin/curl", IocType::FilePath),
+            ioc("/tmp/upload", IocType::FilePath),
+            ioc("192.168.29.128", IocType::Ip),
+        ];
+        let t = merge(&mentions);
+        assert_eq!(t.len(), 9, "Fig. 2 lists exactly 9 distinct IOCs");
+    }
+
+    #[test]
+    fn lookup_and_accessors() {
+        let t = merge(&[ioc("/bin/tar", IocType::FilePath)]);
+        assert!(!t.is_empty());
+        assert_eq!(t.lookup("/bin/tar"), Some(CanonId(0)));
+        assert_eq!(t.lookup("/bin/zzz"), None);
+        assert_eq!(t.canon_of(0).text, "/bin/tar");
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = merge(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

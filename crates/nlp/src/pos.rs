@@ -1,0 +1,302 @@
+//! Part-of-speech tagging (unsupervised: lexicons + shape heuristics).
+
+use crate::lemma::lemmatize;
+use crate::lexicon;
+use crate::protect::DUMMY;
+use crate::token::Token;
+use crate::verbs;
+use std::fmt;
+
+/// Coarse POS tags (UD-flavored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Nouns (incl. proper nouns and the protection dummy).
+    Noun,
+    /// Main verbs.
+    Verb,
+    /// Auxiliary / copular verbs.
+    Aux,
+    /// Adjectives (incl. participial modifiers).
+    Adj,
+    /// Adverbs.
+    Adv,
+    /// Pronouns.
+    Pron,
+    /// Determiners.
+    Det,
+    /// Adpositions (prepositions).
+    Adp,
+    /// Conjunctions (coordinating and subordinating).
+    Conj,
+    /// Numerals.
+    Num,
+    /// Particles (infinitival `to`).
+    Part,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl PosTag {
+    /// True for noun-like tags that can head an NP.
+    pub fn is_nominal(self) -> bool {
+        matches!(self, PosTag::Noun | PosTag::Pron | PosTag::Num)
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PosTag::Noun => "NOUN",
+            PosTag::Verb => "VERB",
+            PosTag::Aux => "AUX",
+            PosTag::Adj => "ADJ",
+            PosTag::Adv => "ADV",
+            PosTag::Pron => "PRON",
+            PosTag::Det => "DET",
+            PosTag::Adp => "ADP",
+            PosTag::Conj => "CONJ",
+            PosTag::Num => "NUM",
+            PosTag::Part => "PART",
+            PosTag::Punct => "PUNCT",
+            PosTag::Other => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tags a tokenized sentence.
+pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
+    let mut tags: Vec<PosTag> = Vec::with_capacity(tokens.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        let tag = tag_one(tok, i, tokens, &tags);
+        tags.push(tag);
+    }
+    tags
+}
+
+fn tag_one(tok: &Token, i: usize, tokens: &[Token], prev_tags: &[PosTag]) -> PosTag {
+    let text = &tok.text;
+    let lower = tok.lower();
+    let first = text.chars().next().unwrap_or(' ');
+
+    if first.is_ascii_punctuation() && text.chars().all(|c| !c.is_alphanumeric()) {
+        return PosTag::Punct;
+    }
+    if text.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') && first.is_ascii_digit() {
+        return PosTag::Num;
+    }
+    if lower == DUMMY {
+        return PosTag::Noun;
+    }
+    if lower == "to" {
+        // Infinitival `to` before a verb; otherwise a preposition.
+        let next_is_verb = tokens
+            .get(i + 1)
+            .map(|n| verbs::is_known_verb(&lemmatize(&n.lower())))
+            .unwrap_or(false);
+        return if next_is_verb { PosTag::Part } else { PosTag::Adp };
+    }
+    if lower == "not" || lower == "n't" {
+        return PosTag::Adv;
+    }
+    if lexicon::contains(lexicon::AUXILIARIES, &lower) {
+        // `have`/`do` as main verbs are rare in this prose; keep AUX.
+        return PosTag::Aux;
+    }
+    if lexicon::contains(lexicon::DETERMINERS, &lower) {
+        // "that"/"no" are also SCONJ/interjection; DET is the safer parse
+        // before a noun, which is the common case here.
+        return PosTag::Det;
+    }
+    if lexicon::contains(lexicon::PRONOUNS, &lower) {
+        return PosTag::Pron;
+    }
+    if lexicon::contains(lexicon::CCONJ, &lower) {
+        return PosTag::Conj;
+    }
+    if lexicon::contains(lexicon::PREPOSITIONS, &lower) {
+        return PosTag::Adp;
+    }
+    if lexicon::contains(lexicon::SCONJ, &lower) {
+        return PosTag::Conj;
+    }
+    if lexicon::contains(lexicon::ADVERBS, &lower) {
+        return PosTag::Adv;
+    }
+    // Participles of known verbs directly after an auxiliary are the
+    // passive verb, even when the form doubles as an adjective:
+    // "was compressed", "were gathered".
+    if (lower.ends_with("ed") || lower.ends_with("en"))
+        && prev_tags.last() == Some(&PosTag::Aux)
+        && verbs::is_known_verb(&lemmatize(&lower))
+    {
+        return PosTag::Verb;
+    }
+    if lexicon::contains(lexicon::ADJECTIVES, &lower) {
+        return PosTag::Adj;
+    }
+
+    let lemma = lemmatize(&lower);
+    if verbs::is_known_verb(&lemma) {
+        let prev = prev_tags.last().copied();
+        // Participle after a determiner/adjective modifies a noun:
+        // "the launched process", "the gathered information".
+        let is_participle = lower.ends_with("ed") || lower.ends_with("en");
+        if is_participle && matches!(prev, Some(PosTag::Det) | Some(PosTag::Adj)) {
+            return PosTag::Adj;
+        }
+        // Sentence-initial participle fronting a noun phrase:
+        // "Collected documents were …".
+        if is_participle && prev.is_none() && first.is_uppercase() {
+            return PosTag::Adj;
+        }
+        // A bare-lemma "verb" right after a determiner/adjective is a
+        // nominalization: "the dump", "the archive", "the copy".
+        // Inflected forms ("This corresponds…") stay verbs — a
+        // determiner like "this" can front a finite clause subject.
+        if lemma == lower
+            && !is_participle
+            && !lower.ends_with("ing")
+            && matches!(prev, Some(PosTag::Det) | Some(PosTag::Adj))
+        {
+            return PosTag::Noun;
+        }
+        // Gerund after a preposition stays a verb (pcomp): "by using …".
+        return PosTag::Verb;
+    }
+
+    if lower.ends_with("ly") {
+        return PosTag::Adv;
+    }
+    if lower.ends_with("ous")
+        || lower.ends_with("ive")
+        || lower.ends_with("ful")
+        || lower.ends_with("less")
+        || lower.ends_with("able")
+        || lower.ends_with("ible")
+    {
+        return PosTag::Adj;
+    }
+    // Unknown -ed after a nominal is probably a verb we don't know:
+    // "the attacker pivoted".
+    if lower.ends_with("ed") && prev_tags.last().copied().is_some_and(|t| t.is_nominal()) {
+        return PosTag::Verb;
+    }
+    PosTag::Noun
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags_of(s: &str) -> Vec<(String, PosTag)> {
+        let toks = tokenize(s, 0);
+        let tags = tag(&toks);
+        toks.into_iter()
+            .map(|t| t.text)
+            .zip(tags)
+            .collect()
+    }
+
+    fn tag_seq(s: &str) -> Vec<PosTag> {
+        tags_of(s).into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn fig2_style_sentence() {
+        let tags = tags_of("the attacker used something to read user credentials from something");
+        let expect = [
+            PosTag::Det,
+            PosTag::Noun,
+            PosTag::Verb,
+            PosTag::Noun,
+            PosTag::Part,
+            PosTag::Verb,
+            PosTag::Noun,
+            PosTag::Noun,
+            PosTag::Adp,
+            PosTag::Noun,
+        ];
+        for ((w, got), want) in tags.iter().zip(expect) {
+            assert_eq!(*got, want, "token `{w}`");
+        }
+    }
+
+    #[test]
+    fn pronoun_and_past_tense() {
+        assert_eq!(
+            tag_seq("It wrote the gathered information to something"),
+            vec![
+                PosTag::Pron,
+                PosTag::Verb,
+                PosTag::Det,
+                PosTag::Adj,
+                PosTag::Noun,
+                PosTag::Adp,
+                PosTag::Noun
+            ]
+        );
+    }
+
+    #[test]
+    fn participial_adjective_after_det() {
+        let tags = tags_of("the launched process something reading from something");
+        assert_eq!(tags[1].1, PosTag::Adj, "launched");
+        assert_eq!(tags[2].1, PosTag::Noun, "process");
+        assert_eq!(tags[4].1, PosTag::Verb, "reading");
+    }
+
+    #[test]
+    fn auxiliaries_and_passive() {
+        assert_eq!(
+            tag_seq("something was downloaded by the attacker"),
+            vec![
+                PosTag::Noun,
+                PosTag::Aux,
+                PosTag::Verb,
+                PosTag::Adp,
+                PosTag::Det,
+                PosTag::Noun
+            ]
+        );
+    }
+
+    #[test]
+    fn by_using_gerund() {
+        let tags = tags_of("by using something to connect to something");
+        assert_eq!(tags[0].1, PosTag::Adp);
+        assert_eq!(tags[1].1, PosTag::Verb, "using stays a verb");
+        assert_eq!(tags[3].1, PosTag::Part, "infinitival to");
+        assert_eq!(tags[4].1, PosTag::Verb, "connect");
+    }
+
+    #[test]
+    fn punctuation_numbers_adverbs() {
+        let tags = tags_of("Then , it quickly sent 42 bytes .");
+        assert_eq!(tags[0].1, PosTag::Adv);
+        assert_eq!(tags[1].1, PosTag::Punct);
+        assert_eq!(tags[3].1, PosTag::Adv);
+        assert_eq!(tags[4].1, PosTag::Verb);
+        assert_eq!(tags[5].1, PosTag::Num);
+        assert_eq!(tags[7].1, PosTag::Punct);
+    }
+
+    #[test]
+    fn to_disambiguation() {
+        let t1 = tags_of("to read");
+        assert_eq!(t1[0].1, PosTag::Part);
+        let t2 = tags_of("to something");
+        assert_eq!(t2[0].1, PosTag::Adp);
+    }
+
+    #[test]
+    fn nominal_helper() {
+        assert!(PosTag::Noun.is_nominal());
+        assert!(PosTag::Pron.is_nominal());
+        assert!(!PosTag::Verb.is_nominal());
+        assert_eq!(PosTag::Noun.to_string(), "NOUN");
+    }
+}

@@ -1,0 +1,425 @@
+//! IOC relation extraction (Algorithm 1, stage 8).
+//!
+//! "For each dependency tree, we enumerate all pairs of IOC nodes. Then,
+//! for each pair, we check whether they satisfy the subject-object
+//! relation by considering their dependency types in the tree. In
+//! particular, we consider three parts of their dependency path: one
+//! common path from the root to the LCA …; two individual paths from the
+//! LCA to each of the nodes, and construct a set of dependency type rules
+//! to do the checking. Next, for the pair that passes the checking, we
+//! extract its relation verb by first scanning all the annotated
+//! candidate verbs in the aforementioned three parts of dependency path,
+//! and then selecting the one that is closest to the object IOC node."
+
+use crate::dep::{DepLabel, DepTree};
+use crate::ioc::IocType;
+use crate::lemma::lemmatize;
+use crate::merge::CanonId;
+use crate::verbs;
+use std::collections::HashMap;
+
+/// An extracted IOC entity-relation triplet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triplet {
+    /// Canonical subject IOC.
+    pub subject: CanonId,
+    /// Relation verb lemma.
+    pub verb: String,
+    /// Canonical object IOC.
+    pub object: CanonId,
+    /// Offset of the relation verb in the block's protected text —
+    /// the intra-block ordering key for sequence numbering.
+    pub verb_offset: usize,
+}
+
+/// Lookup from `(mention text, type)` to canonical id, built by the
+/// pipeline after stage 7.
+pub type CanonMap = HashMap<(String, IocType), CanonId>;
+
+const SUBJECT_LABELS: &[DepLabel] = &[
+    DepLabel::Nsubj,
+    DepLabel::NsubjPass,
+    DepLabel::Appos,
+    DepLabel::Compound,
+    DepLabel::Conj,
+];
+
+const OBJECT_LABELS: &[DepLabel] = &[
+    DepLabel::Dobj,
+    DepLabel::Pobj,
+    DepLabel::Prep,
+    DepLabel::Pcomp,
+    DepLabel::Xcomp,
+    DepLabel::Conj,
+    DepLabel::Acl,
+    DepLabel::Appos,
+    DepLabel::Compound,
+    DepLabel::Attr,
+];
+
+const OBJECT_TERMINALS: &[DepLabel] = &[
+    DepLabel::Dobj,
+    DepLabel::Pobj,
+    DepLabel::Attr,
+    DepLabel::Appos,
+    DepLabel::Conj,
+    DepLabel::Compound,
+];
+
+/// How the a-side path qualifies as a subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubjectKind {
+    /// Grammatical subject (or apposition/compound thereof).
+    Plain,
+    /// Passive subject — pairs with an agent path for direction swap.
+    Passive,
+    /// Instrument object of a `use`-like verb.
+    Instrument,
+    /// The IOC *is* the LCA (noun head with a clausal modifier).
+    SelfHead,
+}
+
+/// Checks the a-side path. `lca` and the path node indexes give access to
+/// the verbs for the instrument check.
+fn subject_kind(tree: &DepTree, lca: usize, a: usize) -> Option<SubjectKind> {
+    let labels = tree.labels_down(lca, a);
+    if labels.is_empty() {
+        return Some(SubjectKind::SelfHead);
+    }
+    if labels.iter().all(|l| SUBJECT_LABELS.contains(l)) {
+        // Reject paths that run through a *verb* conjunct: those IOCs
+        // belong to the sibling clause, not this subject position.
+        if labels.contains(&DepLabel::NsubjPass) {
+            return Some(SubjectKind::Passive);
+        }
+        if labels.contains(&DepLabel::Nsubj) {
+            return Some(SubjectKind::Plain);
+        }
+        // Pure appos/compound chains only qualify under a nominal LCA.
+        if tree.nodes[lca].pos == crate::pos::PosTag::Noun {
+            return Some(SubjectKind::SelfHead);
+        }
+        return None;
+    }
+    // Instrument: [Dobj, (Appos|Compound)*] under a use-like LCA verb —
+    // including execute-class verbs ("executed X to scan Y" makes X the
+    // actor of the scan).
+    if labels[0] == DepLabel::Dobj
+        && labels[1..]
+            .iter()
+            .all(|l| matches!(l, DepLabel::Appos | DepLabel::Compound))
+    {
+        let lca_lemma = lemmatize(&tree.nodes[lca].token.lower());
+        if verbs::is_executing_instrument(&lca_lemma) {
+            return Some(SubjectKind::Instrument);
+        }
+    }
+    // Agent of a passive with a non-IOC surface subject ("documents were
+    // compressed into F by P"): the agent acts as subject. Leading Conj
+    // steps are tolerated (the passive clause may be a conjunct).
+    let trimmed: Vec<DepLabel> = labels
+        .iter()
+        .copied()
+        .skip_while(|l| *l == DepLabel::Conj)
+        .collect();
+    if trimmed.first() == Some(&DepLabel::Agent)
+        && trimmed.contains(&DepLabel::Pobj)
+        && trimmed[1..]
+            .iter()
+            .all(|l| matches!(l, DepLabel::Pobj | DepLabel::Appos | DepLabel::Compound))
+    {
+        return Some(SubjectKind::Plain);
+    }
+    None
+}
+
+/// Checks the b-side path for object-ness.
+fn is_object_path(labels: &[DepLabel]) -> bool {
+    !labels.is_empty()
+        && labels.iter().all(|l| OBJECT_LABELS.contains(l))
+        && OBJECT_TERMINALS.contains(labels.last().expect("non-empty"))
+}
+
+/// Checks the b-side path for agent-ness (passive "by X").
+fn is_agent_path(labels: &[DepLabel]) -> bool {
+    labels.first() == Some(&DepLabel::Agent)
+        && labels
+            .last()
+            .is_some_and(|l| matches!(l, DepLabel::Pobj | DepLabel::Appos | DepLabel::Compound))
+}
+
+/// Selects the relation verb for an accepted pair: among annotated
+/// candidate verbs on (root→LCA) ∪ (LCA→a) ∪ (LCA→b) ∪ {LCA}, the one
+/// whose token is closest to the object node's token.
+fn select_verb(tree: &DepTree, lca: usize, a: usize, b: usize) -> Option<(String, usize)> {
+    let mut candidate_nodes: Vec<usize> = Vec::new();
+    candidate_nodes.extend(tree.path_to_root(lca)); // lca → root
+    candidate_nodes.extend(tree.nodes_down(lca, a));
+    candidate_nodes.extend(tree.nodes_down(lca, b));
+    candidate_nodes.push(lca);
+    let obj_offset = tree.nodes[b].token.start as i64;
+    candidate_nodes
+        .into_iter()
+        .filter_map(|i| {
+            tree.nodes[i]
+                .ann
+                .relation_verb
+                .clone()
+                .map(|lemma| (lemma, tree.nodes[i].token.start))
+        })
+        .min_by_key(|&(_, off)| (off as i64 - obj_offset).abs())
+}
+
+/// Extracts triplets from one tree. `canon` maps mention `(text, type)`
+/// to canonical ids (so coref-resolved pronouns resolve like their
+/// antecedents).
+pub fn extract(tree: &DepTree, canon: &CanonMap) -> Vec<Triplet> {
+    let ioc_nodes = tree.ioc_nodes();
+    let mut out = Vec::new();
+    for &a in &ioc_nodes {
+        for &b in &ioc_nodes {
+            if a == b {
+                continue;
+            }
+            let lca = tree.lca(a, b);
+            let Some(kind) = subject_kind(tree, lca, a) else {
+                continue;
+            };
+            let b_labels = tree.labels_down(lca, b);
+            let (subj_node, obj_node) = match kind {
+                SubjectKind::Passive if is_agent_path(&b_labels) => (b, a),
+                SubjectKind::Passive | SubjectKind::Plain | SubjectKind::Instrument => {
+                    if !is_object_path(&b_labels) || is_agent_path(&b_labels) {
+                        continue;
+                    }
+                    (a, b)
+                }
+                SubjectKind::SelfHead => {
+                    // Noun-headed: require a clausal path (acl / prep …)
+                    // that actually contains a verb.
+                    if !is_object_path(&b_labels) {
+                        continue;
+                    }
+                    let has_verbal_step = tree
+                        .nodes_down(lca, b)
+                        .iter()
+                        .any(|&i| tree.nodes[i].pos == crate::pos::PosTag::Verb);
+                    if !has_verbal_step {
+                        continue;
+                    }
+                    (a, b)
+                }
+            };
+            let Some((verb, verb_offset)) = select_verb(tree, lca, subj_node, obj_node) else {
+                continue;
+            };
+            let key = |i: usize| {
+                let ioc = tree.nodes[i].effective_ioc().expect("ioc node");
+                (ioc.text.clone(), ioc.ty)
+            };
+            let (Some(&s), Some(&o)) = (canon.get(&key(subj_node)), canon.get(&key(obj_node)))
+            else {
+                continue;
+            };
+            if s == o {
+                continue;
+            }
+            out.push(Triplet {
+                subject: s,
+                verb,
+                object: o,
+                verb_offset,
+            });
+        }
+    }
+    // Deduplicate within the tree (appos/compound chains can produce the
+    // same triple twice); keep the earliest verb offset.
+    out.sort_by(|x, y| {
+        (x.subject, &x.verb, x.object, x.verb_offset).cmp(&(
+            y.subject,
+            &y.verb,
+            y.object,
+            y.verb_offset,
+        ))
+    });
+    out.dedup_by(|x, y| x.subject == y.subject && x.verb == y.verb && x.object == y.object);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{annotate, restore_iocs};
+    use crate::coref::resolve_block;
+    use crate::depparse::parse;
+    use crate::ioc::Ioc;
+    use crate::merge;
+    use crate::protect::protect;
+    use crate::simplify::simplify;
+    use crate::text::segment_sentences;
+    use crate::token::tokenize;
+
+    /// Full mini-pipeline over one block; returns (triples as strings).
+    fn triples(block: &str) -> Vec<(String, String, String)> {
+        let p = protect(block);
+        let mut trees: Vec<DepTree> = segment_sentences(&p.text)
+            .into_iter()
+            .map(|sp| {
+                let mut t = parse(tokenize(sp.slice(&p.text), sp.start));
+                restore_iocs(&mut t, &p.slots);
+                annotate(&mut t);
+                simplify(&mut t);
+                t
+            })
+            .collect();
+        resolve_block(&mut trees);
+        let mentions: Vec<Ioc> = trees
+            .iter()
+            .flat_map(|t| t.nodes.iter().filter_map(|n| n.token.ioc.clone()))
+            .collect();
+        let table = merge::merge(&mentions);
+        let mut canon: CanonMap = HashMap::new();
+        for (i, m) in mentions.iter().enumerate() {
+            canon.insert((m.text.clone(), m.ty), table.mention_canon[i]);
+        }
+        // Coref targets share text/type with some mention, but register
+        // canonical texts too (coref clones the canonical Ioc).
+        for (ci, c) in table.canon.iter().enumerate() {
+            canon.insert((c.text.clone(), c.ty), CanonId(ci));
+        }
+        let mut out = Vec::new();
+        for t in &trees {
+            for tr in extract(t, &canon) {
+                out.push((
+                    table.canon[tr.subject.0].text.clone(),
+                    tr.verb.clone(),
+                    table.canon[tr.object.0].text.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn instrument_pattern() {
+        let got = triples("The attacker used /bin/tar to read user credentials from /etc/passwd.");
+        assert!(
+            got.contains(&("/bin/tar".into(), "read".into(), "/etc/passwd".into())),
+            "{got:?}"
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn pronoun_subject_via_coref() {
+        let got = triples(
+            "The attacker used /bin/tar to read user credentials from /etc/passwd. \
+             It wrote the gathered information to a file /tmp/upload.tar.",
+        );
+        assert!(
+            got.contains(&("/bin/tar".into(), "write".into(), "/tmp/upload.tar".into())),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn ioc_subject_with_conjoined_verbs() {
+        let got = triples("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.");
+        assert!(
+            got.contains(&("/bin/bzip2".into(), "read".into(), "/tmp/upload.tar".into())),
+            "{got:?}"
+        );
+        assert!(
+            got.contains(&(
+                "/bin/bzip2".into(),
+                "write".into(),
+                "/tmp/upload.tar.bz2".into()
+            )),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn noun_headed_acl() {
+        let got =
+            triples("This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2.");
+        assert!(
+            got.contains(&("/usr/bin/gpg".into(), "read".into(), "/tmp/upload.tar.bz2".into())),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn by_using_connect() {
+        let got = triples(
+            "He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128.",
+        );
+        assert!(
+            got.contains(&("/usr/bin/curl".into(), "connect".into(), "192.168.29.128".into())),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn passive_direction_swap() {
+        let got = triples("/etc/shadow was read by /tmp/cracker.");
+        assert!(
+            got.contains(&("/tmp/cracker".into(), "read".into(), "/etc/shadow".into())),
+            "{got:?}"
+        );
+        assert!(!got.contains(&("/etc/shadow".into(), "read".into(), "/tmp/cracker".into())));
+    }
+
+    #[test]
+    fn conjoined_objects_yield_two_triples() {
+        let got = triples("/usr/bin/wget downloaded /tmp/a.sh and /tmp/b.sh.");
+        assert!(
+            got.contains(&("/usr/bin/wget".into(), "download".into(), "/tmp/a.sh".into())),
+            "{got:?}"
+        );
+        assert!(
+            got.contains(&("/usr/bin/wget".into(), "download".into(), "/tmp/b.sh".into())),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn execute_class_instrument() {
+        let got = triples("The attacker executed /tmp/.cache/agent to scan /etc/shadow.");
+        assert!(
+            got.contains(&("/tmp/.cache/agent".into(), "scan".into(), "/etc/shadow".into())),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn passive_agent_with_non_ioc_subject() {
+        let got =
+            triples("Collected documents were compressed into /tmp/.arch/out.7z by /usr/bin/7z.");
+        assert!(
+            got.contains(&("/usr/bin/7z".into(), "compress".into(), "/tmp/.arch/out.7z".into())),
+            "{got:?}"
+        );
+        // Direction must not be reversed.
+        assert!(!got.contains(&("/tmp/.arch/out.7z".into(), "compress".into(), "/usr/bin/7z".into())));
+    }
+
+    #[test]
+    fn no_relation_without_verb() {
+        let got = triples("Interesting files include /etc/passwd, /etc/shadow.");
+        // "include" is not a relation verb; nothing extractable.
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn object_pairs_do_not_relate_to_each_other() {
+        let got = triples("The malware wrote /tmp/a.log after reading /etc/hosts.");
+        // (a.log, hosts) or (hosts, a.log) must not appear as a pair —
+        // both are objects of verbs; only subject-object pairs qualify.
+        for (s, _, o) in &got {
+            let crossed = (s == "/tmp/a.log" && o == "/etc/hosts")
+                || (s == "/etc/hosts" && o == "/tmp/a.log");
+            assert!(!crossed, "{got:?}");
+        }
+    }
+}

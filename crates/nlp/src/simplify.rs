@@ -1,0 +1,105 @@
+//! Tree simplification (Algorithm 1, stage 5).
+//!
+//! "We simplify the annotated trees by removing paths without IOC nodes
+//! down to the leaves." A node is kept iff it is annotated (IOC, candidate
+//! relation verb, or pronoun) or lies on the path from the root to an
+//! annotated node. Pruning is a *mark*, not a removal, so node indexes
+//! stay stable for later stages.
+
+use crate::dep::DepTree;
+
+/// Marks prunable nodes. Returns the number of pruned nodes.
+pub fn simplify(tree: &mut DepTree) -> usize {
+    let n = tree.nodes.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut keep = vec![false; n];
+    for i in 0..n {
+        let ann = &tree.nodes[i].ann;
+        if ann.is_ioc || ann.relation_verb.is_some() || ann.is_pronoun {
+            // Keep the whole root path.
+            for j in tree.path_to_root(i) {
+                keep[j] = true;
+            }
+        }
+    }
+    // Always keep the root so the tree stays navigable.
+    keep[tree.root] = true;
+    let mut pruned = 0usize;
+    for (i, node) in tree.nodes.iter_mut().enumerate() {
+        node.ann.pruned = !keep[i];
+        if node.ann.pruned {
+            pruned += 1;
+        }
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{annotate, restore_iocs};
+    use crate::depparse::parse;
+    use crate::protect::protect;
+    use crate::token::tokenize;
+
+    fn prepared(block: &str) -> DepTree {
+        let p = protect(block);
+        let mut tree = parse(tokenize(&p.text, 0));
+        restore_iocs(&mut tree, &p.slots);
+        annotate(&mut tree);
+        tree
+    }
+
+    #[test]
+    fn prunes_ioc_free_branches() {
+        let mut tree = prepared(
+            "After the long and tedious lateral movement stage, /bin/tar read /etc/passwd quickly",
+        );
+        let pruned = simplify(&mut tree);
+        assert!(pruned > 0, "decorative words must be pruned: {}", tree.render());
+        // IOC nodes and the relation verb survive.
+        for n in &tree.nodes {
+            if n.ann.is_ioc || n.ann.relation_verb.is_some() {
+                assert!(!n.ann.pruned, "kept: {}", n.token.text);
+            }
+        }
+        // "tedious" is on no IOC path.
+        let tedious = tree
+            .nodes
+            .iter()
+            .find(|n| n.token.text == "tedious")
+            .unwrap();
+        assert!(tedious.ann.pruned);
+    }
+
+    #[test]
+    fn keeps_root_paths() {
+        let mut tree = prepared("the attacker used /bin/tar to read data from /etc/passwd");
+        simplify(&mut tree);
+        // Every unpruned IOC can still walk to the root through unpruned
+        // nodes.
+        for i in tree.ioc_nodes() {
+            for j in tree.path_to_root(i) {
+                assert!(!tree.nodes[j].ann.pruned);
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_without_iocs_prunes_almost_everything() {
+        let mut tree = prepared("The weather was pleasant throughout the investigation");
+        let pruned = simplify(&mut tree);
+        assert!(pruned >= tree.nodes.len() - 2);
+    }
+
+    #[test]
+    fn empty_tree_is_fine() {
+        let mut tree = DepTree {
+            nodes: Vec::new(),
+            root: 0,
+        };
+        assert_eq!(simplify(&mut tree), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Block and sentence segmentation (Algorithm 1, stages 1–2).
+//!
+//! "We segment an input OSCTI article into natural blocks. We then segment
+//! a block into sentences." Sentence segmentation runs on *protected* text
+//! (IOCs already replaced by a dummy word), so dots inside IOCs can no
+//! longer break sentences — the paper's motivation for IOC protection.
+
+/// A half-open byte span into some source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Start byte (inclusive).
+    pub start: usize,
+    /// End byte (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Slices the source text.
+    pub fn slice<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.start..self.end]
+    }
+
+    /// Span length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Splits a document into natural blocks: runs of non-blank lines.
+/// Bullet markers (`- `, `* `, `• `, `1. )` etc.) start a new block, so
+/// each list item is treated as its own unit, matching how OSCTI reports
+/// enumerate steps.
+pub fn segment_blocks(doc: &str) -> Vec<Span> {
+    let mut blocks = Vec::new();
+    let mut cur_start: Option<usize> = None;
+    let mut offset = 0usize;
+    for line in doc.split_inclusive('\n') {
+        let trimmed = line.trim();
+        let is_blank = trimmed.is_empty();
+        let is_bullet = is_bullet_line(trimmed);
+        if is_blank {
+            if let Some(s) = cur_start.take() {
+                blocks.push(Span::new(s, offset));
+            }
+        } else if is_bullet {
+            if let Some(s) = cur_start.take() {
+                blocks.push(Span::new(s, offset));
+            }
+            cur_start = Some(offset);
+        } else if cur_start.is_none() {
+            cur_start = Some(offset);
+        }
+        offset += line.len();
+    }
+    if let Some(s) = cur_start {
+        blocks.push(Span::new(s, offset));
+    }
+    // Trim whitespace (and bullet markers) off each span.
+    blocks
+        .into_iter()
+        .filter_map(|sp| trim_span(doc, sp))
+        .collect()
+}
+
+fn is_bullet_line(trimmed: &str) -> bool {
+    if let Some(rest) = trimmed
+        .strip_prefix("- ")
+        .or_else(|| trimmed.strip_prefix("* "))
+        .or_else(|| trimmed.strip_prefix("• "))
+    {
+        return !rest.is_empty();
+    }
+    // Numbered bullets: "1. ", "2) ".
+    let digits: String = trimmed.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return false;
+    }
+    let rest = &trimmed[digits.len()..];
+    rest.starts_with(". ") || rest.starts_with(") ")
+}
+
+fn trim_span(doc: &str, sp: Span) -> Option<Span> {
+    let text = sp.slice(doc);
+    let l = text.len() - text.trim_start().len();
+    let r = text.len() - text.trim_end().len();
+    let mut start = sp.start + l;
+    let end = sp.end - r;
+    if start >= end {
+        return None;
+    }
+    // Strip a bullet marker.
+    let inner = &doc[start..end];
+    for marker in ["- ", "* ", "• "] {
+        if let Some(rest) = inner.strip_prefix(marker) {
+            start += marker.len();
+            let extra = rest.len() - rest.trim_start().len();
+            start += extra;
+            break;
+        }
+    }
+    let inner = &doc[start..end];
+    let digits: String = inner.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if !digits.is_empty() {
+        let rest = &inner[digits.len()..];
+        if rest.starts_with(". ") || rest.starts_with(") ") {
+            start += digits.len() + 2;
+        }
+    }
+    if start >= end {
+        None
+    } else {
+        Some(Span::new(start, end))
+    }
+}
+
+/// Abbreviations that do not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "etc", "vs", "cf", "mr", "mrs", "dr", "prof", "fig", "no", "al", "inc", "corp",
+    "ltd", "st", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov",
+    "dec", "approx",
+];
+
+/// Splits a (protected) block into sentences.
+///
+/// A sentence boundary is `.`/`!`/`?` followed by whitespace and an
+/// uppercase letter, digit, or end-of-block — unless the preceding word is
+/// a known abbreviation or a single capital (initials).
+pub fn segment_sentences(block: &str) -> Vec<Span> {
+    let bytes = block.as_bytes();
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '.' || c == '!' || c == '?' {
+            // Collect any run of closers (.", .), …).
+            let mut j = i + 1;
+            while j < bytes.len() && matches!(bytes[j] as char, '"' | '\'' | ')' | ']') {
+                j += 1;
+            }
+            let at_end = j >= bytes.len();
+            let followed_by_break = at_end
+                || ((bytes[j] as char).is_whitespace() && {
+                    let rest = block[j..].trim_start();
+                    rest.is_empty()
+                        || rest.starts_with(crate::protect::DUMMY)
+                        || rest.chars().next().is_some_and(|n| {
+                            n.is_uppercase()
+                                || n.is_ascii_digit()
+                                || n == '/'
+                                || n == '"'
+                                || n == '\''
+                                || n == '('
+                        })
+                });
+            let abbreviation = c == '.' && {
+                let before = &block[start..i];
+                let word = before
+                    .rsplit(|ch: char| ch.is_whitespace())
+                    .next()
+                    .unwrap_or("");
+                let w = word.trim_matches(|ch: char| !ch.is_alphanumeric() && ch != '.');
+                let lower = w.to_ascii_lowercase();
+                ABBREVIATIONS.contains(&lower.trim_end_matches('.'))
+                    || (w.len() == 1 && w.chars().all(|ch| ch.is_uppercase()))
+            };
+            if followed_by_break && !abbreviation {
+                let end = j;
+                if let Some(sp) = nonempty_trimmed(block, start, end) {
+                    spans.push(sp);
+                }
+                // Skip whitespace to the next sentence start.
+                let mut k = j;
+                while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                    k += 1;
+                }
+                start = k;
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if let Some(sp) = nonempty_trimmed(block, start, block.len()) {
+        spans.push(sp);
+    }
+    spans
+}
+
+fn nonempty_trimmed(text: &str, start: usize, end: usize) -> Option<Span> {
+    if start >= end {
+        return None;
+    }
+    let slice = &text[start..end];
+    let l = slice.len() - slice.trim_start().len();
+    let r = slice.len() - slice.trim_end().len();
+    let (s, e) = (start + l, end - r);
+    if s >= e {
+        None
+    } else {
+        Some(Span::new(s, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(doc: &str) -> Vec<String> {
+        segment_blocks(doc)
+            .into_iter()
+            .map(|s| s.slice(doc).to_string())
+            .collect()
+    }
+
+    fn sentences(block: &str) -> Vec<String> {
+        segment_sentences(block)
+            .into_iter()
+            .map(|s| s.slice(block).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn blank_lines_split_blocks() {
+        let doc = "First paragraph here.\nStill first.\n\nSecond paragraph.\n";
+        let b = blocks(doc);
+        assert_eq!(b.len(), 2);
+        assert!(b[0].starts_with("First"));
+        assert!(b[1].starts_with("Second"));
+    }
+
+    #[test]
+    fn bullets_become_blocks() {
+        let doc = "Steps:\n- download the payload\n- execute it\n1. persist\n";
+        let b = blocks(doc);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[1], "download the payload");
+        assert_eq!(b[3], "persist");
+    }
+
+    #[test]
+    fn empty_doc_and_whitespace_only() {
+        assert!(blocks("").is_empty());
+        assert!(blocks("  \n\n  \n").is_empty());
+    }
+
+    #[test]
+    fn simple_sentence_split() {
+        let s = sentences("The attacker used something. It wrote data to something. Done!");
+        assert_eq!(
+            s,
+            vec![
+                "The attacker used something.",
+                "It wrote data to something.",
+                "Done!"
+            ]
+        );
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = sentences("Tools (e.g. tar) were used. Next sentence.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("e.g. tar"));
+    }
+
+    #[test]
+    fn decimals_do_not_split() {
+        // digit '.' digit — the following char is not whitespace.
+        let s = sentences("The file was 3.5 MB in size. It was uploaded.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn question_and_quote_closers() {
+        let s = sentences("Was it malicious? Yes. \"It was.\" The end.");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[2], "\"It was.\"");
+    }
+
+    #[test]
+    fn sentence_starting_with_path_like_token() {
+        // Protected text never starts sentences with '/', but raw text
+        // (tests, diagnostics) can.
+        let s = sentences("The step completed. /bin/bzip2 read the file.");
+        assert_eq!(s.len(), 2);
+        assert!(s[1].starts_with("/bin/bzip2"));
+    }
+
+    #[test]
+    fn spans_are_offsets_into_block() {
+        let block = "Alpha beta. Gamma delta.";
+        let spans = segment_sentences(block);
+        assert_eq!(spans[0], Span::new(0, 11));
+        assert_eq!(spans[1].slice(block), "Gamma delta.");
+        assert_eq!(spans[1].len(), 12);
+        assert!(!spans[1].is_empty());
+    }
+
+    #[test]
+    fn single_initial_does_not_split() {
+        let s = sentences("Agent J. Smith reported the intrusion. Confirmed.");
+        assert_eq!(s.len(), 2);
+    }
+}

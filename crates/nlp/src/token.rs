@@ -1,0 +1,150 @@
+//! Tokenization of (protected) sentences.
+//!
+//! Works on protected text, where IOCs are already the single word
+//! `something`, so a simple punctuation-aware tokenizer suffices — which
+//! is exactly why the paper protects IOCs before invoking general NLP
+//! machinery.
+
+use crate::ioc::Ioc;
+
+/// One token of a sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token text. After protection removal this is the original IOC text
+    /// for dummy tokens.
+    pub text: String,
+    /// Start byte offset in the protected block text.
+    pub start: usize,
+    /// Restored IOC, if this token was a protection dummy.
+    pub ioc: Option<Ioc>,
+}
+
+impl Token {
+    /// Lowercased text (cached nowhere; tokens are small).
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True if this token carries an IOC.
+    pub fn is_ioc(&self) -> bool {
+        self.ioc.is_some()
+    }
+}
+
+/// Characters split off as standalone punctuation tokens.
+fn is_punct(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '"' | '(' | ')' | '[' | ']' | '{' | '}' | '…'
+    )
+}
+
+/// Tokenizes a sentence. `base` is the sentence's start offset within the
+/// protected block, so token offsets are block-relative.
+pub fn tokenize(sentence: &str, base: usize) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut word_start: Option<usize> = None;
+    let flush = |tokens: &mut Vec<Token>, s: usize, e: usize, text: &str| {
+        if s < e {
+            tokens.push(Token {
+                text: text[s..e].to_string(),
+                start: base + s,
+                ioc: None,
+            });
+        }
+    };
+    for (i, c) in sentence.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = word_start.take() {
+                flush(&mut tokens, s, i, sentence);
+            }
+        } else if is_punct(c) {
+            // Keep apostrophes inside words (doesn't, attacker's), and
+            // periods between digits (3.5) — but the latter only matters
+            // for unprotected text.
+            let between_digits = c == '.'
+                && word_start.is_some()
+                && sentence[..i].chars().next_back().is_some_and(|p| p.is_ascii_digit())
+                && sentence[i + c.len_utf8()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|n| n.is_ascii_digit());
+            if between_digits {
+                continue;
+            }
+            if let Some(s) = word_start.take() {
+                flush(&mut tokens, s, i, sentence);
+            }
+            flush(&mut tokens, i, i + c.len_utf8(), sentence);
+        } else if word_start.is_none() {
+            word_start = Some(i);
+        }
+    }
+    if let Some(s) = word_start {
+        flush(&mut tokens, s, sentence.len(), sentence);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        tokenize(s, 0).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_split() {
+        assert_eq!(
+            words("The attacker used something."),
+            vec!["The", "attacker", "used", "something", "."]
+        );
+    }
+
+    #[test]
+    fn punctuation_separated() {
+        assert_eq!(
+            words("It wrote, then read: done!"),
+            vec!["It", "wrote", ",", "then", "read", ":", "done", "!"]
+        );
+        assert_eq!(
+            words("the curl utility (something)"),
+            vec!["the", "curl", "utility", "(", "something", ")"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_kept() {
+        assert_eq!(words("attacker's tool doesn't"), vec!["attacker's", "tool", "doesn't"]);
+    }
+
+    #[test]
+    fn decimals_kept_together() {
+        assert_eq!(words("sized 3.5 MB"), vec!["sized", "3.5", "MB"]);
+    }
+
+    #[test]
+    fn offsets_are_base_relative() {
+        let toks = tokenize("ab cd", 100);
+        assert_eq!(toks[0].start, 100);
+        assert_eq!(toks[1].start, 103);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("", 0).is_empty());
+        assert!(tokenize("   \t ", 0).is_empty());
+    }
+
+    #[test]
+    fn token_helpers() {
+        let t = Token {
+            text: "Wrote".into(),
+            start: 0,
+            ioc: None,
+        };
+        assert_eq!(t.lower(), "wrote");
+        assert!(!t.is_ioc());
+    }
+}

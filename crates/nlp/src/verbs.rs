@@ -1,0 +1,84 @@
+//! Verb lexicons: security-relevant relation verbs and general verbs.
+//!
+//! The annotation stage marks "candidate IOC relation verbs" (§II-C stage
+//! 4); candidates come from [`SECURITY_VERBS`]. [`INSTRUMENT_VERBS`] are
+//! the "used X to …" verbs whose direct object acts as the semantic
+//! subject of the embedded action — the pattern behind Fig. 2's "the
+//! attacker used /bin/tar to read … from /etc/passwd" ⇒ (tar, read,
+//! passwd).
+
+/// Lemmas of verbs that can label an IOC relation edge.
+pub const SECURITY_VERBS: &[&str] = &[
+    "read", "write", "open", "create", "drop", "download", "upload", "send", "receive",
+    "transfer", "exfiltrate", "leak", "steal", "copy", "move", "rename", "delete", "remove",
+    "modify", "overwrite", "encrypt", "decrypt", "compress", "archive", "pack", "unpack",
+    "extract", "execute", "run", "launch", "spawn", "start", "invoke", "inject", "load",
+    "connect", "communicate", "beacon", "resolve", "scan", "access", "collect", "gather",
+    "harvest", "compromise", "install", "persist", "register", "query", "contact", "post",
+    "fetch", "request", "retrieve", "store", "save", "append", "log", "dump", "crack",
+];
+
+/// Lemmas of instrumental verbs: `used X to <verb> Y` promotes `X` to the
+/// subject of `<verb>`.
+pub const INSTRUMENT_VERBS: &[&str] = &["use", "leverage", "utilize", "employ"];
+
+/// Additional common verbs the tagger should recognize (they never label
+/// edges but must parse as verbs).
+pub const COMMON_VERBS: &[&str] = &[
+    "use", "leverage", "utilize", "employ", "attempt", "try", "involve", "correspond",
+    "include", "contain", "perform", "conduct", "continue", "begin", "proceed", "make",
+    "take", "obtain", "appear", "exploit", "penetrate", "infiltrate", "target", "attack",
+    "detect", "observe", "report", "identify", "encode", "decode", "escalate", "pivot",
+    "enumerate", "list", "search", "find", "locate", "wait", "sleep", "check", "verify",
+    "go", "come", "get", "see", "show", "follow", "unfold", "happen", "occur", "resume",
+    "emulate", "mask", "hide", "establish", "complete", "finish", "exfil",
+];
+
+/// True if `lemma` can label a relation edge.
+pub fn is_relation_verb(lemma: &str) -> bool {
+    SECURITY_VERBS.contains(&lemma)
+}
+
+/// True if `lemma` is instrumental (`use`-like).
+pub fn is_instrument_verb(lemma: &str) -> bool {
+    INSTRUMENT_VERBS.contains(&lemma)
+}
+
+/// True if `lemma` promotes its object to the actor of an embedded
+/// clause the way `use` does: "executed X to scan Y" means X scans Y.
+pub fn is_executing_instrument(lemma: &str) -> bool {
+    is_instrument_verb(lemma)
+        || matches!(lemma, "execute" | "run" | "launch" | "invoke" | "spawn" | "start")
+}
+
+/// True if `lemma` is any known verb (for POS tagging).
+pub fn is_known_verb(lemma: &str) -> bool {
+    SECURITY_VERBS.contains(&lemma)
+        || INSTRUMENT_VERBS.contains(&lemma)
+        || COMMON_VERBS.contains(&lemma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(is_relation_verb("read"));
+        assert!(is_relation_verb("connect"));
+        assert!(!is_relation_verb("use"));
+        assert!(is_instrument_verb("leverage"));
+        assert!(!is_instrument_verb("read"));
+        assert!(is_known_verb("use"));
+        assert!(is_known_verb("exploit"));
+        assert!(!is_known_verb("table"));
+    }
+
+    #[test]
+    fn lexicons_are_lemma_form() {
+        for w in SECURITY_VERBS.iter().chain(INSTRUMENT_VERBS).chain(COMMON_VERBS) {
+            assert!(!w.ends_with("ing"), "{w} must be a lemma");
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Causality-Preserved Reduction (CPR).
+//!
+//! The paper reduces storage by "merg[ing] excessive events between the
+//! same pair of entities" using the technique of Xu et al., *High Fidelity
+//! Data Reduction for Big Data Security Dependency Analyses* (CCS'16)
+//! (§II-B). The preserved property is *causality*: merging a run of events
+//! between the same `(subject, object, operation)` must not change the
+//! happens-before relation between any event and the events incident on
+//! either endpoint.
+//!
+//! This implementation uses the conservative sufficient condition from the
+//! CCS'16 paper: a run of same-key events is merged only while **no other
+//! event touches either endpoint** between the run's first and last event.
+//! Any interleaving event on the subject or the object closes the run, so
+//! every outside observer sees exactly the same ordering before and after
+//! reduction.
+
+use std::collections::HashMap;
+use threatraptor_audit::entity::EntityId;
+use threatraptor_audit::event::{Event, Operation};
+
+/// Key identifying a mergeable run.
+type RunKey = (EntityId, EntityId, Operation);
+
+/// Summary of one reduction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Events before reduction.
+    pub before: usize,
+    /// Events after reduction.
+    pub after: usize,
+}
+
+impl ReductionStats {
+    /// Reduction factor (`before / after`), or 1.0 on empty input.
+    pub fn factor(&self) -> f64 {
+        if self.after == 0 {
+            1.0
+        } else {
+            self.before as f64 / self.after as f64
+        }
+    }
+
+    /// Fraction of events removed, in `[0, 1)`.
+    pub fn removed_ratio(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            (self.before - self.after) as f64 / self.before as f64
+        }
+    }
+}
+
+/// Applies CPR to an event stream. Returns the reduced stream (sorted by
+/// start time) and the reduction statistics.
+///
+/// Merging rules:
+/// * only data-transfer operations ([`Operation::cpr_mergeable`]) merge —
+///   lifecycle events (fork/execute/connect/…) are always preserved;
+/// * only events with identical ground-truth tags merge (evaluation
+///   metadata must stay exact);
+/// * a merged event keeps the **first** constituent's id and start time,
+///   extends `end` to the last constituent, sums `bytes`, and counts
+///   constituents in `merged`.
+pub fn reduce(events: &[Event]) -> (Vec<Event>, ReductionStats) {
+    let before = events.len();
+
+    // Process in time order.
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| (events[i].start, events[i].end, events[i].id));
+
+    // seq of the most recent output-event activity touching each entity.
+    let mut last_touch: HashMap<EntityId, u64> = HashMap::new();
+    // Open run per key: (accumulated event, seq of its last constituent).
+    let mut open: HashMap<RunKey, (Event, u64)> = HashMap::new();
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+    let mut seq: u64 = 0;
+
+    for &i in &order {
+        let ev = &events[i];
+        seq += 1;
+        let key: RunKey = (ev.subject, ev.op, ev.object).into_run_key();
+
+        let mergeable = ev.op.cpr_mergeable();
+        if mergeable {
+            if let Some((acc, last_seq)) = open.get_mut(&key) {
+                let subj_quiet = last_touch.get(&ev.subject) == Some(last_seq);
+                let obj_quiet = last_touch.get(&ev.object) == Some(last_seq);
+                if subj_quiet && obj_quiet && acc.tag == ev.tag {
+                    // Extend the run.
+                    acc.end = acc.end.max(ev.end);
+                    acc.bytes += ev.bytes;
+                    acc.merged += ev.merged;
+                    *last_seq = seq;
+                    last_touch.insert(ev.subject, seq);
+                    last_touch.insert(ev.object, seq);
+                    continue;
+                }
+            }
+            // Start a new run (flushing any stale run under this key).
+            if let Some((acc, _)) = open.remove(&key) {
+                out.push(acc);
+            }
+            open.insert(key, (ev.clone(), seq));
+        } else {
+            // Non-mergeable event: flush the run under this key, if any,
+            // then emit as-is.
+            if let Some((acc, _)) = open.remove(&key) {
+                out.push(acc);
+            }
+            out.push(ev.clone());
+        }
+        last_touch.insert(ev.subject, seq);
+        last_touch.insert(ev.object, seq);
+    }
+
+    // Flush all remaining runs.
+    for (_, (acc, _)) in open.drain() {
+        out.push(acc);
+    }
+    out.sort_by_key(|e| (e.start, e.end, e.id));
+
+    let stats = ReductionStats {
+        before,
+        after: out.len(),
+    };
+    (out, stats)
+}
+
+/// Helper converting the natural tuple order into the run key layout.
+trait IntoRunKey {
+    fn into_run_key(self) -> RunKey;
+}
+
+impl IntoRunKey for (EntityId, Operation, EntityId) {
+    fn into_run_key(self) -> RunKey {
+        (self.0, self.2, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use threatraptor_audit::event::{AttackTag, EventId};
+
+    fn ev(id: u32, s: u32, op: Operation, o: u32, start: u64) -> Event {
+        Event {
+            id: EventId(id),
+            subject: EntityId(s),
+            op,
+            object: EntityId(o),
+            start,
+            end: start + 2,
+            bytes: 10,
+            merged: 1,
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn quiet_burst_merges_to_one() {
+        let events: Vec<Event> = (0..5).map(|i| ev(i, 0, Operation::Read, 1, i as u64 * 10)).collect();
+        let (out, stats) = reduce(&events);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.before, 5);
+        assert_eq!(stats.after, 1);
+        assert_eq!(out[0].merged, 5);
+        assert_eq!(out[0].bytes, 50);
+        assert_eq!(out[0].start, 0);
+        assert_eq!(out[0].end, 42);
+        assert_eq!(out[0].id, EventId(0), "keeps first constituent id");
+        assert!((stats.factor() - 5.0).abs() < 1e-9);
+        assert!((stats.removed_ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interleaving_event_on_subject_breaks_run() {
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 0),
+            ev(1, 0, Operation::Read, 1, 10),
+            // Subject 0 writes elsewhere: breaks the read run.
+            ev(2, 0, Operation::Write, 2, 20),
+            ev(3, 0, Operation::Read, 1, 30),
+        ];
+        let (out, _) = reduce(&events);
+        // reads merged [0,1], the write, read [3] alone.
+        assert_eq!(out.len(), 3);
+        let merged_read = out.iter().find(|e| e.merged == 2).unwrap();
+        assert_eq!(merged_read.op, Operation::Read);
+    }
+
+    #[test]
+    fn interleaving_event_on_object_breaks_run() {
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 0),
+            // Another process writes the same file: order must survive.
+            ev(1, 2, Operation::Write, 1, 10),
+            ev(2, 0, Operation::Read, 1, 20),
+        ];
+        let (out, stats) = reduce(&events);
+        assert_eq!(out.len(), 3, "read-write-read must not collapse");
+        assert_eq!(stats.after, 3);
+    }
+
+    #[test]
+    fn non_mergeable_ops_always_preserved() {
+        let events = vec![
+            ev(0, 0, Operation::Connect, 1, 0),
+            ev(1, 0, Operation::Connect, 1, 10),
+            ev(2, 0, Operation::Fork, 2, 20),
+        ];
+        let (out, _) = reduce(&events);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn different_tags_do_not_merge() {
+        let mut a = ev(0, 0, Operation::Read, 1, 0);
+        let mut b = ev(1, 0, Operation::Read, 1, 10);
+        a.tag = Some(AttackTag {
+            case: "x".into(),
+            step: 1,
+        });
+        b.tag = Some(AttackTag {
+            case: "x".into(),
+            step: 2,
+        });
+        let (out, _) = reduce(&[a, b]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn distinct_pairs_merge_independently() {
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 0),
+            ev(1, 2, Operation::Read, 3, 5),
+            ev(2, 0, Operation::Read, 1, 10),
+            ev(3, 2, Operation::Read, 3, 15),
+        ];
+        let (out, _) = reduce(&events);
+        // Each pair's run is uninterrupted on its own endpoints.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.merged == 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = reduce(&[]);
+        assert!(out.is_empty());
+        assert_eq!(stats.factor(), 1.0);
+        assert_eq!(stats.removed_ratio(), 0.0);
+    }
+
+    #[test]
+    fn output_sorted_by_start() {
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 50),
+            ev(1, 2, Operation::Write, 3, 10),
+            ev(2, 4, Operation::Fork, 5, 30),
+        ];
+        let (out, _) = reduce(&events);
+        for w in out.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    /// Strategy: small random event streams over few entities.
+    fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+        prop::collection::vec(
+            (
+                0u32..4,                       // subject
+                0u32..4,                       // object
+                prop::sample::select(vec![
+                    Operation::Read,
+                    Operation::Write,
+                    Operation::Fork,
+                    Operation::Send,
+                ]),
+            ),
+            0..40,
+        )
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, o, op))| {
+                    let o = if s == o { (o + 1) % 4 } else { o };
+                    ev(i as u32, s, op, o, i as u64 * 10)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The defining invariant: for every merged event, no *other*
+        /// output event touching either endpoint overlaps its window.
+        #[test]
+        fn no_foreign_activity_inside_merged_windows(events in arb_events()) {
+            let (out, stats) = reduce(&events);
+            prop_assert!(stats.after <= stats.before);
+            // Total constituents and bytes are conserved.
+            let merged_total: u32 = out.iter().map(|e| e.merged).sum();
+            prop_assert_eq!(merged_total as usize, events.len());
+            let bytes_in: u64 = events.iter().map(|e| e.bytes).sum();
+            let bytes_out: u64 = out.iter().map(|e| e.bytes).sum();
+            prop_assert_eq!(bytes_in, bytes_out);
+
+            for m in out.iter().filter(|e| e.merged > 1) {
+                for other in events.iter() {
+                    // Skip constituents of m itself.
+                    let same_key = other.subject == m.subject
+                        && other.object == m.object
+                        && other.op == m.op
+                        && other.start >= m.start
+                        && other.end <= m.end;
+                    if same_key {
+                        continue;
+                    }
+                    let shares_endpoint = other.subject == m.subject
+                        || other.subject == m.object
+                        || other.object == m.subject
+                        || other.object == m.object;
+                    if shares_endpoint {
+                        let strictly_inside = other.start > m.start && other.end < m.end;
+                        prop_assert!(
+                            !strictly_inside,
+                            "event {:?} interleaves merged window [{}, {}]",
+                            other.id, m.start, m.end
+                        );
+                    }
+                }
+            }
+        }
+
+        /// CPR is idempotent: reducing a reduced stream changes nothing.
+        #[test]
+        fn reduction_is_idempotent(events in arb_events()) {
+            let (once, _) = reduce(&events);
+            let (twice, stats) = reduce(&once);
+            prop_assert_eq!(stats.before, stats.after);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # threatraptor-storage
+//!
+//! Storage substrate for the ThreatRaptor reproduction.
+//!
+//! The paper stores parsed audit data in two backends (§II-B): PostgreSQL
+//! (entities and events as tables, "mature indexing mechanisms … suitable
+//! for queries that involve many joins and constraints") and Neo4j
+//! (entities as nodes, events as edges, "suitable for queries that involve
+//! graph pattern search"). Neither is available offline, so this crate
+//! provides embedded equivalents that execute the *same logical plans* the
+//! paper compiles TBQL into:
+//!
+//! * [`relational`] — a typed row store with B-tree/hash indexes, a
+//!   predicate AST with SQL `LIKE` semantics, and a select-project-join
+//!   executor with index selection ([`relational::SqlSelect`] renders to
+//!   SQL text for the conciseness experiment);
+//! * [`graphdb`] — a property graph over the same data with
+//!   variable-length path search (min/max hops, last-hop operation,
+//!   time-monotone traversal), the compile target for TBQL path patterns;
+//! * [`cpr`] — Causality-Preserved Reduction (Xu et al., CCS'16), the
+//!   event-merging technique the paper applies to reduce data size;
+//! * [`store`] — [`store::AuditStore`], which ingests a parsed log into
+//!   both backends and keeps key attributes indexed.
+
+pub mod cpr;
+pub mod graphdb;
+pub mod relational;
+pub mod store;
+
+pub use relational::{Database, Predicate, SqlSelect, Value};
+pub use store::AuditStore;

@@ -1,0 +1,424 @@
+//! Select-project-join plans over the catalog — the logical form of the
+//! "SQL data query which joins entity tables with event table" (§II-F).
+
+use super::predicate::Predicate;
+use super::table::{Database, RowId};
+use super::value::Value;
+use std::collections::HashMap;
+
+/// A table reference with an alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub table: String,
+    /// Alias used by join conditions, filters, and projections.
+    pub alias: String,
+}
+
+impl TableRef {
+    /// Creates a table reference.
+    pub fn new(table: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// An equi-join condition `left_alias.left_col = right_alias.right_col`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCond {
+    /// Left side `(alias, column)`.
+    pub left: (String, String),
+    /// Right side `(alias, column)`.
+    pub right: (String, String),
+}
+
+impl JoinCond {
+    /// Creates a join condition.
+    pub fn new(
+        la: impl Into<String>,
+        lc: impl Into<String>,
+        ra: impl Into<String>,
+        rc: impl Into<String>,
+    ) -> JoinCond {
+        JoinCond {
+            left: (la.into(), lc.into()),
+            right: (ra.into(), rc.into()),
+        }
+    }
+}
+
+/// A select-project-join query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SqlSelect {
+    /// Tables in the `FROM` clause.
+    pub from: Vec<TableRef>,
+    /// Equi-join conditions.
+    pub joins: Vec<JoinCond>,
+    /// Per-alias filters (conjoined).
+    pub filters: Vec<(String, Predicate)>,
+    /// Projected `(alias, column)` pairs.
+    pub projection: Vec<(String, String)>,
+    /// Whether to deduplicate projected rows.
+    pub distinct: bool,
+}
+
+/// Result of the join phase: one [`RowId`] per alias per output tuple.
+/// The engine reads entity/event row ids straight from here; projection
+/// to values is a separate, optional step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinedRows {
+    /// Alias order for the tuples.
+    pub aliases: Vec<String>,
+    /// One row-id vector (parallel to `aliases`) per output tuple.
+    pub tuples: Vec<Vec<RowId>>,
+}
+
+impl JoinedRows {
+    /// Position of an alias within tuples.
+    pub fn slot(&self, alias: &str) -> usize {
+        self.aliases
+            .iter()
+            .position(|a| a == alias)
+            .unwrap_or_else(|| panic!("no alias `{alias}` in join result"))
+    }
+
+    /// Column of row ids for one alias.
+    pub fn column(&self, alias: &str) -> Vec<RowId> {
+        let slot = self.slot(alias);
+        self.tuples.iter().map(|t| t[slot]).collect()
+    }
+}
+
+impl SqlSelect {
+    /// Executes the join phase: evaluates per-alias filters (with index
+    /// assistance), then joins smallest-first via hash joins.
+    pub fn execute(&self, db: &Database) -> JoinedRows {
+        assert!(!self.from.is_empty(), "SELECT requires at least one table");
+        // 1. Candidate rows per alias.
+        let mut candidates: HashMap<&str, Vec<RowId>> = HashMap::new();
+        for tref in &self.from {
+            let table = db.table(&tref.table);
+            let pred = Predicate::and(
+                self.filters
+                    .iter()
+                    .filter(|(a, _)| *a == tref.alias)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            );
+            candidates.insert(tref.alias.as_str(), table.select(&pred));
+        }
+
+        // 2. Join order: start from the smallest candidate set; repeatedly
+        //    attach the alias connected by a join condition whose candidate
+        //    set is smallest (greedy); fall back to cross product if the
+        //    join graph is disconnected.
+        let mut remaining: Vec<&TableRef> = self.from.iter().collect();
+        remaining.sort_by_key(|t| candidates[t.alias.as_str()].len());
+        let first = remaining.remove(0);
+
+        let mut aliases = vec![first.alias.clone()];
+        let mut tuples: Vec<Vec<RowId>> = candidates[first.alias.as_str()]
+            .iter()
+            .map(|&rid| vec![rid])
+            .collect();
+
+        while !remaining.is_empty() {
+            // Prefer an alias connected to the already-joined set.
+            let pos = remaining
+                .iter()
+                .position(|t| {
+                    self.joins.iter().any(|j| {
+                        (aliases.contains(&j.left.0) && j.right.0 == t.alias)
+                            || (aliases.contains(&j.right.0) && j.left.0 == t.alias)
+                    })
+                })
+                .unwrap_or(0);
+            let next = remaining.remove(pos);
+            let next_table = db.table(&next.table);
+            let next_rows = &candidates[next.alias.as_str()];
+
+            // Join conditions connecting `next` to the joined set.
+            let conds: Vec<(usize, usize)> = self
+                .joins
+                .iter()
+                .filter_map(|j| {
+                    if aliases.contains(&j.left.0) && j.right.0 == next.alias {
+                        Some((
+                            (aliases.iter().position(|a| *a == j.left.0).expect("contained"),
+                             j.left.1.clone()),
+                            j.right.1.clone(),
+                        ))
+                    } else if aliases.contains(&j.right.0) && j.left.0 == next.alias {
+                        Some((
+                            (aliases.iter().position(|a| *a == j.right.0).expect("contained"),
+                             j.right.1.clone()),
+                            j.left.1.clone(),
+                        ))
+                    } else {
+                        None
+                    }
+                })
+                .map(|((slot, lcol), rcol)| {
+                    let ltable = db.table(
+                        &self
+                            .from
+                            .iter()
+                            .find(|t| t.alias == aliases[slot])
+                            .expect("alias resolved")
+                            .table,
+                    );
+                    (slot, ltable.col(&lcol), next_table.col(&rcol))
+                })
+                .map(|(slot, lpos, rpos)| {
+                    // Encode both positions into one pair via closure below.
+                    (slot * 1_000_000 + lpos, rpos)
+                })
+                .collect();
+
+            if conds.is_empty() {
+                // Cross product (rare; only for degenerate queries).
+                let mut out = Vec::with_capacity(tuples.len() * next_rows.len());
+                for t in &tuples {
+                    for &rid in next_rows {
+                        let mut nt = t.clone();
+                        nt.push(rid);
+                        out.push(nt);
+                    }
+                }
+                tuples = out;
+            } else {
+                // Hash join on the composite key of all join conditions.
+                let from_tables: HashMap<&str, &str> = self
+                    .from
+                    .iter()
+                    .map(|t| (t.alias.as_str(), t.table.as_str()))
+                    .collect();
+                let mut probe: HashMap<Vec<Value>, Vec<RowId>> = HashMap::new();
+                for &rid in next_rows {
+                    let key: Vec<Value> = conds
+                        .iter()
+                        .map(|&(_, rpos)| next_table.row(rid)[rpos].clone())
+                        .collect();
+                    probe.entry(key).or_default().push(rid);
+                }
+                let mut out = Vec::new();
+                for t in &tuples {
+                    let key: Vec<Value> = conds
+                        .iter()
+                        .map(|&(packed, _)| {
+                            let slot = packed / 1_000_000;
+                            let lpos = packed % 1_000_000;
+                            let ltable = db.table(from_tables[aliases[slot].as_str()]);
+                            ltable.row(t[slot])[lpos].clone()
+                        })
+                        .collect();
+                    if let Some(matches) = probe.get(&key) {
+                        for &rid in matches {
+                            let mut nt = t.clone();
+                            nt.push(rid);
+                            out.push(nt);
+                        }
+                    }
+                }
+                tuples = out;
+            }
+            aliases.push(next.alias.clone());
+        }
+
+        JoinedRows { aliases, tuples }
+    }
+
+    /// Executes and projects values, honoring `distinct`.
+    pub fn execute_project(&self, db: &Database) -> Vec<Vec<Value>> {
+        let joined = self.execute(db);
+        let alias_tables: HashMap<&str, &str> = self
+            .from
+            .iter()
+            .map(|t| (t.alias.as_str(), t.table.as_str()))
+            .collect();
+        let mut rows: Vec<Vec<Value>> = joined
+            .tuples
+            .iter()
+            .map(|t| {
+                self.projection
+                    .iter()
+                    .map(|(alias, col)| {
+                        let table = db.table(alias_tables[alias.as_str()]);
+                        table.row(t[joined.slot(alias)])[table.col(col)].clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        if self.distinct {
+            rows.sort();
+            rows.dedup();
+        }
+        rows
+    }
+
+    /// Renders the plan as SQL text (for the conciseness experiment and
+    /// for debugging).
+    pub fn to_sql(&self) -> String {
+        let mut sql = String::from("SELECT ");
+        if self.distinct {
+            sql.push_str("DISTINCT ");
+        }
+        if self.projection.is_empty() {
+            sql.push('*');
+        } else {
+            let cols: Vec<String> = self
+                .projection
+                .iter()
+                .map(|(a, c)| format!("{a}.{c}"))
+                .collect();
+            sql.push_str(&cols.join(", "));
+        }
+        sql.push_str("\nFROM ");
+        let tables: Vec<String> = self
+            .from
+            .iter()
+            .map(|t| format!("{} AS {}", t.table, t.alias))
+            .collect();
+        sql.push_str(&tables.join(", "));
+        let mut conds: Vec<String> = self
+            .joins
+            .iter()
+            .map(|j| format!("{}.{} = {}.{}", j.left.0, j.left.1, j.right.0, j.right.1))
+            .collect();
+        for (alias, pred) in &self.filters {
+            if !matches!(pred, Predicate::True) {
+                conds.push(pred.to_sql(alias));
+            }
+        }
+        if !conds.is_empty() {
+            sql.push_str("\nWHERE ");
+            sql.push_str(&conds.join("\n  AND "));
+        }
+        sql.push(';');
+        sql
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relational::table::{Column, Table};
+
+    /// Two-table fixture: `proc(id, exename)` and `event(id, subject, op)`.
+    fn db() -> Database {
+        let mut procs = Table::new("proc", vec![Column::new("id"), Column::new("exename")]);
+        procs.insert(vec![Value::int(0), Value::str("/bin/tar")]);
+        procs.insert(vec![Value::int(1), Value::str("/bin/cat")]);
+        procs.insert(vec![Value::int(2), Value::str("/bin/tar")]);
+
+        let mut events = Table::new(
+            "event",
+            vec![Column::new("id"), Column::new("subject"), Column::new("op")],
+        );
+        events.insert(vec![Value::int(0), Value::int(0), Value::str("read")]);
+        events.insert(vec![Value::int(1), Value::int(1), Value::str("read")]);
+        events.insert(vec![Value::int(2), Value::int(2), Value::str("write")]);
+        events.insert(vec![Value::int(3), Value::int(0), Value::str("write")]);
+        events.create_hash_index("op");
+        events.create_btree_index("subject");
+
+        let mut db = Database::new();
+        db.add_table(procs);
+        db.add_table(events);
+        db
+    }
+
+    fn tar_reads() -> SqlSelect {
+        SqlSelect {
+            from: vec![TableRef::new("proc", "p"), TableRef::new("event", "e")],
+            joins: vec![JoinCond::new("p", "id", "e", "subject")],
+            filters: vec![
+                ("p".into(), Predicate::like("exename", "%/bin/tar%")),
+                ("e".into(), Predicate::eq("op", "read")),
+            ],
+            projection: vec![("e".into(), "id".into())],
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn join_filters_and_projects() {
+        let rows = tar_reads().execute_project(&db());
+        assert_eq!(rows, vec![vec![Value::int(0)]]);
+    }
+
+    #[test]
+    fn join_phase_exposes_row_ids() {
+        let joined = tar_reads().execute(&db());
+        assert_eq!(joined.tuples.len(), 1);
+        assert_eq!(joined.column("e"), vec![0]);
+        assert_eq!(joined.column("p"), vec![0]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut q = SqlSelect {
+            from: vec![TableRef::new("proc", "p"), TableRef::new("event", "e")],
+            joins: vec![JoinCond::new("p", "id", "e", "subject")],
+            filters: vec![("p".into(), Predicate::like("exename", "%/bin/tar%"))],
+            projection: vec![("p".into(), "exename".into())],
+            distinct: false,
+        };
+        assert_eq!(q.execute_project(&db()).len(), 3);
+        q.distinct = true;
+        assert_eq!(q.execute_project(&db()), vec![vec![Value::str("/bin/tar")]]);
+    }
+
+    #[test]
+    fn cross_product_without_join_conditions() {
+        let q = SqlSelect {
+            from: vec![TableRef::new("proc", "p"), TableRef::new("event", "e")],
+            joins: vec![],
+            filters: vec![],
+            projection: vec![("p".into(), "id".into()), ("e".into(), "id".into())],
+            distinct: false,
+        };
+        assert_eq!(q.execute_project(&db()).len(), 3 * 4);
+    }
+
+    #[test]
+    fn single_table_select() {
+        let q = SqlSelect {
+            from: vec![TableRef::new("event", "e")],
+            joins: vec![],
+            filters: vec![("e".into(), Predicate::eq("op", "write"))],
+            projection: vec![("e".into(), "id".into())],
+            distinct: false,
+        };
+        let rows = q.execute_project(&db());
+        assert_eq!(rows, vec![vec![Value::int(2)], vec![Value::int(3)]]);
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let sql = tar_reads().to_sql();
+        assert!(sql.starts_with("SELECT e.id\nFROM proc AS p, event AS e"));
+        assert!(sql.contains("p.id = e.subject"));
+        assert!(sql.contains("p.exename LIKE '%/bin/tar%'"));
+        assert!(sql.contains("e.op = 'read'"));
+        assert!(sql.ends_with(';'));
+    }
+
+    #[test]
+    fn join_order_is_result_invariant() {
+        // Same query with FROM order reversed must give identical results.
+        let a = tar_reads().execute_project(&db());
+        let mut q = tar_reads();
+        q.from.reverse();
+        let b = q.execute_project(&db());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_from_panics() {
+        SqlSelect::default().execute(&db());
+    }
+}

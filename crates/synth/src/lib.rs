@@ -1,0 +1,28 @@
+//! # threatraptor-synth
+//!
+//! TBQL query synthesis from threat behavior graphs (paper §II-E).
+//!
+//! "The synthesis starts with a screening to filter out nodes (and
+//! connected edges) in the threat behavior graph whose associated IOC
+//! types are not currently captured by the system auditing component.
+//! Then, for each remaining edge, ThreatRaptor maps its associated IOC
+//! relation to the TBQL operation type using a set of rules … Next,
+//! ThreatRaptor synthesizes the subject/object entity from the
+//! source/sink node, and synthesizes an event pattern by connecting the
+//! entities with the operation. ThreatRaptor then synthesizes the
+//! temporal relationships of the event patterns in the `with` clause
+//! based on the sequence numbers of the corresponding edges. Finally,
+//! ThreatRaptor synthesizes the `return` clause by appending all entity
+//! IDs. In addition to the default synthesis plan, ThreatRaptor supports
+//! user-defined plans to synthesize other patterns (e.g., path patterns)
+//! and attributes (e.g., time window)."
+
+pub mod plan;
+pub mod rules;
+pub mod screen;
+pub mod synthesize;
+
+pub use plan::{DefaultPlan, PathPatternPlan, SynthesisPlan, TimeWindowPlan};
+pub use rules::{map_relation, OpMapping};
+pub use screen::screen;
+pub use synthesize::{synthesize, synthesize_with_plan, SynthesisError};

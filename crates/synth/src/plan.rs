@@ -1,0 +1,158 @@
+//! Synthesis plans: the default event-pattern plan plus user-defined
+//! variants (paper: "In addition to the default synthesis plan,
+//! ThreatRaptor supports user-defined plans to synthesize other patterns
+//! (e.g., path patterns) and attributes (e.g., time window)").
+
+use threatraptor_nlp::graph::BehaviorEdge;
+use threatraptor_tbql::ast::TimeWindow;
+
+/// How one behavior edge should materialize in TBQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeShape {
+    /// A single event pattern with these operation alternatives.
+    Event(Vec<&'static str>),
+    /// A variable-length path pattern `~>(min~max)[last_op]`.
+    Path {
+        /// Minimum hops.
+        min: u32,
+        /// Maximum hops.
+        max: u32,
+        /// Final-hop operation.
+        last_op: &'static str,
+    },
+}
+
+/// A synthesis plan decides the shape of each edge and global attributes.
+pub trait SynthesisPlan {
+    /// Shape for one edge, given the operations the rule table mapped it
+    /// to.
+    fn shape(&self, edge: &BehaviorEdge, mapped_ops: &[&'static str]) -> EdgeShape;
+
+    /// Optional time window stamped on every synthesized pattern.
+    fn window(&self) -> Option<TimeWindow> {
+        None
+    }
+
+    /// Whether to chain `before` constraints between consecutive
+    /// patterns (by sequence number).
+    fn temporal_chain(&self) -> bool {
+        true
+    }
+}
+
+/// The paper's default plan: every edge becomes one event pattern;
+/// consecutive patterns are chained with `before`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultPlan;
+
+impl SynthesisPlan for DefaultPlan {
+    fn shape(&self, _edge: &BehaviorEdge, mapped_ops: &[&'static str]) -> EdgeShape {
+        EdgeShape::Event(mapped_ops.to_vec())
+    }
+}
+
+/// User-defined plan: edges become variable-length path patterns — for
+/// reports that elide intermediate processes ("this happens often when
+/// intermediate processes are forked to chain system events, but are
+/// omitted in the OSCTI text by the human writer", §II-D).
+#[derive(Debug, Clone, Copy)]
+pub struct PathPatternPlan {
+    /// Minimum hops per edge.
+    pub min_hops: u32,
+    /// Maximum hops per edge.
+    pub max_hops: u32,
+}
+
+impl Default for PathPatternPlan {
+    fn default() -> Self {
+        PathPatternPlan {
+            min_hops: 1,
+            max_hops: 3,
+        }
+    }
+}
+
+impl SynthesisPlan for PathPatternPlan {
+    fn shape(&self, _edge: &BehaviorEdge, mapped_ops: &[&'static str]) -> EdgeShape {
+        EdgeShape::Path {
+            min: self.min_hops,
+            max: self.max_hops,
+            last_op: mapped_ops.first().copied().unwrap_or("read"),
+        }
+    }
+
+    // Temporal ordering over path patterns is not enforced by the
+    // default engine semantics; the path search itself is time-monotone.
+    fn temporal_chain(&self) -> bool {
+        false
+    }
+}
+
+/// User-defined plan: the default shapes plus a time window on every
+/// pattern (constraining the hunt to a known incident interval).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWindowPlan {
+    /// The window applied to every pattern.
+    pub window: TimeWindow,
+}
+
+impl SynthesisPlan for TimeWindowPlan {
+    fn shape(&self, _edge: &BehaviorEdge, mapped_ops: &[&'static str]) -> EdgeShape {
+        EdgeShape::Event(mapped_ops.to_vec())
+    }
+
+    fn window(&self) -> Option<TimeWindow> {
+        Some(self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> BehaviorEdge {
+        BehaviorEdge {
+            src: 0,
+            dst: 1,
+            verb: "read".into(),
+            seq: 1,
+        }
+    }
+
+    #[test]
+    fn default_plan_emits_events() {
+        let plan = DefaultPlan;
+        assert_eq!(
+            plan.shape(&edge(), &["read"]),
+            EdgeShape::Event(vec!["read"])
+        );
+        assert!(plan.temporal_chain());
+        assert!(plan.window().is_none());
+    }
+
+    #[test]
+    fn path_plan_emits_paths() {
+        let plan = PathPatternPlan {
+            min_hops: 2,
+            max_hops: 4,
+        };
+        assert_eq!(
+            plan.shape(&edge(), &["read", "write"]),
+            EdgeShape::Path {
+                min: 2,
+                max: 4,
+                last_op: "read"
+            }
+        );
+        assert!(!plan.temporal_chain());
+    }
+
+    #[test]
+    fn window_plan_stamps_windows() {
+        let plan = TimeWindowPlan {
+            window: TimeWindow { lo: 10, hi: 20 },
+        };
+        assert_eq!(plan.window(), Some(TimeWindow { lo: 10, hi: 20 }));
+        assert!(plan.temporal_chain());
+    }
+}

@@ -1,0 +1,166 @@
+//! Relation → operation mapping rules (paper §II-E).
+//!
+//! "For each remaining edge, ThreatRaptor maps its associated IOC
+//! relation to the TBQL operation type using a set of rules (e.g., the
+//! 'download' relation between two 'Filepath' IOCs will be mapped to the
+//! 'write' operation in TBQL, indicating a process writes data to a
+//! file)."
+//!
+//! The mapping is keyed by `(relation lemma, object IOC class)`. The
+//! subject of a behavior edge always becomes a `proc` entity (the program
+//! launched from the subject IOC); the object class decides between file
+//! and network operations. Where a relation is genuinely ambiguous at the
+//! system level, the mapping produces operation *alternatives*, which
+//! TBQL expresses natively (`connect || send`).
+
+use threatraptor_nlp::ioc::IocType;
+
+/// Object-side IOC classes after screening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectClass {
+    /// File-like IOC (path or bare name).
+    File,
+    /// Network-like IOC (IP or subnet).
+    Net,
+}
+
+impl ObjectClass {
+    /// Classifies an auditable IOC type.
+    pub fn of(ty: IocType) -> Option<ObjectClass> {
+        match ty {
+            IocType::FilePath | IocType::FileName => Some(ObjectClass::File),
+            IocType::Ip | IocType::IpSubnet => Some(ObjectClass::Net),
+            _ => None,
+        }
+    }
+}
+
+/// Result of mapping one relation verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMapping {
+    /// TBQL operation alternatives (joined with `||`).
+    pub ops: Vec<&'static str>,
+    /// True when no specific rule matched and the class default was used.
+    pub fallback: bool,
+}
+
+/// Maps a relation verb lemma and object class to TBQL operations.
+pub fn map_relation(verb: &str, class: ObjectClass) -> OpMapping {
+    let ops: Option<Vec<&'static str>> = match class {
+        ObjectClass::File => match verb {
+            // Direct reads: the process consumes the named file.
+            "read" | "open" | "access" | "scan" | "load" | "collect" | "gather" | "harvest"
+            | "steal" | "leak" | "exfiltrate" | "dump" | "crack" | "query" => Some(vec!["read"]),
+            // Transformations name their *input* file in prose.
+            "compress" | "encrypt" | "decrypt" | "archive" | "pack" | "unpack" | "extract"
+            | "parse" => Some(vec!["read"]),
+            // Writes: the process produces the named file.
+            "write" | "create" | "drop" | "save" | "store" | "append" | "log" | "modify"
+            | "overwrite" | "copy" => Some(vec!["write"]),
+            // Network-to-disk transfers materialize as writes (the
+            // paper's canonical example).
+            "download" | "fetch" | "retrieve" | "receive" | "request" => Some(vec!["write"]),
+            // Disk-to-network transfers read the file.
+            "upload" | "send" | "transfer" | "post" => Some(vec!["read"]),
+            "execute" | "run" | "launch" | "spawn" | "start" | "invoke" | "install" => {
+                Some(vec!["execute"])
+            }
+            "delete" | "remove" => Some(vec!["unlink"]),
+            "rename" | "move" => Some(vec!["rename"]),
+            "persist" | "register" => Some(vec!["write"]),
+            "inject" => Some(vec!["write"]),
+            _ => None,
+        },
+        ObjectClass::Net => match verb {
+            "connect" | "communicate" | "beacon" | "contact" | "resolve" | "access" | "scan" => {
+                Some(vec!["connect"])
+            }
+            // Outbound data movement: the connect is the reliable
+            // observable; sends follow it.
+            "send" | "post" | "upload" | "transfer" | "exfiltrate" | "leak" | "write" => {
+                Some(vec!["connect", "send"])
+            }
+            // Inbound data movement.
+            "download" | "fetch" | "retrieve" | "receive" | "read" | "request" | "query" => {
+                Some(vec!["connect", "recv"])
+            }
+            _ => None,
+        },
+    };
+    match ops {
+        Some(ops) => OpMapping {
+            ops,
+            fallback: false,
+        },
+        None => OpMapping {
+            ops: match class {
+                ObjectClass::File => vec!["read", "write"],
+                ObjectClass::Net => vec!["connect"],
+            },
+            fallback: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_classes() {
+        assert_eq!(ObjectClass::of(IocType::FilePath), Some(ObjectClass::File));
+        assert_eq!(ObjectClass::of(IocType::FileName), Some(ObjectClass::File));
+        assert_eq!(ObjectClass::of(IocType::Ip), Some(ObjectClass::Net));
+        assert_eq!(ObjectClass::of(IocType::IpSubnet), Some(ObjectClass::Net));
+        assert_eq!(ObjectClass::of(IocType::Md5), None);
+    }
+
+    #[test]
+    fn fig2_verbs_map_exactly() {
+        assert_eq!(map_relation("read", ObjectClass::File).ops, vec!["read"]);
+        assert_eq!(map_relation("write", ObjectClass::File).ops, vec!["write"]);
+        assert_eq!(map_relation("connect", ObjectClass::Net).ops, vec!["connect"]);
+    }
+
+    #[test]
+    fn paper_download_example() {
+        let m = map_relation("download", ObjectClass::File);
+        assert_eq!(m.ops, vec!["write"]);
+        assert!(!m.fallback);
+    }
+
+    #[test]
+    fn transformations_read_their_input() {
+        assert_eq!(map_relation("compress", ObjectClass::File).ops, vec!["read"]);
+        assert_eq!(map_relation("encrypt", ObjectClass::File).ops, vec!["read"]);
+    }
+
+    #[test]
+    fn execution_verbs() {
+        for v in ["execute", "run", "launch"] {
+            assert_eq!(map_relation(v, ObjectClass::File).ops, vec!["execute"]);
+        }
+    }
+
+    #[test]
+    fn net_alternatives() {
+        assert_eq!(
+            map_relation("exfiltrate", ObjectClass::Net).ops,
+            vec!["connect", "send"]
+        );
+        assert_eq!(
+            map_relation("download", ObjectClass::Net).ops,
+            vec!["connect", "recv"]
+        );
+    }
+
+    #[test]
+    fn fallbacks_are_marked() {
+        let m = map_relation("obfuscate", ObjectClass::File);
+        assert!(m.fallback);
+        assert_eq!(m.ops, vec!["read", "write"]);
+        let m = map_relation("obfuscate", ObjectClass::Net);
+        assert!(m.fallback);
+        assert_eq!(m.ops, vec!["connect"]);
+    }
+}

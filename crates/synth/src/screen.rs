@@ -1,0 +1,73 @@
+//! Screening: drop graph nodes whose IOC types the auditing layer cannot
+//! observe.
+//!
+//! System auditing captures files, processes, and network connections
+//! (§II-A). IOC types with no system-level counterpart — hashes, CVE ids,
+//! emails, registry keys (on our Linux-style host), bare domains/URLs
+//! (auditing records peer IPs, not names) — are screened out together
+//! with their edges.
+
+use threatraptor_nlp::graph::ThreatBehaviorGraph;
+use threatraptor_nlp::ioc::IocType;
+
+/// Whether the auditing component captures entities of this IOC type.
+pub fn auditable(ty: IocType) -> bool {
+    matches!(
+        ty,
+        IocType::FilePath | IocType::FileName | IocType::Ip | IocType::IpSubnet
+    )
+}
+
+/// Returns the screened graph (auditable nodes only, edges between them,
+/// sequence numbers re-assigned in the surviving order).
+pub fn screen(graph: &ThreatBehaviorGraph) -> ThreatBehaviorGraph {
+    graph.filter_nodes(|n| auditable(n.ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_nlp::ThreatExtractor;
+
+    #[test]
+    fn auditable_types() {
+        assert!(auditable(IocType::FilePath));
+        assert!(auditable(IocType::FileName));
+        assert!(auditable(IocType::Ip));
+        assert!(auditable(IocType::IpSubnet));
+        assert!(!auditable(IocType::Md5));
+        assert!(!auditable(IocType::Sha256));
+        assert!(!auditable(IocType::Cve));
+        assert!(!auditable(IocType::Domain));
+        assert!(!auditable(IocType::Url));
+        assert!(!auditable(IocType::Email));
+        assert!(!auditable(IocType::RegistryKey));
+    }
+
+    #[test]
+    fn screening_drops_hash_nodes_and_their_edges() {
+        let text = "The dropper /tmp/stage2.bin (md5 d41d8cd98f00b204e9800998ecf8427e) \
+                    connected to 203.0.113.66. The exploit used CVE-2014-6271.";
+        let result = ThreatExtractor::new().extract(text);
+        let screened = screen(&result.graph);
+        assert!(screened.node_by_text("/tmp/stage2.bin").is_some());
+        assert!(screened.node_by_text("203.0.113.66").is_some());
+        assert!(screened
+            .node_by_text("d41d8cd98f00b204e9800998ecf8427e")
+            .is_none());
+        assert!(screened.node_by_text("CVE-2014-6271").is_none());
+        for e in &screened.edges {
+            assert!(auditable(screened.nodes[e.src].ty));
+            assert!(auditable(screened.nodes[e.dst].ty));
+        }
+    }
+
+    #[test]
+    fn screening_preserves_auditable_subgraph() {
+        let result = ThreatExtractor::new().extract(threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT);
+        let screened = screen(&result.graph);
+        // Fig. 2's 9 IOCs are all auditable; nothing is lost.
+        assert_eq!(screened.node_count(), result.graph.node_count());
+        assert_eq!(screened.edge_count(), result.graph.edge_count());
+    }
+}

@@ -1,0 +1,359 @@
+//! TBQL abstract syntax tree.
+
+use crate::error::Span;
+use std::fmt;
+
+/// Entity types (paper §II-A: files, processes, network connections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityType {
+    /// Process (`proc`).
+    Proc,
+    /// File (`file`).
+    File,
+    /// Network connection (`ip`).
+    Ip,
+}
+
+impl EntityType {
+    /// TBQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EntityType::Proc => "proc",
+            EntityType::File => "file",
+            EntityType::Ip => "ip",
+        }
+    }
+
+    /// The default attribute (paper §II-D): `exename` for processes,
+    /// `name` for files, `dstip` for connections.
+    pub fn default_attr(self) -> &'static str {
+        match self {
+            EntityType::Proc => "exename",
+            EntityType::File => "name",
+            EntityType::Ip => "dstip",
+        }
+    }
+
+    /// Attribute names valid for this entity type.
+    pub fn valid_attrs(self) -> &'static [&'static str] {
+        match self {
+            EntityType::Proc => &["exename", "pid", "cmdline", "owner"],
+            EntityType::File => &["name"],
+            EntityType::Ip => &["srcip", "srcport", "dstip", "dstport", "protocol"],
+        }
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Operation names valid in TBQL (mirrors the auditing layer).
+pub const OPERATIONS: &[(&str, EntityType)] = &[
+    ("read", EntityType::File),
+    ("write", EntityType::File),
+    ("open", EntityType::File),
+    ("close", EntityType::File),
+    ("execute", EntityType::File),
+    ("rename", EntityType::File),
+    ("unlink", EntityType::File),
+    ("chmod", EntityType::File),
+    ("chown", EntityType::File),
+    ("mmap", EntityType::File),
+    ("fork", EntityType::Proc),
+    ("clone", EntityType::Proc),
+    ("kill", EntityType::Proc),
+    ("setuid", EntityType::Proc),
+    ("connect", EntityType::Ip),
+    ("accept", EntityType::Ip),
+    ("send", EntityType::Ip),
+    ("recv", EntityType::Ip),
+];
+
+/// Looks up the object entity type of an operation name.
+pub fn operation_object_type(op: &str) -> Option<EntityType> {
+    OPERATIONS
+        .iter()
+        .find(|(name, _)| *name == op)
+        .map(|(_, ty)| *ty)
+}
+
+/// Comparison operators in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` (LIKE semantics when the literal contains `%`/`_`).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// explicit `like`
+    Like,
+}
+
+impl CmpOp {
+    /// TBQL spelling.
+    pub fn text(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "like",
+        }
+    }
+}
+
+/// Literal values in filters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Lit::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Filter expressions over one entity's attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `attr <op> literal`
+    Cmp {
+        /// Attribute name.
+        attr: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Lit,
+    },
+    /// Conjunction (`&&`).
+    And(Vec<Expr>),
+    /// Disjunction (`||`).
+    Or(Vec<Expr>),
+}
+
+/// A filter attached to an entity mention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Bare-string sugar: filter on the entity's default attribute.
+    Default(String),
+    /// Full expression.
+    Expr(Expr),
+}
+
+/// An entity mention in a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRef {
+    /// Declared type (`None` for bare reuse like `f2`).
+    pub ty: Option<EntityType>,
+    /// Entity variable name.
+    pub id: String,
+    /// Attribute filter, if any.
+    pub filter: Option<Filter>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Per-pattern time window: event start/end must fall in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Lower bound (ns).
+    pub lo: u64,
+    /// Upper bound (ns).
+    pub hi: u64,
+}
+
+/// An event pattern: `subject op object [as id] [window [lo, hi]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    /// Pattern name from `as` (auto-named `evtN` by analysis if absent).
+    pub id: Option<String>,
+    /// Subject entity (a process).
+    pub subject: EntityRef,
+    /// Operation alternatives (`read || write` ⇒ two entries).
+    pub ops: Vec<String>,
+    /// Object entity.
+    pub object: EntityRef,
+    /// Optional time window.
+    pub window: Option<TimeWindow>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A variable-length path pattern:
+/// `subject ~>(min~max)[op] object [as id]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    /// Pattern name from `as`.
+    pub id: Option<String>,
+    /// Source entity.
+    pub subject: EntityRef,
+    /// Minimum hops (`None` ⇒ 1).
+    pub min_hops: Option<u32>,
+    /// Maximum hops (`None` ⇒ engine default).
+    pub max_hops: Option<u32>,
+    /// Operation of the final hop.
+    pub last_op: String,
+    /// Destination entity.
+    pub object: EntityRef,
+    /// Optional time window.
+    pub window: Option<TimeWindow>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Any pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Single-event pattern.
+    Event(EventPattern),
+    /// Variable-length path pattern.
+    Path(PathPattern),
+}
+
+impl Pattern {
+    /// The pattern's `as` name, if present.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Pattern::Event(e) => e.id.as_deref(),
+            Pattern::Path(p) => p.id.as_deref(),
+        }
+    }
+
+    /// Subject entity reference.
+    pub fn subject(&self) -> &EntityRef {
+        match self {
+            Pattern::Event(e) => &e.subject,
+            Pattern::Path(p) => &p.subject,
+        }
+    }
+
+    /// Object entity reference.
+    pub fn object(&self) -> &EntityRef {
+        match self {
+            Pattern::Event(e) => &e.object,
+            Pattern::Path(p) => &p.object,
+        }
+    }
+
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Pattern::Event(e) => e.span,
+            Pattern::Path(p) => p.span,
+        }
+    }
+}
+
+/// Temporal relations in the `with` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalRel {
+    /// Left pattern ends before right pattern starts.
+    Before,
+    /// Left pattern starts after right pattern ends.
+    After,
+}
+
+/// A temporal constraint `evtA before evtB`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalConstraint {
+    /// Left event-pattern name.
+    pub left: String,
+    /// Relation.
+    pub rel: TemporalRel,
+    /// Right event-pattern name.
+    pub right: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One item of the `return` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    /// Entity variable.
+    pub entity: String,
+    /// Attribute (`None` ⇒ the entity's default attribute).
+    pub attr: Option<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The `return` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnClause {
+    /// Deduplicate result rows.
+    pub distinct: bool,
+    /// Projected items.
+    pub items: Vec<ReturnItem>,
+}
+
+/// A complete TBQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Patterns, in declaration order.
+    pub patterns: Vec<Pattern>,
+    /// Temporal constraints from `with`.
+    pub temporal: Vec<TemporalConstraint>,
+    /// Projection.
+    pub ret: ReturnClause,
+}
+
+impl Query {
+    /// Number of event + path patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_types() {
+        assert_eq!(operation_object_type("read"), Some(EntityType::File));
+        assert_eq!(operation_object_type("connect"), Some(EntityType::Ip));
+        assert_eq!(operation_object_type("fork"), Some(EntityType::Proc));
+        assert_eq!(operation_object_type("teleport"), None);
+    }
+
+    #[test]
+    fn default_attrs() {
+        assert_eq!(EntityType::Proc.default_attr(), "exename");
+        assert_eq!(EntityType::File.default_attr(), "name");
+        assert_eq!(EntityType::Ip.default_attr(), "dstip");
+        for ty in [EntityType::Proc, EntityType::File, EntityType::Ip] {
+            assert!(ty.valid_attrs().contains(&ty.default_attr()));
+        }
+    }
+
+    #[test]
+    fn lit_display_escapes() {
+        assert_eq!(Lit::Str("a\"b".into()).to_string(), r#""a\"b""#);
+        assert_eq!(Lit::Int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn cmp_op_text() {
+        assert_eq!(CmpOp::Like.text(), "like");
+        assert_eq!(CmpOp::Ne.text(), "!=");
+    }
+}

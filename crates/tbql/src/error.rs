@@ -1,0 +1,108 @@
+//! Spans and diagnostics.
+
+use std::fmt;
+
+/// A byte span into the query source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte (inclusive).
+    pub start: usize,
+    /// End byte (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Merges two spans into their convex hull.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A lexing, parsing, or semantic error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbqlError {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TbqlError {
+    /// Creates an error.
+    pub fn new(span: Span, message: impl Into<String>) -> TbqlError {
+        TbqlError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with a source excerpt and caret line.
+    pub fn render(&self, source: &str) -> String {
+        // Find the line containing the span start.
+        let start = self.span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = source[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(source.len());
+        let line_no = source[..start].matches('\n').count() + 1;
+        let col = start - line_start;
+        let line = &source[line_start..line_end];
+        let caret_len = (self.span.end.min(line_end).saturating_sub(start)).max(1);
+        format!(
+            "error: {}\n  --> line {line_no}, column {}\n   | {line}\n   | {}{}",
+            self.message,
+            col + 1,
+            " ".repeat(col),
+            "^".repeat(caret_len),
+        )
+    }
+}
+
+impl fmt::Display for TbqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for TbqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(5, 10);
+        let b = Span::new(8, 20);
+        assert_eq!(a.merge(b), Span::new(5, 20));
+    }
+
+    #[test]
+    fn render_points_at_offender() {
+        let src = "proc p1 read file f1\nbogus line here";
+        let err = TbqlError::new(Span::new(21, 26), "unexpected token");
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2, column 1"));
+        assert!(rendered.contains("bogus line here"));
+        assert!(rendered.contains("^^^^^"));
+    }
+
+    #[test]
+    fn display_format() {
+        let err = TbqlError::new(Span::new(1, 3), "oops");
+        assert_eq!(err.to_string(), "error at bytes 1..3: oops");
+    }
+}

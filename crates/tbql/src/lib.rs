@@ -1,0 +1,38 @@
+//! # threatraptor-tbql
+//!
+//! The **Threat Behavior Query Language** (paper §II-D): a declarative
+//! DSL that "treats system entities and events as first-class citizens
+//! and provides primitives to easily specify multi-step system
+//! activities".
+//!
+//! Language features implemented (all from the paper):
+//!
+//! * event patterns `⟨subject, operation, object⟩` with entity types
+//!   (`proc` / `file` / `ip`), identifiers, and attribute filters;
+//! * default-attribute syntactic sugar: `proc p1["%/bin/tar%"]` ≡
+//!   `proc p1[exename = "%/bin/tar%"]`, `return p1` ≡ `return p1.exename`;
+//! * entity-ID reuse across patterns ⇒ implicit attribute relationships
+//!   (`evt1.srcid = evt2.srcid`);
+//! * operation expressions (`read || write`) and comparison / logical
+//!   operators in filters;
+//! * temporal relationships in the `with` clause (`evt1 before evt2`);
+//! * optional per-pattern time windows (`window [lo, hi]`);
+//! * variable-length event path patterns `proc p ~>(2~4)[read] file f`;
+//! * `return distinct` projections.
+//!
+//! The original implementation used ANTLR 4; this is a hand-written lexer
+//! + recursive-descent parser with spanned diagnostics.
+
+pub mod analyze;
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use analyze::{analyze, AnalyzedQuery, EntityInfo};
+pub use ast::*;
+pub use error::{Span, TbqlError};
+pub use parser::parse_query;
+pub use printer::print_query;

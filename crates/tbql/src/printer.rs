@@ -1,0 +1,207 @@
+//! Canonical pretty-printer.
+//!
+//! Produces a normalized textual form of a query: used by the query
+//! synthesizer's output, by the conciseness experiment (E5), and by the
+//! synthesized-vs-reference equivalence check (E8). Printing then
+//! re-parsing yields a structurally identical AST (round-trip property).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Prints a query in canonical TBQL form.
+pub fn print_query(q: &Query) -> String {
+    let mut out = String::new();
+    for pat in &q.patterns {
+        match pat {
+            Pattern::Event(e) => {
+                print_entity(&mut out, &e.subject);
+                out.push(' ');
+                out.push_str(&e.ops.join(" || "));
+                out.push(' ');
+                print_entity(&mut out, &e.object);
+                if let Some(id) = &e.id {
+                    write!(out, " as {id}").unwrap();
+                }
+                if let Some(w) = &e.window {
+                    write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
+                }
+            }
+            Pattern::Path(p) => {
+                print_entity(&mut out, &p.subject);
+                out.push_str(" ~>");
+                if let (Some(min), Some(max)) = (p.min_hops, p.max_hops) {
+                    write!(out, "({min}~{max})").unwrap();
+                }
+                write!(out, "[{}] ", p.last_op).unwrap();
+                print_entity(&mut out, &p.object);
+                if let Some(id) = &p.id {
+                    write!(out, " as {id}").unwrap();
+                }
+                if let Some(w) = &p.window {
+                    write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
+                }
+            }
+        }
+        out.push('\n');
+    }
+    if !q.temporal.is_empty() {
+        out.push_str("with ");
+        let parts: Vec<String> = q
+            .temporal
+            .iter()
+            .map(|t| {
+                let rel = match t.rel {
+                    TemporalRel::Before => "before",
+                    TemporalRel::After => "after",
+                };
+                format!("{} {rel} {}", t.left, t.right)
+            })
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push('\n');
+    }
+    out.push_str("return ");
+    if q.ret.distinct {
+        out.push_str("distinct ");
+    }
+    let items: Vec<String> = q
+        .ret
+        .items
+        .iter()
+        .map(|i| match &i.attr {
+            Some(a) => format!("{}.{a}", i.entity),
+            None => i.entity.clone(),
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push('\n');
+    out
+}
+
+fn print_entity(out: &mut String, e: &EntityRef) {
+    if let Some(ty) = e.ty {
+        out.push_str(ty.keyword());
+        out.push(' ');
+    }
+    out.push_str(&e.id);
+    if let Some(f) = &e.filter {
+        out.push('[');
+        match f {
+            Filter::Default(s) => {
+                write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")).unwrap()
+            }
+            Filter::Expr(expr) => print_expr(out, expr, false),
+        }
+        out.push(']');
+    }
+}
+
+fn print_expr(out: &mut String, expr: &Expr, parenthesize: bool) {
+    match expr {
+        Expr::Cmp { attr, op, value } => {
+            write!(out, "{attr} {} {value}", op.text()).unwrap();
+        }
+        Expr::And(legs) => {
+            if parenthesize {
+                out.push('(');
+            }
+            for (i, leg) in legs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" && ");
+                }
+                print_expr(out, leg, true);
+            }
+            if parenthesize {
+                out.push(')');
+            }
+        }
+        Expr::Or(legs) => {
+            if parenthesize {
+                out.push('(');
+            }
+            for (i, leg) in legs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" || ");
+                }
+                print_expr(out, leg, true);
+            }
+            if parenthesize {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, FIG2_TBQL};
+
+    /// Strips spans so round-tripped ASTs compare structurally.
+    fn strip(q: &mut Query) {
+        for p in &mut q.patterns {
+            match p {
+                Pattern::Event(e) => {
+                    e.span = Default::default();
+                    e.subject.span = Default::default();
+                    e.object.span = Default::default();
+                }
+                Pattern::Path(p) => {
+                    p.span = Default::default();
+                    p.subject.span = Default::default();
+                    p.object.span = Default::default();
+                }
+            }
+        }
+        for t in &mut q.temporal {
+            t.span = Default::default();
+        }
+        for r in &mut q.ret.items {
+            r.span = Default::default();
+        }
+    }
+
+    #[test]
+    fn fig2_round_trip() {
+        let mut original = parse_query(FIG2_TBQL).unwrap();
+        let printed = print_query(&original);
+        let mut reparsed = parse_query(&printed).unwrap();
+        strip(&mut original);
+        strip(&mut reparsed);
+        assert_eq!(original, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn printed_form_is_canonical() {
+        let q = parse_query(FIG2_TBQL).unwrap();
+        let printed = print_query(&q);
+        assert!(printed.contains(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1"#));
+        assert!(printed.contains("with evt1 before evt2"));
+        assert!(printed.contains("return distinct p1, f1"));
+    }
+
+    #[test]
+    fn path_and_window_round_trip() {
+        let src = "proc p ~>(2~4)[read] file f as pp window [10, 99]\nreturn p.pid, f\n";
+        let mut q = parse_query(src).unwrap();
+        let printed = print_query(&q);
+        let mut again = parse_query(&printed).unwrap();
+        strip(&mut q);
+        strip(&mut again);
+        assert_eq!(q, again, "printed:\n{printed}");
+        assert!(printed.contains("~>(2~4)[read]"));
+        assert!(printed.contains("window [10, 99]"));
+    }
+
+    #[test]
+    fn expr_filters_round_trip() {
+        let src = r#"proc p[exename like "%sh" && (pid >= 100 || owner = "root")] read file f
+return distinct p"#;
+        let mut q = parse_query(src).unwrap();
+        let printed = print_query(&q);
+        let mut again = parse_query(&printed).unwrap();
+        strip(&mut q);
+        strip(&mut again);
+        assert_eq!(q, again, "printed:\n{printed}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Threat behavior extraction on its own: OSCTI text in, behavior graph
+//! out (Algorithm 1), with per-stage timings and a Graphviz rendering.
+//!
+//! ```text
+//! cargo run --example oscti_extraction
+//! ```
+
+use threatraptor::prelude::*;
+
+const REPORT: &str = "\
+Incident write-up, defanged.\n\
+\n\
+The spearphishing attachment caused /usr/bin/soffice to write \
+/tmp/stage1.elf. /tmp/stage1.elf connected to 203[.]0[.]113[.]80 and \
+downloaded /tmp/.cache/agent. It wrote its persistence entry to \
+/etc/cron.d/.updater. The agent reads /etc/passwd and /etc/shadow \
+nightly, and uploads the stolen data to hxxp://drop[.]evil-panel[.]com/up.";
+
+fn main() {
+    let extractor = ThreatExtractor::new();
+    let result = extractor.extract(REPORT);
+
+    println!("-- canonical IOCs --");
+    for (i, ioc) in result.iocs.canon.iter().enumerate() {
+        println!("  [{i}] {} ({})", ioc.text, ioc.ty);
+    }
+
+    println!("\n-- threat behavior graph --");
+    println!("{}", result.graph);
+
+    println!("-- Graphviz --");
+    println!("{}", result.graph.to_dot());
+
+    let t = result.timings;
+    println!("-- stage timings --");
+    println!("  segmentation:  {:?}", t.segmentation);
+    println!("  IOC+protect:   {:?}", t.protection);
+    println!("  parsing:       {:?}", t.parsing);
+    println!("  annotate:      {:?}", t.annotation);
+    println!("  coref:         {:?}", t.coref);
+    println!("  merge:         {:?}", t.merge);
+    println!("  relations:     {:?}", t.relext);
+    println!("  graph:         {:?}", t.construct);
+    println!("  total:         {:?}", t.total);
+}

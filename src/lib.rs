@@ -1,0 +1,1 @@
+//! Root package: integration tests and examples live here.

@@ -1,0 +1,98 @@
+//! Integration tests for the NLP extraction pipeline over the full
+//! annotated corpus.
+
+use threatraptor_bench::corpus::corpus;
+use threatraptor_bench::metrics::{extraction_scores, Prf};
+use threatraptor_nlp::ThreatExtractor;
+
+#[test]
+fn corpus_extraction_meets_quality_bars() {
+    let mut ioc = Prf::default();
+    let mut rel = Prf::default();
+    for report in corpus() {
+        let (i, r) = extraction_scores(&report);
+        ioc.merge(i);
+        rel.merge(r);
+    }
+    assert!(ioc.precision() > 0.95, "IOC precision {:.3}", ioc.precision());
+    assert!(ioc.recall() > 0.95, "IOC recall {:.3}", ioc.recall());
+    assert!(rel.precision() > 0.8, "relation precision {:.3}", rel.precision());
+    assert!(rel.recall() > 0.6, "relation recall {:.3}", rel.recall());
+    assert!(ioc.f1() >= rel.f1(), "IOC extraction outperforms relations");
+}
+
+#[test]
+fn demo_family_is_near_perfect() {
+    // The paper's own narratives must extract essentially perfectly —
+    // they are the styles the pipeline is tuned for.
+    let mut rel = Prf::default();
+    for report in corpus().iter().filter(|r| r.family == "demo") {
+        let (_, r) = extraction_scores(report);
+        rel.merge(r);
+    }
+    assert!(rel.f1() > 0.85, "demo relation F1 {:.3}", rel.f1());
+}
+
+#[test]
+fn extraction_is_deterministic() {
+    let extractor = ThreatExtractor::new();
+    for report in corpus().iter().take(5) {
+        let a = extractor.extract(report.text);
+        let b = extractor.extract(report.text);
+        assert_eq!(a.graph, b.graph, "report {}", report.id);
+    }
+}
+
+#[test]
+fn extraction_never_panics_on_hostile_text() {
+    let extractor = ThreatExtractor::new();
+    let hostile = [
+        "",
+        " ",
+        "....",
+        "((((((((",
+        "/ / / / /",
+        "a.b.c.d.e.f.g.h.i.j 999.999.999.999",
+        "read read read read read to to to from from",
+        "something something something",
+        "- \n- \n- \n",
+        "\u{0}\u{1}\u{2}",
+        "🦀🦀🦀 read 🦀🦀🦀",
+        &"/x".repeat(5_000),
+        &"read /tmp/a to /tmp/b. ".repeat(300),
+    ];
+    for text in hostile {
+        let _ = extractor.extract(text);
+    }
+}
+
+#[test]
+fn every_tree_in_the_corpus_is_valid() {
+    let extractor = ThreatExtractor::new();
+    for report in corpus() {
+        let result = extractor.extract(report.text);
+        for (b, trees) in result.trees.iter().enumerate() {
+            for (s, tree) in trees.iter().enumerate() {
+                tree.validate().unwrap_or_else(|e| {
+                    panic!("report {} block {b} sentence {s}: {e}", report.id)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn screening_only_keeps_auditable_types() {
+    for report in corpus() {
+        let result = ThreatExtractor::new().extract(report.text);
+        let screened = threatraptor_synth::screen(&result.graph);
+        for node in &screened.nodes {
+            assert!(
+                threatraptor_synth::screen::auditable(node.ty),
+                "report {}: {} survived screening",
+                report.id,
+                node.ty
+            );
+        }
+    }
+}

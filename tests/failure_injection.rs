@@ -1,0 +1,122 @@
+//! Failure injection across layer boundaries: malformed logs, malformed
+//! queries, unauditable intelligence, contradictory constraints.
+
+use threatraptor::prelude::*;
+use threatraptor::{ThreatRaptor, ThreatRaptorError};
+
+fn raptor() -> ThreatRaptor {
+    let sc = ScenarioBuilder::new()
+        .seed(1)
+        .no_attacks()
+        .target_events(2_000)
+        .build();
+    ThreatRaptor::from_parsed(&sc.log, true)
+}
+
+#[test]
+fn malformed_raw_logs_are_rejected_with_line_numbers() {
+    let cases = [
+        ("only\tthree\tfields", "11 tab-separated"),
+        (
+            "x\t2\t1\t/bin/ls\troot\t0\t/bin/ls\tread\tF|/tmp/a\t0\t-",
+            "bad start timestamp",
+        ),
+        (
+            "5\t2\t1\t/bin/ls\troot\t0\t/bin/ls\tread\tF|/tmp/a\t0\t-",
+            "ends",
+        ),
+        (
+            "1\t2\t1\t/bin/ls\troot\t0\t/bin/ls\tfly\tF|/tmp/a\t0\t-",
+            "unknown operation",
+        ),
+        (
+            "1\t2\t1\t/bin/ls\troot\t0\t/bin/ls\tread\tN|1.2.3.4|80|5.6.7.8|443|tcp\t0\t-",
+            "cannot target",
+        ),
+    ];
+    for (line, needle) in cases {
+        let err = ThreatRaptor::from_raw_log(line, false).unwrap_err();
+        let ThreatRaptorError::Parse(p) = err else {
+            panic!("expected parse error for {line:?}");
+        };
+        assert!(p.message.contains(needle), "{line:?} → {p}");
+        assert_eq!(p.line, 1);
+    }
+}
+
+#[test]
+fn malformed_tbql_is_rejected_with_spans() {
+    let raptor = raptor();
+    let cases = [
+        ("", "at least one"),
+        ("return p", "at least one"),
+        ("proc p read file f", "return"),
+        ("proc p levitate file f return p", "unknown operation"),
+        ("proc p read file f return ghost", "unknown entity"),
+        (
+            "proc p read file f as e1 with e1 before e1 return p",
+            "precede itself",
+        ),
+        (
+            "proc p read file f as e1 proc p write file g as e2 \
+             with e1 before e2, e2 before e1 return p",
+            "contradictory",
+        ),
+        ("file f read file g return f", "must be a proc"),
+        ("proc p connect file f return p", "targets ip"),
+        (r#"proc p[name = "x"] read file f return p"#, "no attribute"),
+        ("proc p ~>(4~2)[read] file f return p", "reversed"),
+    ];
+    for (query, needle) in cases {
+        let err = raptor.hunt(query).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "query {query:?} → {err}"
+        );
+    }
+}
+
+#[test]
+fn unauditable_intelligence_fails_synthesis_not_execution() {
+    let raptor = raptor();
+    // Hash- and domain-only intel: everything screens out.
+    let err = raptor
+        .hunt_report(
+            "The sample d41d8cd98f00b204e9800998ecf8427e beacons to evil-cdn.com hourly.",
+        )
+        .unwrap_err();
+    assert!(matches!(err, ThreatRaptorError::Synthesis(_)), "{err}");
+
+    // No relations at all.
+    let err = raptor.hunt_report("Quarterly earnings were strong.").unwrap_err();
+    assert!(matches!(err, ThreatRaptorError::Synthesis(_)));
+}
+
+#[test]
+fn contradictory_windows_return_empty_not_error() {
+    let raptor = raptor();
+    let r = raptor
+        .hunt("proc p read file f as e1 window [5, 6] return p")
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn empty_store_hunts_cleanly() {
+    let raptor = ThreatRaptor::from_raw_log("# empty capture\n", true).unwrap();
+    let r = raptor.hunt(threatraptor::FIG2_TBQL).unwrap();
+    assert!(r.is_empty());
+    assert_eq!(raptor.store().event_count(), 0);
+}
+
+#[test]
+fn error_rendering_is_actionable() {
+    let src = "proc p read file f\nreturn ghost";
+    let err = raptor().hunt(src).unwrap_err();
+    let ThreatRaptorError::Engine(threatraptor::EngineError::Semantic(e)) = err else {
+        panic!("expected semantic error");
+    };
+    let rendered = e.render(src);
+    assert!(rendered.contains("line 2"), "{rendered}");
+    assert!(rendered.contains('^'), "{rendered}");
+}
