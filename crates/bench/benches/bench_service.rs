@@ -1,0 +1,72 @@
+//! Criterion bench behind E9: service-layer hunt throughput by worker
+//! and shard count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threatraptor::prelude::*;
+use threatraptor_bench::all_cases;
+use threatraptor_service::{HuntScheduler, PlanCache};
+use threatraptor_storage::ShardedStore;
+
+fn batch(len: usize) -> Vec<HuntJob> {
+    let cases = all_cases();
+    (0..len)
+        .map(|i| HuntJob::tbql(cases[i % cases.len()].reference_tbql))
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let scenario = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&AttackKind::ALL)
+        .target_events(30_000)
+        .build();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("service_hunts");
+    let batch_len = 32;
+    group.throughput(Throughput::Elements(batch_len as u64));
+
+    // Worker scaling at a fixed shard count.
+    let store = ShardedStore::ingest(&scenario.log, true, 8);
+    let mut worker_counts = vec![1, 2, cores.max(2)];
+    worker_counts.dedup();
+    for workers in worker_counts {
+        let cache = PlanCache::new();
+        let sched = HuntScheduler::new(&store, &cache).workers(workers);
+        sched.run(batch(batch_len)); // warm the plan cache
+        group.bench_with_input(BenchmarkId::new("workers", workers), &sched, |b, sched| {
+            b.iter(|| {
+                let reports = sched.run(batch(batch_len));
+                assert!(reports.iter().all(|r| r.outcome.is_ok()));
+                reports.len()
+            })
+        });
+    }
+
+    // Shard scaling for a single all-core hunt.
+    for shards in [1usize, 4, 16] {
+        let store = ShardedStore::ingest(&scenario.log, true, shards);
+        group.bench_with_input(
+            BenchmarkId::new("shards_single_hunt", shards),
+            &store,
+            |b, store| {
+                let engine = ShardedEngine::new(store);
+                b.iter(|| {
+                    let r = engine.hunt(threatraptor::FIG2_TBQL).unwrap();
+                    assert!(!r.is_empty());
+                    r.matches.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service
+}
+criterion_main!(benches);

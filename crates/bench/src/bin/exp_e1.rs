@@ -51,10 +51,21 @@ fn main() {
     println!(
         "{}",
         fmt::table(
-            &["IOC nodes", "edges", "TBQL patterns", "matches", "precision", "recall"],
+            &[
+                "IOC nodes",
+                "edges",
+                "TBQL patterns",
+                "matches",
+                "precision",
+                "recall"
+            ],
             &rows
         )
     );
-    assert_eq!((precision, recall), (1.0, 1.0), "E1 must match the chain exactly");
+    assert_eq!(
+        (precision, recall),
+        (1.0, 1.0),
+        "E1 must match the chain exactly"
+    );
     println!("E1 OK: the synthesized query retrieves exactly the attack chain.");
 }

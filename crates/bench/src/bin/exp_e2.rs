@@ -4,10 +4,10 @@
 //! precision/recall/F1 of IOC extraction and of IOC relation extraction,
 //! per report family and overall, over the annotated OSCTI corpus.
 
+use std::collections::BTreeMap;
 use threatraptor_bench::corpus::corpus;
 use threatraptor_bench::fmt;
 use threatraptor_bench::metrics::{extraction_scores, Prf};
-use std::collections::BTreeMap;
 
 fn main() {
     println!("== E2: threat behavior extraction accuracy ==\n");
@@ -41,7 +41,11 @@ fn main() {
     }
     rows.push(vec![
         "overall".into(),
-        per_family.values().map(|(_, _, n)| n).sum::<usize>().to_string(),
+        per_family
+            .values()
+            .map(|(_, _, n)| n)
+            .sum::<usize>()
+            .to_string(),
         fmt::f3(total.0.precision()),
         fmt::f3(total.0.recall()),
         fmt::f3(total.0.f1()),
@@ -52,9 +56,7 @@ fn main() {
     println!(
         "{}",
         fmt::table(
-            &[
-                "family", "reports", "IOC P", "IOC R", "IOC F1", "Rel P", "Rel R", "Rel F1"
-            ],
+            &["family", "reports", "IOC P", "IOC R", "IOC F1", "Rel P", "Rel R", "Rel F1"],
             &rows
         )
     );
@@ -62,6 +64,10 @@ fn main() {
         "shape check: IOC F1 ({:.3}) >= relation F1 ({:.3}) — {}",
         total.0.f1(),
         total.1.f1(),
-        if total.0.f1() >= total.1.f1() { "holds" } else { "VIOLATED" }
+        if total.0.f1() >= total.1.f1() {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 }

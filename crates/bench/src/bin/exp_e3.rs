@@ -52,11 +52,9 @@ fn main() {
                 let elapsed = t0.elapsed();
                 match &reference_rows {
                     None => reference_rows = Some(result.rows.clone()),
-                    Some(r) => assert_eq!(
-                        r, &result.rows,
-                        "{}: mode {mode:?} disagrees",
-                        case.name
-                    ),
+                    Some(r) => {
+                        assert_eq!(r, &result.rows, "{}: mode {mode:?} disagrees", case.name)
+                    }
                 }
                 timings.push(elapsed);
             }

@@ -53,7 +53,13 @@ fn main() {
     println!(
         "{}",
         fmt::table(
-            &["raw events", "stored (CPR)", "scheduled", "unscheduled", "gap"],
+            &[
+                "raw events",
+                "stored (CPR)",
+                "scheduled",
+                "unscheduled",
+                "gap"
+            ],
             &rows
         )
     );

@@ -63,7 +63,13 @@ fn main() {
     println!(
         "{}",
         fmt::table(
-            &["workload", "events before", "events after", "factor", "removed"],
+            &[
+                "workload",
+                "events before",
+                "events after",
+                "factor",
+                "removed"
+            ],
             &rows
         )
     );
@@ -76,12 +82,8 @@ fn main() {
         .build();
     let plain = AuditStore::ingest(&scenario.log, false);
     let reduced = AuditStore::ingest(&scenario.log, true);
-    let r1 = Engine::new(&plain)
-        .hunt(threatraptor::FIG2_TBQL)
-        .unwrap();
-    let r2 = Engine::new(&reduced)
-        .hunt(threatraptor::FIG2_TBQL)
-        .unwrap();
+    let r1 = Engine::new(&plain).hunt(threatraptor::FIG2_TBQL).unwrap();
+    let r2 = Engine::new(&reduced).hunt(threatraptor::FIG2_TBQL).unwrap();
     assert_eq!(r1.rows, r2.rows, "CPR changed hunting results!");
     println!(
         "correctness check: hunting results identical with and without CPR ({} rows).",

@@ -8,7 +8,7 @@
 use std::time::{Duration, Instant};
 use threatraptor_bench::corpus::corpus;
 use threatraptor_bench::fmt;
-use threatraptor_nlp::{ThreatExtractor, pipeline::FIG2_OSCTI_TEXT};
+use threatraptor_nlp::{pipeline::FIG2_OSCTI_TEXT, ThreatExtractor};
 
 fn main() {
     println!("== E7: NLP extraction pipeline throughput ==\n");
@@ -53,9 +53,15 @@ fn main() {
     let t = result.timings;
     let stage_rows = vec![
         vec!["segmentation".to_string(), fmt::dur(t.segmentation)],
-        vec!["IOC recognition + protection".to_string(), fmt::dur(t.protection)],
+        vec![
+            "IOC recognition + protection".to_string(),
+            fmt::dur(t.protection),
+        ],
         vec!["parsing (+ restore)".to_string(), fmt::dur(t.parsing)],
-        vec!["annotation + simplification".to_string(), fmt::dur(t.annotation)],
+        vec![
+            "annotation + simplification".to_string(),
+            fmt::dur(t.annotation),
+        ],
         vec!["coreference".to_string(), fmt::dur(t.coref)],
         vec!["IOC scan & merge".to_string(), fmt::dur(t.merge)],
         vec!["relation extraction".to_string(), fmt::dur(t.relext)],

@@ -63,7 +63,11 @@ fn main() {
             println!("-- {}: synthesized --\n{synthesized_text}", case.name);
             println!("-- {}: reference --\n{reference_text}", case.name);
         }
-        assert!(same_rows, "{}: synthesized and reference rows differ", case.name);
+        assert!(
+            same_rows,
+            "{}: synthesized and reference rows differ",
+            case.name
+        );
         assert_eq!((p, r), (1.0, 1.0), "{}: hunt must be exact", case.name);
     }
     println!(

@@ -97,8 +97,8 @@ mod tests {
     #[test]
     fn reference_queries_parse_and_analyze() {
         for case in all_cases() {
-            let q = parse_query(case.reference_tbql)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let q =
+                parse_query(case.reference_tbql).unwrap_or_else(|e| panic!("{}: {e}", case.name));
             analyze(&q).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         }
     }

@@ -183,7 +183,11 @@ pub fn corpus() -> Vec<CorpusReport> {
                 ioc!("198.51.100.77", Ip),
             ],
             gold_relations: &[
-                rel!("/usr/bin/pg_dump", "read", "/var/lib/pgdata/base/13400/16384"),
+                rel!(
+                    "/usr/bin/pg_dump",
+                    "read",
+                    "/var/lib/pgdata/base/13400/16384"
+                ),
                 rel!("/usr/bin/pg_dump", "write", "/tmp/db.sql"),
                 rel!("/bin/gzip", "compress", "/tmp/db.sql"),
                 rel!("/bin/gzip", "write", "/tmp/db.sql.gz"),
@@ -356,9 +360,21 @@ pub fn corpus() -> Vec<CorpusReport> {
                 ioc!("pay.ransom-pad.top", Domain),
             ],
             gold_relations: &[
-                rel!("/usr/local/bin/lockd", "read", "/home/user/docs/ledger.xlsx"),
-                rel!("/usr/local/bin/lockd", "write", "/home/user/docs/ledger.enc"),
-                rel!("/usr/local/bin/lockd", "delete", "/home/user/docs/ledger.xlsx"),
+                rel!(
+                    "/usr/local/bin/lockd",
+                    "read",
+                    "/home/user/docs/ledger.xlsx"
+                ),
+                rel!(
+                    "/usr/local/bin/lockd",
+                    "write",
+                    "/home/user/docs/ledger.enc"
+                ),
+                rel!(
+                    "/usr/local/bin/lockd",
+                    "delete",
+                    "/home/user/docs/ledger.xlsx"
+                ),
             ],
         },
         CorpusReport {
@@ -410,7 +426,11 @@ pub fn corpus() -> Vec<CorpusReport> {
                 ioc!("9e107d9d372bb6826bd81d3542a419d6", Md5),
             ],
             gold_relations: &[
-                rel!("/var/tmp/.fonts/sd", "read", "/home/user/.mozilla/logins.json"),
+                rel!(
+                    "/var/tmp/.fonts/sd",
+                    "read",
+                    "/home/user/.mozilla/logins.json"
+                ),
                 rel!("/var/tmp/.fonts/sd", "read", "/home/user/.ssh/known_hosts"),
                 rel!("/var/tmp/.fonts/sd", "send", "drop.panel-x.site"),
             ],
@@ -477,7 +497,11 @@ pub fn corpus() -> Vec<CorpusReport> {
                 ioc!("45.33.99.10", Ip),
             ],
             gold_relations: &[
-                rel!("/usr/lib/node/.hooks/post.sh", "write", "/usr/bin/node-helper"),
+                rel!(
+                    "/usr/lib/node/.hooks/post.sh",
+                    "write",
+                    "/usr/bin/node-helper"
+                ),
                 rel!("/usr/bin/node-helper", "read", "/root/.npmrc"),
                 rel!("/usr/bin/node-helper", "send", "45.33.99.10"),
             ],

@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn prf_arithmetic() {
-        let p = Prf { tp: 8, fp: 2, fn_: 0 };
+        let p = Prf {
+            tp: 8,
+            fp: 2,
+            fn_: 0,
+        };
         assert!((p.precision() - 0.8).abs() < 1e-9);
         assert!((p.recall() - 1.0).abs() < 1e-9);
         assert!((p.f1() - 2.0 * 0.8 / 1.8).abs() < 1e-9);
@@ -129,8 +133,19 @@ mod tests {
         assert_eq!(empty.precision(), 1.0);
         assert_eq!(empty.recall(), 1.0);
         let mut acc = p;
-        acc.merge(Prf { tp: 2, fp: 0, fn_: 2 });
-        assert_eq!(acc, Prf { tp: 10, fp: 2, fn_: 2 });
+        acc.merge(Prf {
+            tp: 2,
+            fp: 0,
+            fn_: 2,
+        });
+        assert_eq!(
+            acc,
+            Prf {
+                tp: 10,
+                fp: 2,
+                fn_: 2
+            }
+        );
     }
 
     #[test]

@@ -92,8 +92,7 @@ pub fn sql_equivalent(aq: &AnalyzedQuery) -> String {
                 if e.ops.len() == 1 {
                     wheres.push(format!("{id}.op = '{}'", e.ops[0]));
                 } else {
-                    let alts: Vec<String> =
-                        e.ops.iter().map(|o| format!("'{o}'")).collect();
+                    let alts: Vec<String> = e.ops.iter().map(|o| format!("'{o}'")).collect();
                     wheres.push(format!("{id}.op IN ({})", alts.join(", ")));
                 }
                 if let Some(w) = e.window {
@@ -195,10 +194,7 @@ pub fn cypher_equivalent(aq: &AnalyzedQuery) -> String {
                 let min = p.min_hops.unwrap_or(1);
                 let max = p.max_hops.unwrap_or(4);
                 matches.push(format!("{id} = {s}-[*{min}..{max}]->{o}"));
-                wheres.push(format!(
-                    "last(relationships({id})).op = '{}'",
-                    p.last_op
-                ));
+                wheres.push(format!("last(relationships({id})).op = '{}'", p.last_op));
                 wheres.push(format!(
                     "all(idx IN range(0, size(relationships({id})) - 2) \
                      WHERE (relationships({id})[idx]).end <= (relationships({id})[idx + 1]).start)"
@@ -332,10 +328,8 @@ mod tests {
 
     #[test]
     fn path_patterns_render_recursive_sql() {
-        let aq = analyze(
-            &parse_query("proc p[\"%gpg%\"] ~>(2~4)[read] file f return p").unwrap(),
-        )
-        .unwrap();
+        let aq = analyze(&parse_query("proc p[\"%gpg%\"] ~>(2~4)[read] file f return p").unwrap())
+            .unwrap();
         let sql = sql_equivalent(&aq);
         assert!(sql.contains("WITH RECURSIVE"), "{sql}");
         assert!(sql.contains("depth >= 2"));

@@ -1,0 +1,308 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses. It implements a small wall-clock benchmark harness with the same
+//! call surface (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!`, `criterion_main!`) and
+//! plain-text reporting. Statistical analysis, plotting, and baselines of
+//! real criterion are out of scope; each benchmark reports the median,
+//! mean, and min of `sample_size` timed samples.
+//!
+//! Like real criterion, benches run under `cargo test` (which passes
+//! `--test`) execute one iteration per benchmark as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Input size in elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function/name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'c> {
+    config: &'c Config,
+    /// Collected per-sample mean iteration times.
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting `sample_size` samples after warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: determine an iteration count targeting ~`sample_ms` per
+        // sample, with at least one iteration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(self.config.sample_ms);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    sample_ms: u64,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+/// The harness entry point (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        // Like real criterion: `cargo bench` passes `--bench`, while
+        // `cargo test` (which also runs `[[bench]]` targets) does not —
+        // so the *absence* of `--bench` means "run once as a smoke test".
+        // The first free argument (not a flag) is a name filter.
+        let test_mode = !args.iter().any(|a| a == "--bench");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            config: Config {
+                sample_size: 20,
+                sample_ms: 20,
+                test_mode,
+                filter,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate columns for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.name, |b| routine(b));
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id.name, |b| routine(b, input));
+    }
+
+    /// Closes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, bench_name: &str, mut routine: impl FnMut(&mut Bencher<'_>)) {
+        let full = format!("{}/{}", self.name, bench_name);
+        if let Some(f) = &self.criterion.config.filter {
+            if !full.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: &self.criterion.config,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        if self.criterion.config.test_mode {
+            println!("test {full} ... ok (1 iteration, test mode)");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full:<40} (no samples collected)");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / median.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!(
+                "  {:>12.0} elem/s",
+                n as f64 / median.as_secs_f64().max(1e-12)
+            ),
+        });
+        println!(
+            "{full:<44} median {:>12?}  mean {:>12?}  min {:>12?}{}",
+            median,
+            mean,
+            min,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (string names or explicit ids).
+pub trait IntoBenchmarkId {
+    /// Converts the value.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).name, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let config = Config {
+            sample_size: 3,
+            sample_ms: 1,
+            test_mode: false,
+            filter: None,
+        };
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let config = Config {
+            sample_size: 10,
+            sample_ms: 1,
+            test_mode: true,
+            filter: None,
+        };
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! stands in for the real `rand`. It provides:
+//!
+//! * [`rngs::StdRng`] — a seedable, deterministic generator
+//!   (xoshiro256++ seeded through SplitMix64). The *stream* differs from
+//!   upstream `StdRng` (ChaCha12), but all workspace users only require
+//!   determinism per seed, not a specific stream;
+//! * the [`Rng`] extension trait with `random_range` / `random_bool`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`seq::IndexedRandom::choose`] for slices.
+
+/// Core trait for generators: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types with a uniform sampler (subset of
+/// `rand::distr::uniform::SampleUniform`). The order-preserving `u128`
+/// index mapping makes one blanket [`SampleRange`] impl cover signed and
+/// unsigned widths alike — and a blanket impl (rather than one impl per
+/// type) is what lets the range's literal type unify with the call site's
+/// expected return type during inference, as with the real `rand`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps the value to an order-preserving `u128` index.
+    fn to_index(self) -> u128;
+    /// Inverse of [`SampleUniform::to_index`].
+    fn from_index(index: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_index(self) -> u128 {
+                self as u128
+            }
+            fn from_index(index: u128) -> $t {
+                index as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_index(self) -> u128 {
+                (self as i128).wrapping_sub(<$t>::MIN as i128) as u128
+            }
+            fn from_index(index: u128) -> $t {
+                (index as i128).wrapping_add(<$t>::MIN as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// A range that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range. Panics on an empty range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let lo = self.start.to_index();
+        let span = self.end.to_index() - lo;
+        T::from_index(lo + (rng.next_u64() as u128) % span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let lo = lo.to_index();
+        let span = hi.to_index() - lo + 1;
+        T::from_index(lo + (rng.next_u64() as u128) % span)
+    }
+}
+
+/// User-facing extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits, exactly like upstream's `f64` sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from indexable sequences.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+
+        /// Returns a uniformly chosen element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.random_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.random_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(10..14);
+            assert!((10..14).contains(&v));
+            let w: u64 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+            let x: usize = rng.random_range(0..3);
+            assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "got {hits}");
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pool = ["a", "b", "c"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*pool.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -46,15 +46,17 @@
 pub use threatraptor_audit as audit;
 pub use threatraptor_engine as engine;
 pub use threatraptor_nlp as nlp;
+pub use threatraptor_service as service;
 pub use threatraptor_storage as storage;
 pub use threatraptor_synth as synth;
 pub use threatraptor_tbql as tbql;
 
 pub use threatraptor_audit::parser::{ParseError, ParsedLog};
-pub use threatraptor_engine::{Engine, EngineError, ExecMode, HuntResult};
+pub use threatraptor_engine::{Engine, EngineError, ExecMode, HuntResult, ShardedEngine};
 pub use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
 pub use threatraptor_nlp::{ExtractionResult, ThreatBehaviorGraph, ThreatExtractor};
-pub use threatraptor_storage::AuditStore;
+pub use threatraptor_service::{HuntJob, HuntService, JobReport, ServiceConfig};
+pub use threatraptor_storage::{AuditStore, ShardedStore};
 pub use threatraptor_synth::{synthesize, synthesize_with_plan, SynthesisError, SynthesisPlan};
 pub use threatraptor_tbql::parser::FIG2_TBQL;
 
@@ -64,9 +66,10 @@ use std::fmt;
 pub mod prelude {
     pub use crate::{HuntOutcome, ThreatRaptor, ThreatRaptorError};
     pub use threatraptor_audit::sim::scenario::{AttackKind, BenignMix, ScenarioBuilder};
-    pub use threatraptor_engine::{Engine, ExecMode, HuntResult};
+    pub use threatraptor_engine::{Engine, ExecMode, HuntResult, ShardedEngine};
     pub use threatraptor_nlp::{ThreatBehaviorGraph, ThreatExtractor};
-    pub use threatraptor_storage::AuditStore;
+    pub use threatraptor_service::{HuntJob, HuntService, ServiceConfig};
+    pub use threatraptor_storage::{AuditStore, ShardedStore};
     pub use threatraptor_synth::{DefaultPlan, PathPatternPlan, TimeWindowPlan};
     pub use threatraptor_tbql::printer::print_query;
 }
@@ -179,6 +182,28 @@ impl ThreatRaptor {
         self.hunt_report_with_plan(oscti, &synth::DefaultPlan)
     }
 
+    /// Opens the multi-hunt service layer over this system's (already
+    /// reduced) store: the log is re-partitioned into `config.shards`
+    /// time-window shards, and the returned [`HuntService`] runs batches
+    /// of concurrent hunts on a worker pool with a shared compiled-plan
+    /// cache.
+    ///
+    /// ```
+    /// use threatraptor::prelude::*;
+    ///
+    /// let scenario = ScenarioBuilder::new().seed(42).target_events(3_000).build();
+    /// let raptor = ThreatRaptor::from_parsed(&scenario.log, true);
+    /// let service = raptor.service(ServiceConfig::with_shards(4));
+    /// let reports = service.run(vec![
+    ///     HuntJob::report(threatraptor::FIG2_OSCTI_TEXT),
+    ///     HuntJob::tbql(threatraptor::FIG2_TBQL),
+    /// ]);
+    /// assert!(reports.iter().all(|r| !r.outcome.as_ref().unwrap().is_empty()));
+    /// ```
+    pub fn service(&self, config: ServiceConfig) -> HuntService {
+        HuntService::from_store(&self.store, config)
+    }
+
     /// End-to-end hunt with a custom synthesis plan.
     pub fn hunt_report_with_plan(
         &self,
@@ -240,6 +265,17 @@ mod tests {
         assert!(!result.is_empty());
         let err = raptor.hunt("syntactically broken").unwrap_err();
         assert!(matches!(err, ThreatRaptorError::Engine(_)));
+    }
+
+    #[test]
+    fn service_facade_matches_direct_hunting() {
+        let (raptor, sc) = raptor();
+        let service = raptor.service(ServiceConfig::with_shards(4).workers(2));
+        let direct = raptor.hunt(FIG2_TBQL).unwrap();
+        let served = service.hunt_tbql(FIG2_TBQL).unwrap();
+        assert_eq!(served.rows, direct.rows);
+        let (p, r) = served.precision_recall(service.store(), &sc.ground_truth("data_leakage"));
+        assert_eq!((p, r), (1.0, 1.0));
     }
 
     #[test]

@@ -9,12 +9,12 @@
 use crate::error::EngineError;
 use std::collections::HashMap;
 use threatraptor_storage::graphdb::PathQuery;
-use threatraptor_storage::relational::{CmpOp as SqlCmp, Predicate, SqlSelect, TableRef, JoinCond, Value};
+use threatraptor_storage::relational::{
+    CmpOp as SqlCmp, JoinCond, Predicate, SqlSelect, TableRef, Value,
+};
 use threatraptor_storage::store::{self, AuditStore};
 use threatraptor_tbql::analyze::AnalyzedQuery;
-use threatraptor_tbql::ast::{
-    CmpOp, EntityType, Expr, Lit, Pattern, TimeWindow,
-};
+use threatraptor_tbql::ast::{CmpOp, EntityType, Expr, Lit, Pattern, TimeWindow};
 
 /// A compiled pattern ready for execution.
 #[derive(Debug, Clone)]
@@ -128,11 +128,7 @@ pub fn compile(aq: &AnalyzedQuery) -> Result<CompiledQuery, EngineError> {
             .copied()
             .ok_or_else(|| EngineError::Execution(format!("untyped variable `{object_var}`")))?;
         let (shape, window, max_len) = match pat {
-            Pattern::Event(e) => (
-                CompiledShape::Event { ops: e.ops.clone() },
-                e.window,
-                1u32,
-            ),
+            Pattern::Event(e) => (CompiledShape::Event { ops: e.ops.clone() }, e.window, 1u32),
             Pattern::Path(p) => {
                 let min = p.min_hops.unwrap_or(1);
                 let max = p.max_hops.unwrap_or(min.max(4));
@@ -274,7 +270,7 @@ impl CompiledQuery {
             mid_ops: None,
             time_monotone: true,
             window: pat.window.map(|w| (w.lo, w.hi)),
-            max_matches: 100_000,
+            max_matches: crate::exec::MAX_PATH_MATCHES,
         }
     }
 

@@ -7,7 +7,7 @@ use crate::result::{HuntResult, HuntStats, Match};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use threatraptor_audit::entity::EntityId;
-use threatraptor_audit::event::Operation;
+use threatraptor_audit::event::{Event, Operation};
 use threatraptor_storage::relational::{Predicate, Value};
 use threatraptor_storage::store::AuditStore;
 use threatraptor_tbql::analyze::{analyze, AnalyzedQuery};
@@ -46,14 +46,17 @@ impl ExecMode {
     }
 }
 
-/// One pattern's data-query output row.
+/// One pattern's data-query output row. Event positions are
+/// store-relative: table rows for a single-store [`Engine`], global
+/// positions for the sharded executor (which translates shard-local rows
+/// before joining).
 #[derive(Debug, Clone)]
-struct PatternRow {
-    subject: EntityId,
-    object: EntityId,
-    events: Vec<usize>,
-    start: u64,
-    end: u64,
+pub(crate) struct PatternRow {
+    pub(crate) subject: EntityId,
+    pub(crate) object: EntityId,
+    pub(crate) events: Vec<usize>,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
 }
 
 /// The query engine over one audit store.
@@ -97,90 +100,17 @@ impl<'s> Engine<'s> {
     }
 
     /// Executes a compiled query.
-    pub fn execute(
-        &self,
-        cq: &CompiledQuery,
-        mode: ExecMode,
-    ) -> Result<HuntResult, EngineError> {
-        let t0 = Instant::now();
-        let mut stats = HuntStats::default();
-
-        // Execution order.
-        let mut order: Vec<&CompiledPattern> = cq.patterns.iter().collect();
-        if mode == ExecMode::Scheduled {
-            order.sort_by_key(|p| (std::cmp::Reverse(p.score), p.decl_index));
-        }
-
-        let mut partial: Option<Vec<Match>> = None;
-        for pat in &order {
-            // Constraint propagation (scheduled mode only): bindings from
-            // already-executed patterns become IN-set filters on shared
-            // variables.
-            let mut extra: HashMap<String, Predicate> = HashMap::new();
-            if mode == ExecMode::Scheduled {
-                if let Some(ms) = &partial {
-                    for var in [&pat.subject_var, &pat.object_var] {
-                        let ids: HashSet<Value> = ms
-                            .iter()
-                            .filter_map(|m| m.bindings.get(var))
-                            .map(|e| Value::from(e.0))
-                            .collect();
-                        if !ids.is_empty() {
-                            extra.insert(var.clone(), Predicate::InSet("id".into(), ids));
-                        }
-                    }
-                }
-            }
-
-            let rows = self.run_pattern(cq, pat, &extra, mode);
-            stats.execution_order.push(pat.id.clone());
-            stats.rows_fetched.push((pat.id.clone(), rows.len()));
-
-            partial = Some(self.join(cq, partial, rows, pat));
-            if partial.as_ref().is_some_and(Vec::is_empty) {
-                // No match can exist; still record remaining patterns as
-                // skipped with zero rows for the stats.
-                break;
-            }
-        }
-
-        let matches = partial.unwrap_or_default();
-        // Projection.
-        let columns: Vec<String> = cq
-            .returns
-            .iter()
-            .map(|(var, attr)| format!("{var}.{attr}"))
-            .collect();
-        let mut rows: Vec<Vec<String>> = matches
-            .iter()
-            .map(|m| {
-                cq.returns
-                    .iter()
-                    .map(|(var, attr)| {
-                        let id = m.bindings[var];
-                        self.store
-                            .entity(id)
-                            .attr(attr)
-                            .unwrap_or_else(|| "<none>".into())
-                    })
-                    .collect()
-            })
-            .collect();
-        if cq.distinct {
-            rows.sort();
-            rows.dedup();
-        }
-        stats.elapsed = t0.elapsed();
-        Ok(HuntResult {
-            columns,
-            rows,
-            matches,
-            stats,
-        })
+    pub fn execute(&self, cq: &CompiledQuery, mode: ExecMode) -> Result<HuntResult, EngineError> {
+        Ok(run_schedule(
+            cq,
+            mode,
+            &mut |pat, extra| self.run_pattern(cq, pat, extra, mode),
+            &|id, attr| self.store.entity(id).attr(attr),
+        ))
     }
 
     /// Runs one pattern's data query.
-    fn run_pattern(
+    pub(crate) fn run_pattern(
         &self,
         cq: &CompiledQuery,
         pat: &CompiledPattern,
@@ -220,9 +150,14 @@ impl<'s> Engine<'s> {
         if s_ids.is_empty() || o_ids.is_empty() {
             return Vec::new();
         }
-        let events = self.store.db.table(threatraptor_storage::store::TABLE_EVENT);
-        let op_set: HashSet<Operation> =
-            ops.iter().map(|o| o.parse().expect("ops validated")).collect();
+        let events = self
+            .store
+            .db
+            .table(threatraptor_storage::store::TABLE_EVENT);
+        let op_set: HashSet<Operation> = ops
+            .iter()
+            .map(|o| o.parse().expect("ops validated"))
+            .collect();
 
         // Estimate each access path by exact index-bucket sizes.
         let probe_cost = |col: &str, ids: &HashSet<EntityId>| -> usize {
@@ -311,12 +246,21 @@ impl<'s> Engine<'s> {
         let o_ok = self.entity_filter_set(cq, &pat.object_var, extra);
         // A graph store has no attribute indexes over edges; it scans.
         // The scan is parallelized across worker threads (crossbeam),
-        // as a production graph database would.
+        // as a production graph database would — but only when the edge
+        // set is large enough to amortize thread spawns. Small scans run
+        // sequentially, which also keeps the sharded executor (which
+        // invokes this per shard, possibly from its own worker pool) from
+        // stacking a third parallelism layer over tiny slices.
+        const PARALLEL_SCAN_THRESHOLD: usize = 65_536;
         let n = self.store.graph.edge_count();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .clamp(1, 8);
+        let workers = if n < PARALLEL_SCAN_THRESHOLD {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .clamp(1, 8)
+        };
         let chunk = n.div_ceil(workers);
         let mut out: Vec<PatternRow> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -398,88 +342,28 @@ impl<'s> Engine<'s> {
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
     ) -> Vec<PatternRow> {
-        let CompiledShape::Path {
-            min_hops,
-            max_hops,
-            last_op,
-        } = &pat.shape
-        else {
-            unreachable!()
-        };
-        let last_op: Operation = last_op.parse().expect("ops validated");
         let srcs = self.entity_filter_set(cq, &pat.subject_var, extra);
         let dsts = self.entity_filter_set(cq, &pat.object_var, extra);
-        let events_table = self.store.db.table(threatraptor_storage::store::TABLE_EVENT);
-
-        // Partial path state: (current node, first start, last end, hops).
-        #[derive(Clone)]
-        struct PartialPath {
-            node: EntityId,
-            start: u64,
-            end: u64,
-            events: Vec<usize>,
-        }
-        let mut frontier: Vec<PartialPath> = srcs
-            .iter()
-            .map(|&n| PartialPath {
-                node: n,
-                start: 0,
-                end: 0,
-                events: Vec::new(),
-            })
-            .collect();
-        let mut out = Vec::new();
-        for hop in 1..=*max_hops {
-            let mut next = Vec::new();
-            for p in &frontier {
-                // SELECT * FROM event WHERE subject = p.node AND start >= p.end
-                let rows = events_table
-                    .index_lookup("subject", &[Value::from(p.node.0)])
-                    .unwrap_or_default();
-                for rid in rows {
-                    let ev = self.store.event_at(rid);
-                    if !p.events.is_empty() && ev.start < p.end {
-                        continue; // time-monotone
-                    }
-                    if p.events.contains(&rid) {
-                        continue;
-                    }
-                    if let Some(w) = pat.window {
-                        if ev.start < w.lo || ev.end > w.hi {
-                            continue;
-                        }
-                    }
-                    let mut np = p.clone();
-                    if np.events.is_empty() {
-                        np.start = ev.start;
-                    }
-                    np.end = ev.end;
-                    np.events.push(rid);
-                    np.node = ev.object;
-                    if hop >= *min_hops && ev.op == last_op && dsts.contains(&ev.object) {
-                        out.push(PatternRow {
-                            subject: EntityId(
-                                self.store.event_at(np.events[0]).subject.0,
-                            ),
-                            object: ev.object,
-                            events: np.events.clone(),
-                            start: np.start,
-                            end: np.end,
-                        });
-                    }
-                    next.push(np);
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
-            }
-        }
-        out
+        let events_table = self
+            .store
+            .db
+            .table(threatraptor_storage::store::TABLE_EVENT);
+        expand_paths(
+            pat,
+            &srcs,
+            &dsts,
+            &|node| {
+                // SELECT * FROM event WHERE subject = node (index probe).
+                events_table
+                    .index_lookup("subject", &[Value::from(node.0)])
+                    .unwrap_or_default()
+            },
+            &|pos| self.store.event_at(pos),
+        )
     }
 
     /// Entity ids satisfying a variable's merged predicate.
-    fn entity_filter_set(
+    pub(crate) fn entity_filter_set(
         &self,
         cq: &CompiledQuery,
         var: &str,
@@ -497,86 +381,301 @@ impl<'s> Engine<'s> {
             .map(|rid| EntityId(table.cell(rid, "id").as_int().expect("id column") as u32))
             .collect()
     }
+}
 
-    /// Joins a pattern's rows into the partial match set, enforcing
-    /// shared-entity equality and all decidable temporal constraints.
-    fn join(
-        &self,
-        cq: &CompiledQuery,
-        partial: Option<Vec<Match>>,
-        rows: Vec<PatternRow>,
-        pat: &CompiledPattern,
-    ) -> Vec<Match> {
-        let same_var = pat.subject_var == pat.object_var;
-        let rows: Vec<PatternRow> = rows
-            .into_iter()
-            .filter(|r| !same_var || r.subject == r.object)
-            .collect();
+/// One pattern's data query as seen by the scheduling driver: pattern +
+/// propagated per-variable filters in, rows out.
+pub(crate) type PatternFetch<'a> =
+    dyn FnMut(&CompiledPattern, &HashMap<String, Predicate>) -> Vec<PatternRow> + 'a;
 
-        let Some(partial) = partial else {
-            return rows
-                .into_iter()
-                .map(|r| {
-                    let mut bindings = HashMap::new();
-                    bindings.insert(pat.subject_var.clone(), r.subject);
-                    bindings.insert(pat.object_var.clone(), r.object);
-                    let mut events = HashMap::new();
-                    events.insert(pat.id.clone(), r.events);
-                    let mut times = HashMap::new();
-                    times.insert(pat.id.clone(), (r.start, r.end));
-                    Match {
-                        bindings,
-                        events,
-                        times,
-                    }
-                })
-                .collect();
-        };
+/// The scheduling driver (paper §II-F): pruning-score ordering,
+/// cross-pattern constraint propagation, join, and projection. The store
+/// only enters through the two closures — `fetch` answers one pattern's
+/// data query (single-table for [`Engine`], scatter-gather for the
+/// sharded executor) and `entity_attr` resolves projections — so the
+/// single-store and sharded executors share this logic verbatim rather
+/// than maintaining two copies of it.
+pub(crate) fn run_schedule(
+    cq: &CompiledQuery,
+    mode: ExecMode,
+    fetch: &mut PatternFetch<'_>,
+    entity_attr: &dyn Fn(EntityId, &str) -> Option<String>,
+) -> HuntResult {
+    let t0 = Instant::now();
+    let mut stats = HuntStats::default();
 
-        let mut out = Vec::new();
-        for m in &partial {
-            for r in &rows {
-                // Shared-variable equality.
-                if let Some(&b) = m.bindings.get(&pat.subject_var) {
-                    if b != r.subject {
-                        continue;
+    // Execution order.
+    let mut order: Vec<&CompiledPattern> = cq.patterns.iter().collect();
+    if mode == ExecMode::Scheduled {
+        order.sort_by_key(|p| (std::cmp::Reverse(p.score), p.decl_index));
+    }
+
+    let mut partial: Option<Vec<Match>> = None;
+    for pat in &order {
+        // Constraint propagation (scheduled mode only): bindings from
+        // already-executed patterns become IN-set filters on shared
+        // variables.
+        let mut extra: HashMap<String, Predicate> = HashMap::new();
+        if mode == ExecMode::Scheduled {
+            if let Some(ms) = &partial {
+                for var in [&pat.subject_var, &pat.object_var] {
+                    let ids: HashSet<Value> = ms
+                        .iter()
+                        .filter_map(|m| m.bindings.get(var))
+                        .map(|e| Value::from(e.0))
+                        .collect();
+                    if !ids.is_empty() {
+                        extra.insert(var.clone(), Predicate::InSet("id".into(), ids));
                     }
                 }
-                if let Some(&b) = m.bindings.get(&pat.object_var) {
-                    if b != r.object {
-                        continue;
-                    }
-                }
-                // Temporal constraints involving this pattern.
-                let ok = cq.before.iter().all(|(a, b)| {
-                    let ta = if a == &pat.id {
-                        Some((r.start, r.end))
-                    } else {
-                        m.times.get(a).copied()
-                    };
-                    let tb = if b == &pat.id {
-                        Some((r.start, r.end))
-                    } else {
-                        m.times.get(b).copied()
-                    };
-                    match (ta, tb) {
-                        (Some(x), Some(y)) => x.1 < y.0,
-                        _ => true, // undecidable yet
-                    }
-                });
-                if !ok {
-                    continue;
-                }
-                let mut nm = m.clone();
-                nm.bindings.insert(pat.subject_var.clone(), r.subject);
-                nm.bindings.insert(pat.object_var.clone(), r.object);
-                nm.events.insert(pat.id.clone(), r.events.clone());
-                nm.times.insert(pat.id.clone(), (r.start, r.end));
-                out.push(nm);
             }
         }
-        out
+
+        let rows = fetch(pat, &extra);
+        stats.execution_order.push(pat.id.clone());
+        stats.rows_fetched.push((pat.id.clone(), rows.len()));
+
+        partial = Some(join_rows(cq, partial, rows, pat));
+        if partial.as_ref().is_some_and(Vec::is_empty) {
+            // No match can exist; still record remaining patterns as
+            // skipped with zero rows for the stats.
+            break;
+        }
     }
+
+    let matches = partial.unwrap_or_default();
+    let (columns, rows) = project_matches(cq, &matches, entity_attr);
+    stats.elapsed = t0.elapsed();
+    HuntResult {
+        columns,
+        rows,
+        matches,
+        stats,
+    }
+}
+
+/// Joins a pattern's rows into the partial match set, enforcing
+/// shared-entity equality and all decidable temporal constraints.
+/// Free function (not a method): the sharded executor joins globally
+/// after gathering rows from every shard, using the same code path.
+pub(crate) fn join_rows(
+    cq: &CompiledQuery,
+    partial: Option<Vec<Match>>,
+    rows: Vec<PatternRow>,
+    pat: &CompiledPattern,
+) -> Vec<Match> {
+    let same_var = pat.subject_var == pat.object_var;
+    let rows: Vec<PatternRow> = rows
+        .into_iter()
+        .filter(|r| !same_var || r.subject == r.object)
+        .collect();
+
+    let Some(partial) = partial else {
+        return rows
+            .into_iter()
+            .map(|r| {
+                let mut bindings = HashMap::new();
+                bindings.insert(pat.subject_var.clone(), r.subject);
+                bindings.insert(pat.object_var.clone(), r.object);
+                let mut events = HashMap::new();
+                events.insert(pat.id.clone(), r.events);
+                let mut times = HashMap::new();
+                times.insert(pat.id.clone(), (r.start, r.end));
+                Match {
+                    bindings,
+                    events,
+                    times,
+                }
+            })
+            .collect();
+    };
+
+    let mut out = Vec::new();
+    for m in &partial {
+        for r in &rows {
+            // Shared-variable equality.
+            if let Some(&b) = m.bindings.get(&pat.subject_var) {
+                if b != r.subject {
+                    continue;
+                }
+            }
+            if let Some(&b) = m.bindings.get(&pat.object_var) {
+                if b != r.object {
+                    continue;
+                }
+            }
+            // Temporal constraints involving this pattern.
+            let ok = cq.before.iter().all(|(a, b)| {
+                let ta = if a == &pat.id {
+                    Some((r.start, r.end))
+                } else {
+                    m.times.get(a).copied()
+                };
+                let tb = if b == &pat.id {
+                    Some((r.start, r.end))
+                } else {
+                    m.times.get(b).copied()
+                };
+                match (ta, tb) {
+                    (Some(x), Some(y)) => x.1 < y.0,
+                    _ => true, // undecidable yet
+                }
+            });
+            if !ok {
+                continue;
+            }
+            let mut nm = m.clone();
+            nm.bindings.insert(pat.subject_var.clone(), r.subject);
+            nm.bindings.insert(pat.object_var.clone(), r.object);
+            nm.events.insert(pat.id.clone(), r.events.clone());
+            nm.times.insert(pat.id.clone(), (r.start, r.end));
+            out.push(nm);
+        }
+    }
+    out
+}
+
+/// Projects matches into the result table. The entity lookup is a closure
+/// so the single-store and sharded executors can project through their
+/// respective stores.
+pub(crate) fn project_matches(
+    cq: &CompiledQuery,
+    matches: &[Match],
+    entity_attr: &dyn Fn(EntityId, &str) -> Option<String>,
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let columns: Vec<String> = cq
+        .returns
+        .iter()
+        .map(|(var, attr)| format!("{var}.{attr}"))
+        .collect();
+    let mut rows: Vec<Vec<String>> = matches
+        .iter()
+        .map(|m| {
+            cq.returns
+                .iter()
+                .map(|(var, attr)| {
+                    entity_attr(m.bindings[var], attr).unwrap_or_else(|| "<none>".into())
+                })
+                .collect()
+        })
+        .collect();
+    if cq.distinct {
+        rows.sort();
+        rows.dedup();
+    }
+    (columns, rows)
+}
+
+/// Safety cap on enumerated paths — the single source for both path
+/// executors: [`CompiledQuery::path_plan`] feeds it into the graph
+/// backend's `PathQuery::max_matches`, and [`expand_paths`] enforces it
+/// directly. Dense graphs make path counts combinatorial, and an
+/// uncapped expansion is an unbounded memory/time sink in a multi-tenant
+/// service.
+pub(crate) const MAX_PATH_MATCHES: usize = 100_000;
+
+/// Hop-by-hop frontier expansion of a variable-length path pattern over an
+/// abstract event index: `subject_index` answers "positions of events with
+/// this subject" and `event_at` resolves a position. The single-store
+/// executor backs these with one event table; the sharded executor merges
+/// every shard's index probes into global positions — giving identical
+/// path semantics whether the events live in one store or many. Output is
+/// truncated at [`MAX_PATH_MATCHES`], like the graph backend.
+pub(crate) fn expand_paths<'a>(
+    pat: &CompiledPattern,
+    srcs: &HashSet<EntityId>,
+    dsts: &HashSet<EntityId>,
+    subject_index: &dyn Fn(EntityId) -> Vec<usize>,
+    event_at: &dyn Fn(usize) -> &'a Event,
+) -> Vec<PatternRow> {
+    let CompiledShape::Path {
+        min_hops,
+        max_hops,
+        last_op,
+    } = &pat.shape
+    else {
+        unreachable!()
+    };
+    let last_op: Operation = last_op.parse().expect("ops validated");
+    // No source or no admissible destination means no path can ever
+    // complete — skip the (potentially combinatorial) expansion entirely,
+    // like the event-pattern executors do for empty entity sets.
+    if srcs.is_empty() || dsts.is_empty() {
+        return Vec::new();
+    }
+
+    // Partial path state: (current node, first start, last end, hops).
+    #[derive(Clone)]
+    struct PartialPath {
+        node: EntityId,
+        start: u64,
+        end: u64,
+        events: Vec<usize>,
+    }
+    // Sorted sources keep the expansion order (and any truncated subset)
+    // deterministic; HashSet iteration order is not.
+    let mut sources: Vec<EntityId> = srcs.iter().copied().collect();
+    sources.sort_unstable_by_key(|e| e.0);
+    let mut frontier: Vec<PartialPath> = sources
+        .into_iter()
+        .map(|n| PartialPath {
+            node: n,
+            start: 0,
+            end: 0,
+            events: Vec::new(),
+        })
+        .collect();
+    let mut out = Vec::new();
+    'expansion: for hop in 1..=*max_hops {
+        let mut next = Vec::new();
+        for p in &frontier {
+            // SELECT * FROM event WHERE subject = p.node AND start >= p.end
+            for rid in subject_index(p.node) {
+                let ev = event_at(rid);
+                if !p.events.is_empty() && ev.start < p.end {
+                    continue; // time-monotone
+                }
+                if p.events.contains(&rid) {
+                    continue;
+                }
+                if let Some(w) = pat.window {
+                    if ev.start < w.lo || ev.end > w.hi {
+                        continue;
+                    }
+                }
+                let mut np = p.clone();
+                if np.events.is_empty() {
+                    np.start = ev.start;
+                }
+                np.end = ev.end;
+                np.events.push(rid);
+                np.node = ev.object;
+                if hop >= *min_hops && ev.op == last_op && dsts.contains(&ev.object) {
+                    out.push(PatternRow {
+                        subject: EntityId(event_at(np.events[0]).subject.0),
+                        object: ev.object,
+                        events: np.events.clone(),
+                        start: np.start,
+                        end: np.end,
+                    });
+                    if out.len() >= MAX_PATH_MATCHES {
+                        break 'expansion;
+                    }
+                }
+                next.push(np);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    // Position-sorted output: a stable, backend-independent row order
+    // (hop-major expansion order would differ from the graph backend's
+    // depth-first order; sorted order agrees with neither but is the same
+    // for every executor that goes through this function).
+    out.sort_unstable_by(|a, b| a.events.cmp(&b.events));
+    out
 }
 
 #[cfg(test)]
@@ -606,8 +705,7 @@ mod tests {
         let result = engine.hunt(FIG2_TBQL).expect("hunt succeeds");
         assert!(!result.is_empty(), "the attack must be found");
         // Exactly the ground-truth chain.
-        let (precision, recall) =
-            result.precision_recall(&store, &sc.ground_truth("data_leakage"));
+        let (precision, recall) = result.precision_recall(&store, &sc.ground_truth("data_leakage"));
         assert_eq!(precision, 1.0, "no benign events may match");
         assert_eq!(recall, 1.0, "all 8 steps must be matched");
         // The projection mirrors Fig. 2's return clause.
@@ -619,9 +717,7 @@ mod tests {
     fn all_modes_agree_on_results() {
         let store = store();
         let engine = Engine::new(&store);
-        let scheduled = engine
-            .hunt_mode(FIG2_TBQL, ExecMode::Scheduled)
-            .unwrap();
+        let scheduled = engine.hunt_mode(FIG2_TBQL, ExecMode::Scheduled).unwrap();
         for mode in [
             ExecMode::Unscheduled,
             ExecMode::RelationalOnly,
@@ -722,7 +818,8 @@ mod tests {
         let engine = Engine::new(&store);
         // The attack happens somewhere inside the scenario; a window
         // ending at t=1 excludes it.
-        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 window [0, 1] return p";
+        let q =
+            "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 window [0, 1] return p";
         let r = engine.hunt(q).unwrap();
         assert!(r.is_empty());
     }

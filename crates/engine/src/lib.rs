@@ -25,6 +25,9 @@
 //! * [`exec`] — the scheduler/executor, including the baseline execution
 //!   modes used by the efficiency experiments (unscheduled,
 //!   relational-only, graph-only);
+//! * [`sharded`] — the scatter-gather executor over a
+//!   [`threatraptor_storage::sharded::ShardedStore`], with exact parity
+//!   to single-store execution;
 //! * [`result`] — hunt results, per-pattern matches, and evaluation
 //!   against ground truth.
 
@@ -33,7 +36,9 @@ pub mod error;
 pub mod exec;
 pub mod result;
 pub mod score;
+pub mod sharded;
 
 pub use error::EngineError;
 pub use exec::{Engine, ExecMode};
 pub use result::{HuntResult, HuntStats, Match};
+pub use sharded::ShardedEngine;

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 use threatraptor_audit::entity::EntityId;
 use threatraptor_audit::event::EventId;
-use threatraptor_storage::store::AuditStore;
+use threatraptor_storage::store::EventLookup;
 
 /// One complete match of all patterns: entity bindings plus the events
 /// that witnessed each pattern.
@@ -50,8 +50,11 @@ impl HuntResult {
         self.matches.is_empty()
     }
 
-    /// All matched event ids (original ids, stable across CPR).
-    pub fn matched_event_ids(&self, store: &AuditStore) -> BTreeSet<EventId> {
+    /// All matched event ids (original ids, stable across CPR). Works
+    /// over any store the result was produced against: a single
+    /// `AuditStore` (positions are table rows) or a `ShardedStore`
+    /// (positions are global).
+    pub fn matched_event_ids(&self, store: &impl EventLookup) -> BTreeSet<EventId> {
         self.matches
             .iter()
             .flat_map(|m| m.events.values().flatten())
@@ -65,7 +68,7 @@ impl HuntResult {
     /// when nothing was expected, 0 otherwise.
     pub fn precision_recall(
         &self,
-        store: &AuditStore,
+        store: &impl EventLookup,
         ground_truth: &[EventId],
     ) -> (f64, f64) {
         let got = self.matched_event_ids(store);

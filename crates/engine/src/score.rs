@@ -98,9 +98,7 @@ mod tests {
 
     #[test]
     fn window_counts_as_constraint() {
-        let s = scores(
-            "proc p read file f as e1 window [1, 2] proc q read file g as e2 return p",
-        );
+        let s = scores("proc p read file f as e1 window [1, 2] proc q read file g as e2 return p");
         assert!(s[0] > s[1]);
     }
 

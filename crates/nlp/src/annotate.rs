@@ -95,7 +95,11 @@ mod tests {
             .iter()
             .filter_map(|n| n.ann.relation_verb.as_deref())
             .collect();
-        assert_eq!(verbs, vec!["read"], "`used` is instrumental, not a relation verb");
+        assert_eq!(
+            verbs,
+            vec!["read"],
+            "`used` is instrumental, not a relation verb"
+        );
         let tar = tree
             .nodes
             .iter()
@@ -110,7 +114,10 @@ mod tests {
         annotate(&mut tree);
         let it = &tree.nodes[0];
         assert!(it.ann.is_pronoun);
-        assert!(tree.nodes.iter().any(|n| n.ann.relation_verb.as_deref() == Some("write")));
+        assert!(tree
+            .nodes
+            .iter()
+            .any(|n| n.ann.relation_verb.as_deref() == Some("write")));
     }
 
     #[test]

@@ -25,7 +25,12 @@ use crate::verbs;
 /// types they may resolve to.
 pub fn compatible_types(head_noun: &str) -> Option<&'static [IocType]> {
     const FILEISH: &[IocType] = &[IocType::FilePath, IocType::FileName];
-    const HOSTISH: &[IocType] = &[IocType::Ip, IocType::IpSubnet, IocType::Domain, IocType::Url];
+    const HOSTISH: &[IocType] = &[
+        IocType::Ip,
+        IocType::IpSubnet,
+        IocType::Domain,
+        IocType::Url,
+    ];
     match head_noun {
         "file" | "archive" | "image" | "document" | "script" | "binary" | "payload"
         | "executable" | "dropper" | "sample" | "backdoor" => Some(FILEISH),
@@ -281,6 +286,9 @@ mod tests {
             .iter()
             .find(|n| n.token.text == "utility")
             .expect("noun present");
-        assert!(utility.ann.coref.is_none(), "appos already supplies the IOC");
+        assert!(
+            utility.ann.coref.is_none(),
+            "appos already supplies the IOC"
+        );
     }
 }

@@ -238,7 +238,10 @@ impl DepTree {
             return Err(format!("expected one root, found {roots:?}"));
         }
         if roots[0] != self.root {
-            return Err(format!("root field {} != headless node {}", self.root, roots[0]));
+            return Err(format!(
+                "root field {} != headless node {}",
+                self.root, roots[0]
+            ));
         }
         for (i, n) in self.nodes.iter().enumerate() {
             if let Some(h) = n.head {

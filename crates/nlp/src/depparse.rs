@@ -121,7 +121,15 @@ impl ParserState {
                 PosTag::Aux => {
                     if let Some(v) = self.next_verb_within(i, 3) {
                         let passive = self.is_passive_participle(v);
-                        self.attach(i, v, if passive { DepLabel::AuxPass } else { DepLabel::Aux });
+                        self.attach(
+                            i,
+                            v,
+                            if passive {
+                                DepLabel::AuxPass
+                            } else {
+                                DepLabel::Aux
+                            },
+                        );
                     }
                 }
                 PosTag::Part => {
@@ -283,16 +291,21 @@ impl ParserState {
             // Attachment point.
             let head = self
                 .prev_verb(i)
-                .or_else(|| {
-                    runs.iter()
-                        .rev()
-                        .find(|r| r.head < i)
-                        .map(|r| r.head)
-                })
+                .or_else(|| runs.iter().rev().find(|r| r.head < i).map(|r| r.head))
                 .unwrap_or(0);
             let is_agent = self.tokens[i].lower() == "by"
-                && self.prev_verb(i).is_some_and(|v| self.is_passive_participle(v));
-            self.attach(i, head, if is_agent { DepLabel::Agent } else { DepLabel::Prep });
+                && self
+                    .prev_verb(i)
+                    .is_some_and(|v| self.is_passive_participle(v));
+            self.attach(
+                i,
+                head,
+                if is_agent {
+                    DepLabel::Agent
+                } else {
+                    DepLabel::Prep
+                },
+            );
             // Object: head of the next nominal run (if it starts within a
             // few tokens).
             if let Some(run) = runs.iter().find(|r| r.start > i) {
@@ -560,7 +573,8 @@ mod tests {
     fn by_using_pattern() {
         // "He leaked the information by using /usr/bin/curl to connect to
         // 192.168.29.128."
-        let t = parse_str("He leaked the information by using somethingU to connect to somethingV .");
+        let t =
+            parse_str("He leaked the information by using somethingU to connect to somethingV .");
         assert!(t.validate().is_ok(), "{}", t.render());
         assert_eq!(head_of(&t, "using"), ("by", DepLabel::Pcomp));
         assert_eq!(head_of(&t, "somethingU"), ("using", DepLabel::Dobj));
@@ -572,7 +586,10 @@ mod tests {
     fn passive_with_agent() {
         let t = parse_str("somethingP was downloaded by the attacker .");
         assert!(t.validate().is_ok(), "{}", t.render());
-        assert_eq!(head_of(&t, "somethingP"), ("downloaded", DepLabel::NsubjPass));
+        assert_eq!(
+            head_of(&t, "somethingP"),
+            ("downloaded", DepLabel::NsubjPass)
+        );
         assert_eq!(head_of(&t, "was"), ("downloaded", DepLabel::AuxPass));
         assert_eq!(head_of(&t, "by"), ("downloaded", DepLabel::Agent));
         assert_eq!(head_of(&t, "attacker"), ("by", DepLabel::Pobj));
@@ -581,7 +598,8 @@ mod tests {
     #[test]
     fn apposition_parenthetical() {
         // "the curl utility (/usr/bin/curl)"
-        let t = parse_str("the attacker leveraged the curl utility ( somethingQ ) to read the data");
+        let t =
+            parse_str("the attacker leveraged the curl utility ( somethingQ ) to read the data");
         assert!(t.validate().is_ok(), "{}", t.render());
         assert_eq!(head_of(&t, "somethingQ"), ("utility", DepLabel::Appos));
         assert_eq!(head_of(&t, "utility"), ("leveraged", DepLabel::Dobj));

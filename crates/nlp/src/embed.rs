@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn short_strings_do_not_panic() {
-        assert!(similarity("a", "b").abs() < 1e-9, "sub-trigram words are zero vectors");
+        assert!(
+            similarity("a", "b").abs() < 1e-9,
+            "sub-trigram words are zero vectors"
+        );
         assert_eq!(char_overlap("", ""), 1.0);
         assert!(char_overlap("ab", "ab") > 0.99);
     }

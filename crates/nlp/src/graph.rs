@@ -156,7 +156,12 @@ impl ThreatBehaviorGraph {
 
 impl fmt::Display for ThreatBehaviorGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "threat behavior graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "threat behavior graph: {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for e in &self.edges {
             writeln!(
                 f,

@@ -191,8 +191,13 @@ impl IocRecognizer {
                     while end > m.start
                         && matches!(
                             text[..end].chars().next_back(),
-                            Some('.') | Some(',') | Some(';') | Some(':') | Some('!')
-                                | Some('?') | Some(')')
+                            Some('.')
+                                | Some(',')
+                                | Some(';')
+                                | Some(':')
+                                | Some('!')
+                                | Some('?')
+                                | Some(')')
                         )
                     {
                         end -= 1;
@@ -254,7 +259,10 @@ impl IocRecognizer {
         }
         match ty {
             IocType::Ip | IocType::IpSubnet => {
-                let ip_part = mention.split('/').next().expect("split yields at least one");
+                let ip_part = mention
+                    .split('/')
+                    .next()
+                    .expect("split yields at least one");
                 let octets_ok = ip_part
                     .split('.')
                     .all(|o| o.parse::<u32>().map(|v| v <= 255).unwrap_or(false));

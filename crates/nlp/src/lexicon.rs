@@ -12,8 +12,20 @@ pub const DETERMINERS: &[&str] = &[
 
 /// Pronouns (coreference candidates among them).
 pub const PRONOUNS: &[&str] = &[
-    "it", "he", "she", "they", "them", "him", "itself", "himself", "themselves", "which", "who",
-    "whom", "what", "one",
+    "it",
+    "he",
+    "she",
+    "they",
+    "them",
+    "him",
+    "itself",
+    "himself",
+    "themselves",
+    "which",
+    "who",
+    "whom",
+    "what",
+    "one",
 ];
 
 /// Prepositions / particles tagged `ADP`.
@@ -35,25 +47,70 @@ pub const SCONJ: &[&str] = &[
 
 /// Auxiliary / copular verbs.
 pub const AUXILIARIES: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having",
-    "do", "does", "did", "will", "would", "can", "could", "may", "might", "must", "shall",
-    "should",
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having", "do",
+    "does", "did", "will", "would", "can", "could", "may", "might", "must", "shall", "should",
 ];
 
 /// Common adverbs (beyond the `-ly` heuristic).
 pub const ADVERBS: &[&str] = &[
-    "then", "now", "here", "there", "thus", "hence", "also", "again", "first", "next", "later",
-    "often", "never", "always", "already", "still", "just", "very", "too", "not", "further",
-    "back", "instead", "meanwhile", "afterwards", "subsequently",
+    "then",
+    "now",
+    "here",
+    "there",
+    "thus",
+    "hence",
+    "also",
+    "again",
+    "first",
+    "next",
+    "later",
+    "often",
+    "never",
+    "always",
+    "already",
+    "still",
+    "just",
+    "very",
+    "too",
+    "not",
+    "further",
+    "back",
+    "instead",
+    "meanwhile",
+    "afterwards",
+    "subsequently",
 ];
 
 /// Common adjectives seen in threat reports (participles handled by the
 /// tagger's post-determiner rule).
 pub const ADJECTIVES: &[&str] = &[
-    "malicious", "sensitive", "valuable", "remote", "local", "important", "suspicious",
-    "compromised", "encrypted", "compressed", "hidden", "new", "final", "first", "second",
-    "third", "last", "multiple", "several", "various", "clear", "main", "initial", "following",
-    "same", "zipped", "gathered",
+    "malicious",
+    "sensitive",
+    "valuable",
+    "remote",
+    "local",
+    "important",
+    "suspicious",
+    "compromised",
+    "encrypted",
+    "compressed",
+    "hidden",
+    "new",
+    "final",
+    "first",
+    "second",
+    "third",
+    "last",
+    "multiple",
+    "several",
+    "various",
+    "clear",
+    "main",
+    "initial",
+    "following",
+    "same",
+    "zipped",
+    "gathered",
 ];
 
 /// Whether `word` (lowercased) is in a slice.

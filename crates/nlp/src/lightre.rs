@@ -303,7 +303,9 @@ impl<'p> Parser<'p> {
             {
                 self.bump(); // '-'
                 let hi = match self.bump() {
-                    Some('\\') => self.bump().ok_or_else(|| self.err("class ends with `\\`"))?,
+                    Some('\\') => self
+                        .bump()
+                        .ok_or_else(|| self.err("class ends with `\\`"))?,
                     Some(h) => h,
                     None => return Err(self.err("unterminated range")),
                 };
@@ -438,8 +440,7 @@ impl Compiler {
                 target
             }
             Ast::Alt(branches) => {
-                let entries: Vec<usize> =
-                    branches.iter().map(|b| self.compile(b, exit)).collect();
+                let entries: Vec<usize> = branches.iter().map(|b| self.compile(b, exit)).collect();
                 // Chain of splits.
                 let mut entry = entries[entries.len() - 1];
                 for &e in entries.iter().rev().skip(1) {

@@ -41,10 +41,7 @@ impl IocTable {
 
     /// Finds the canonical id whose text equals `text`, if any.
     pub fn lookup(&self, text: &str) -> Option<CanonId> {
-        self.canon
-            .iter()
-            .position(|i| i.text == text)
-            .map(CanonId)
+        self.canon.iter().position(|i| i.text == text).map(CanonId)
     }
 }
 
@@ -151,11 +148,13 @@ pub fn merge(mentions: &[Ioc]) -> IocTable {
     let mut classes: Vec<(usize, usize)> = class_best.iter().map(|(&r, &b)| (r, b)).collect();
     classes.sort_by_key(|&(root, _)| {
         (0..n)
-            .find(|&i| dsu.parent[i] == root || {
-                // parent may be un-compressed; compare via find on a clone
-                // is overkill — roots are already compressed by the loop
-                // above.
-                false
+            .find(|&i| {
+                dsu.parent[i] == root || {
+                    // parent may be un-compressed; compare via find on a clone
+                    // is overkill — roots are already compressed by the loop
+                    // above.
+                    false
+                }
             })
             .unwrap_or(root)
     });
@@ -205,7 +204,10 @@ mod tests {
             ioc("upload.tar", IocType::FileName),
         ]);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.canon[0].text, "/tmp/upload.tar", "canonical = most specific");
+        assert_eq!(
+            t.canon[0].text, "/tmp/upload.tar",
+            "canonical = most specific"
+        );
     }
 
     #[test]
@@ -225,7 +227,11 @@ mod tests {
             ioc("/tmp/upload.tar.bz2", IocType::FilePath),
             ioc("/tmp/upload", IocType::FilePath),
         ]);
-        assert_eq!(t.len(), 3, "the Fig. 2 chain must keep all three files distinct");
+        assert_eq!(
+            t.len(),
+            3,
+            "the Fig. 2 chain must keep all three files distinct"
+        );
     }
 
     #[test]

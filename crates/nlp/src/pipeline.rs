@@ -158,8 +158,9 @@ impl ThreatExtractor {
                 .collect();
             block_triplets.sort_by_key(|t| t.verb_offset);
             // Cross-sentence duplicates within a block (coref echoes).
-            block_triplets
-                .dedup_by(|a, b| a.subject == b.subject && a.verb == b.verb && a.object == b.object);
+            block_triplets.dedup_by(|a, b| {
+                a.subject == b.subject && a.verb == b.verb && a.object == b.object
+            });
             triplets.extend(block_triplets);
         }
         timings.relext += t.elapsed();
@@ -251,7 +252,10 @@ mod tests {
                 .map(|e| e.seq)
                 .unwrap()
         };
-        assert!(seq_of("/bin/tar", "read", "/etc/passwd") < seq_of("/bin/tar", "write", "/tmp/upload.tar"));
+        assert!(
+            seq_of("/bin/tar", "read", "/etc/passwd")
+                < seq_of("/bin/tar", "write", "/tmp/upload.tar")
+        );
         assert!(
             seq_of("/bin/bzip2", "write", "/tmp/upload.tar.bz2")
                 < seq_of("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2")
@@ -281,9 +285,8 @@ mod tests {
 
     #[test]
     fn ioc_free_document() {
-        let result = ThreatExtractor::new().extract(
-            "The quarterly report shows steady progress. Nothing suspicious happened.",
-        );
+        let result = ThreatExtractor::new()
+            .extract("The quarterly report shows steady progress. Nothing suspicious happened.");
         assert_eq!(result.graph.node_count(), 0);
         assert_eq!(result.graph.edge_count(), 0);
     }
@@ -293,11 +296,7 @@ mod tests {
         let result = ThreatExtractor::new()
             .extract("The dropper /tmp/stage2 connected to 203[.]0[.]113[.]66 for tasking.");
         assert!(result.graph.node_by_text("203.0.113.66").is_some());
-        assert!(result
-            .graph
-            .edges
-            .iter()
-            .any(|e| e.verb == "connect"));
+        assert!(result.graph.edges.iter().any(|e| e.verb == "connect"));
     }
 
     #[test]

@@ -84,7 +84,11 @@ fn tag_one(tok: &Token, i: usize, tokens: &[Token], prev_tags: &[PosTag]) -> Pos
     if first.is_ascii_punctuation() && text.chars().all(|c| !c.is_alphanumeric()) {
         return PosTag::Punct;
     }
-    if text.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') && first.is_ascii_digit() {
+    if text
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+        && first.is_ascii_digit()
+    {
         return PosTag::Num;
     }
     if lower == DUMMY {
@@ -96,7 +100,11 @@ fn tag_one(tok: &Token, i: usize, tokens: &[Token], prev_tags: &[PosTag]) -> Pos
             .get(i + 1)
             .map(|n| verbs::is_known_verb(&lemmatize(&n.lower())))
             .unwrap_or(false);
-        return if next_is_verb { PosTag::Part } else { PosTag::Adp };
+        return if next_is_verb {
+            PosTag::Part
+        } else {
+            PosTag::Adp
+        };
     }
     if lower == "not" || lower == "n't" {
         return PosTag::Adv;
@@ -195,10 +203,7 @@ mod tests {
     fn tags_of(s: &str) -> Vec<(String, PosTag)> {
         let toks = tokenize(s, 0);
         let tags = tag(&toks);
-        toks.into_iter()
-            .map(|t| t.text)
-            .zip(tags)
-            .collect()
+        toks.into_iter().map(|t| t.text).zip(tags).collect()
     }
 
     fn tag_seq(s: &str) -> Vec<PosTag> {

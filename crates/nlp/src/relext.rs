@@ -344,7 +344,11 @@ mod tests {
         let got =
             triples("This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2.");
         assert!(
-            got.contains(&("/usr/bin/gpg".into(), "read".into(), "/tmp/upload.tar.bz2".into())),
+            got.contains(&(
+                "/usr/bin/gpg".into(),
+                "read".into(),
+                "/tmp/upload.tar.bz2".into()
+            )),
             "{got:?}"
         );
     }
@@ -355,7 +359,11 @@ mod tests {
             "He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128.",
         );
         assert!(
-            got.contains(&("/usr/bin/curl".into(), "connect".into(), "192.168.29.128".into())),
+            got.contains(&(
+                "/usr/bin/curl".into(),
+                "connect".into(),
+                "192.168.29.128".into()
+            )),
             "{got:?}"
         );
     }
@@ -374,11 +382,19 @@ mod tests {
     fn conjoined_objects_yield_two_triples() {
         let got = triples("/usr/bin/wget downloaded /tmp/a.sh and /tmp/b.sh.");
         assert!(
-            got.contains(&("/usr/bin/wget".into(), "download".into(), "/tmp/a.sh".into())),
+            got.contains(&(
+                "/usr/bin/wget".into(),
+                "download".into(),
+                "/tmp/a.sh".into()
+            )),
             "{got:?}"
         );
         assert!(
-            got.contains(&("/usr/bin/wget".into(), "download".into(), "/tmp/b.sh".into())),
+            got.contains(&(
+                "/usr/bin/wget".into(),
+                "download".into(),
+                "/tmp/b.sh".into()
+            )),
             "{got:?}"
         );
     }
@@ -387,7 +403,11 @@ mod tests {
     fn execute_class_instrument() {
         let got = triples("The attacker executed /tmp/.cache/agent to scan /etc/shadow.");
         assert!(
-            got.contains(&("/tmp/.cache/agent".into(), "scan".into(), "/etc/shadow".into())),
+            got.contains(&(
+                "/tmp/.cache/agent".into(),
+                "scan".into(),
+                "/etc/shadow".into()
+            )),
             "{got:?}"
         );
     }
@@ -397,11 +417,19 @@ mod tests {
         let got =
             triples("Collected documents were compressed into /tmp/.arch/out.7z by /usr/bin/7z.");
         assert!(
-            got.contains(&("/usr/bin/7z".into(), "compress".into(), "/tmp/.arch/out.7z".into())),
+            got.contains(&(
+                "/usr/bin/7z".into(),
+                "compress".into(),
+                "/tmp/.arch/out.7z".into()
+            )),
             "{got:?}"
         );
         // Direction must not be reversed.
-        assert!(!got.contains(&("/tmp/.arch/out.7z".into(), "compress".into(), "/usr/bin/7z".into())));
+        assert!(!got.contains(&(
+            "/tmp/.arch/out.7z".into(),
+            "compress".into(),
+            "/usr/bin/7z".into()
+        )));
     }
 
     #[test]

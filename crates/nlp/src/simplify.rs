@@ -58,7 +58,11 @@ mod tests {
             "After the long and tedious lateral movement stage, /bin/tar read /etc/passwd quickly",
         );
         let pruned = simplify(&mut tree);
-        assert!(pruned > 0, "decorative words must be pruned: {}", tree.render());
+        assert!(
+            pruned > 0,
+            "decorative words must be pruned: {}",
+            tree.render()
+        );
         // IOC nodes and the relation verb survive.
         for n in &tree.nodes {
             if n.ann.is_ioc || n.ann.relation_verb.is_some() {

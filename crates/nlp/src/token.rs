@@ -64,7 +64,10 @@ pub fn tokenize(sentence: &str, base: usize) -> Vec<Token> {
             // for unprotected text.
             let between_digits = c == '.'
                 && word_start.is_some()
-                && sentence[..i].chars().next_back().is_some_and(|p| p.is_ascii_digit())
+                && sentence[..i]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|p| p.is_ascii_digit())
                 && sentence[i + c.len_utf8()..]
                     .chars()
                     .next()
@@ -116,7 +119,10 @@ mod tests {
 
     #[test]
     fn apostrophes_kept() {
-        assert_eq!(words("attacker's tool doesn't"), vec!["attacker's", "tool", "doesn't"]);
+        assert_eq!(
+            words("attacker's tool doesn't"),
+            vec!["attacker's", "tool", "doesn't"]
+        );
     }
 
     #[test]

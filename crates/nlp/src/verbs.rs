@@ -9,13 +9,66 @@
 
 /// Lemmas of verbs that can label an IOC relation edge.
 pub const SECURITY_VERBS: &[&str] = &[
-    "read", "write", "open", "create", "drop", "download", "upload", "send", "receive",
-    "transfer", "exfiltrate", "leak", "steal", "copy", "move", "rename", "delete", "remove",
-    "modify", "overwrite", "encrypt", "decrypt", "compress", "archive", "pack", "unpack",
-    "extract", "execute", "run", "launch", "spawn", "start", "invoke", "inject", "load",
-    "connect", "communicate", "beacon", "resolve", "scan", "access", "collect", "gather",
-    "harvest", "compromise", "install", "persist", "register", "query", "contact", "post",
-    "fetch", "request", "retrieve", "store", "save", "append", "log", "dump", "crack",
+    "read",
+    "write",
+    "open",
+    "create",
+    "drop",
+    "download",
+    "upload",
+    "send",
+    "receive",
+    "transfer",
+    "exfiltrate",
+    "leak",
+    "steal",
+    "copy",
+    "move",
+    "rename",
+    "delete",
+    "remove",
+    "modify",
+    "overwrite",
+    "encrypt",
+    "decrypt",
+    "compress",
+    "archive",
+    "pack",
+    "unpack",
+    "extract",
+    "execute",
+    "run",
+    "launch",
+    "spawn",
+    "start",
+    "invoke",
+    "inject",
+    "load",
+    "connect",
+    "communicate",
+    "beacon",
+    "resolve",
+    "scan",
+    "access",
+    "collect",
+    "gather",
+    "harvest",
+    "compromise",
+    "install",
+    "persist",
+    "register",
+    "query",
+    "contact",
+    "post",
+    "fetch",
+    "request",
+    "retrieve",
+    "store",
+    "save",
+    "append",
+    "log",
+    "dump",
+    "crack",
 ];
 
 /// Lemmas of instrumental verbs: `used X to <verb> Y` promotes `X` to the
@@ -25,13 +78,64 @@ pub const INSTRUMENT_VERBS: &[&str] = &["use", "leverage", "utilize", "employ"];
 /// Additional common verbs the tagger should recognize (they never label
 /// edges but must parse as verbs).
 pub const COMMON_VERBS: &[&str] = &[
-    "use", "leverage", "utilize", "employ", "attempt", "try", "involve", "correspond",
-    "include", "contain", "perform", "conduct", "continue", "begin", "proceed", "make",
-    "take", "obtain", "appear", "exploit", "penetrate", "infiltrate", "target", "attack",
-    "detect", "observe", "report", "identify", "encode", "decode", "escalate", "pivot",
-    "enumerate", "list", "search", "find", "locate", "wait", "sleep", "check", "verify",
-    "go", "come", "get", "see", "show", "follow", "unfold", "happen", "occur", "resume",
-    "emulate", "mask", "hide", "establish", "complete", "finish", "exfil",
+    "use",
+    "leverage",
+    "utilize",
+    "employ",
+    "attempt",
+    "try",
+    "involve",
+    "correspond",
+    "include",
+    "contain",
+    "perform",
+    "conduct",
+    "continue",
+    "begin",
+    "proceed",
+    "make",
+    "take",
+    "obtain",
+    "appear",
+    "exploit",
+    "penetrate",
+    "infiltrate",
+    "target",
+    "attack",
+    "detect",
+    "observe",
+    "report",
+    "identify",
+    "encode",
+    "decode",
+    "escalate",
+    "pivot",
+    "enumerate",
+    "list",
+    "search",
+    "find",
+    "locate",
+    "wait",
+    "sleep",
+    "check",
+    "verify",
+    "go",
+    "come",
+    "get",
+    "see",
+    "show",
+    "follow",
+    "unfold",
+    "happen",
+    "occur",
+    "resume",
+    "emulate",
+    "mask",
+    "hide",
+    "establish",
+    "complete",
+    "finish",
+    "exfil",
 ];
 
 /// True if `lemma` can label a relation edge.
@@ -48,7 +152,10 @@ pub fn is_instrument_verb(lemma: &str) -> bool {
 /// clause the way `use` does: "executed X to scan Y" means X scans Y.
 pub fn is_executing_instrument(lemma: &str) -> bool {
     is_instrument_verb(lemma)
-        || matches!(lemma, "execute" | "run" | "launch" | "invoke" | "spawn" | "start")
+        || matches!(
+            lemma,
+            "execute" | "run" | "launch" | "invoke" | "spawn" | "start"
+        )
 }
 
 /// True if `lemma` is any known verb (for POS tagging).
@@ -76,7 +183,11 @@ mod tests {
 
     #[test]
     fn lexicons_are_lemma_form() {
-        for w in SECURITY_VERBS.iter().chain(INSTRUMENT_VERBS).chain(COMMON_VERBS) {
+        for w in SECURITY_VERBS
+            .iter()
+            .chain(INSTRUMENT_VERBS)
+            .chain(COMMON_VERBS)
+        {
             assert!(!w.ends_with("ing"), "{w} must be a lemma");
             assert_eq!(*w, w.to_lowercase());
         }

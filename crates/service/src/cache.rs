@@ -1,0 +1,242 @@
+//! The compiled-plan cache.
+//!
+//! Parsing, semantic analysis, and compilation of a TBQL query are pure
+//! functions of the query text, and production hunt traffic repeats
+//! queries heavily (the same intelligence is hunted across time windows,
+//! tenants, and re-runs). The cache keys compiled plans by *normalized*
+//! query text so formatting variants of the same query share one plan,
+//! and separately memoizes OSCTI-report synthesis (report text → TBQL),
+//! which dominates report-job latency.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use threatraptor_engine::compile::{compile, CompiledQuery};
+use threatraptor_engine::EngineError;
+use threatraptor_nlp::ThreatExtractor;
+use threatraptor_synth::{synthesize, SynthesisError};
+use threatraptor_tbql::analyze::analyze;
+use threatraptor_tbql::parser::parse_query;
+use threatraptor_tbql::printer::print_query;
+
+/// Collapses whitespace runs *outside string literals* to single spaces
+/// and trims, so that formatting variants of one query map to one cache
+/// key while queries differing only inside a quoted filter (where
+/// whitespace is significant — file paths may contain spaces) stay
+/// distinct. Tracks the lexer's escape rules (`\"`, `\\`, `\n`, `\t`) so
+/// an escaped quote does not end the literal; an unterminated literal
+/// keeps its tail verbatim and will fail in the parser with its usual
+/// error.
+pub fn normalize_tbql(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    let mut in_string = false;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            match c {
+                '\\' => {
+                    if let Some(&esc) = chars.peek() {
+                        out.push(esc);
+                        chars.next();
+                    }
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+        } else if c.is_whitespace() {
+            pending_space = !out.is_empty();
+        } else {
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.push(c);
+            if c == '"' {
+                in_string = true;
+            }
+        }
+    }
+    out
+}
+
+/// Cache counters at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan-cache hits.
+    pub hits: usize,
+    /// Plan-cache misses (compilations performed).
+    pub misses: usize,
+    /// Distinct plans currently cached.
+    pub plans: usize,
+    /// Distinct report syntheses currently cached.
+    pub reports: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when nothing was probed.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A compiled plan as served by the cache.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// Canonical (pretty-printed) TBQL text of the plan.
+    pub tbql: String,
+    /// The compiled query, ready for any executor.
+    pub compiled: CompiledQuery,
+}
+
+/// A memoized synthesis outcome, computed at most once per report.
+type SynthesisCell = Arc<OnceLock<Result<String, SynthesisError>>>;
+
+/// Thread-safe plan + synthesis cache, shared by all scheduler workers.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<String, Arc<CachedPlan>>>,
+    /// Per-report cell: `OnceLock::get_or_init` makes concurrent first
+    /// touches of the same report run extraction+synthesis exactly once
+    /// (the expensive stage — worth more than the plans' race-and-drop).
+    syntheses: Mutex<HashMap<String, SynthesisCell>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns the compiled plan for `tbql_src`, compiling at most once
+    /// per normalized query text. The boolean is `true` on a cache hit.
+    pub fn plan(&self, tbql_src: &str) -> Result<(Arc<CachedPlan>, bool), EngineError> {
+        let key = normalize_tbql(tbql_src);
+        if let Some(plan) = self.plans.read().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(plan), true));
+        }
+
+        // Compile outside any lock: compilation is pure, and two workers
+        // racing on the same key just do redundant work once.
+        let query = parse_query(tbql_src)?;
+        let analyzed = analyze(&query)?;
+        let compiled = compile(&analyzed)?;
+        let plan = Arc::new(CachedPlan {
+            tbql: print_query(&query),
+            compiled,
+        });
+        let mut plans = self.plans.write().expect("plan cache poisoned");
+        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Returns the TBQL synthesized from an OSCTI report, memoized by
+    /// report text (successes *and* failures — a report that synthesizes
+    /// to nothing will keep doing so). Concurrent requests for the same
+    /// report block on one synthesis instead of each running the NLP
+    /// pipeline.
+    pub fn synthesize_report(&self, report: &str) -> Result<String, SynthesisError> {
+        let cell = {
+            let mut map = self.syntheses.lock().expect("synthesis cache poisoned");
+            match map.get(report) {
+                // Probe by &str first: the hot hit path must not clone a
+                // multi-KB report inside the critical section.
+                Some(cell) => Arc::clone(cell),
+                None => Arc::clone(map.entry(report.to_string()).or_default()),
+            }
+        };
+        cell.get_or_init(|| {
+            let extraction = ThreatExtractor::new().extract(report);
+            synthesize(&extraction.graph).map(|q| print_query(&q))
+        })
+        .clone()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            plans: self.plans.read().expect("plan cache poisoned").len(),
+            reports: self
+                .syntheses
+                .lock()
+                .expect("synthesis cache poisoned")
+                .len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    #[test]
+    fn normalization_collapses_whitespace() {
+        let a = normalize_tbql("proc p   read\n\tfile f\nreturn p");
+        let b = normalize_tbql("proc p read file f return p");
+        assert_eq!(a, b);
+        assert_eq!(normalize_tbql("  proc p  "), "proc p");
+    }
+
+    #[test]
+    fn normalization_preserves_string_literal_contents() {
+        // Whitespace inside quoted filters is significant (paths may
+        // contain spaces): these are different queries, not variants.
+        let one = normalize_tbql("proc p[\"%My Documents%\"] read file f return p");
+        let two = normalize_tbql("proc p[\"%My  Documents%\"] read file f return p");
+        assert_ne!(one, two);
+        assert!(one.contains("%My Documents%"));
+        // An escaped quote does not terminate the literal.
+        let esc = normalize_tbql("proc p[\"a\\\"b  c\"]   read file f return p");
+        assert!(esc.contains("a\\\"b  c"));
+        assert!(esc.ends_with("read file f return p"));
+    }
+
+    #[test]
+    fn plans_compile_once_per_normalized_text() {
+        let cache = PlanCache::new();
+        let (p1, hit1) = cache.plan(FIG2_TBQL).unwrap();
+        let (p2, hit2) = cache
+            .plan(&format!("  {}  ", FIG2_TBQL.replace('\n', "  \n")))
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2, "formatting variant must hit the cache");
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.plans), (1, 1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_queries_error_and_are_not_cached() {
+        let cache = PlanCache::new();
+        assert!(cache.plan("syntactically broken").is_err());
+        assert_eq!(cache.stats().plans, 0);
+    }
+
+    #[test]
+    fn report_synthesis_is_memoized() {
+        let cache = PlanCache::new();
+        let report = threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
+        let a = cache.synthesize_report(report).unwrap();
+        let b = cache.synthesize_report(report).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().reports, 1);
+        // Failures are memoized too.
+        let err = cache.synthesize_report("Nothing interesting happened.");
+        assert!(err.is_err());
+        assert_eq!(cache.stats().reports, 2);
+    }
+}

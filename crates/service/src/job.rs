@@ -1,0 +1,118 @@
+//! Hunt jobs and their outcomes.
+
+use std::fmt;
+use std::time::Duration;
+use threatraptor_engine::{EngineError, HuntResult};
+use threatraptor_synth::SynthesisError;
+
+/// One unit of work for the scheduler: hunt either a ready-made TBQL
+/// query or a raw OSCTI report (which is first run through extraction and
+/// query synthesis, exactly like [`ThreatRaptor::hunt_report`]).
+///
+/// [`ThreatRaptor::hunt_report`]: https://docs.rs/threatraptor
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuntJob {
+    /// A TBQL query, executed as-is.
+    Tbql(String),
+    /// Raw OSCTI text, extracted and synthesized into TBQL first.
+    Report(String),
+}
+
+impl HuntJob {
+    /// A TBQL job.
+    pub fn tbql(src: impl Into<String>) -> HuntJob {
+        HuntJob::Tbql(src.into())
+    }
+
+    /// An OSCTI-report job.
+    pub fn report(text: impl Into<String>) -> HuntJob {
+        HuntJob::Report(text.into())
+    }
+
+    /// The job's source text (TBQL or report, whichever it carries).
+    pub fn source(&self) -> &str {
+        match self {
+            HuntJob::Tbql(s) | HuntJob::Report(s) => s,
+        }
+    }
+
+    /// Short kind label for logs and tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HuntJob::Tbql(_) => "tbql",
+            HuntJob::Report(_) => "report",
+        }
+    }
+}
+
+/// Errors a job can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The report yielded no synthesizable behavior.
+    Synthesis(SynthesisError),
+    /// Parsing, analysis, compilation, or execution failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Synthesis(e) => write!(f, "query synthesis: {e}"),
+            ServiceError::Engine(e) => write!(f, "query execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SynthesisError> for ServiceError {
+    fn from(e: SynthesisError) -> Self {
+        ServiceError::Synthesis(e)
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// The outcome of one scheduled job. Reports are returned in submission
+/// order regardless of which worker finished first.
+#[derive(Debug)]
+pub struct JobReport {
+    /// Submission index of the job in the batch.
+    pub index: usize,
+    /// The job as submitted.
+    pub job: HuntJob,
+    /// The TBQL the job resolved to (for report jobs, the synthesized
+    /// query; `None` when synthesis failed).
+    pub tbql: Option<String>,
+    /// Matched records, or the error that stopped the job.
+    pub outcome: Result<HuntResult, ServiceError>,
+    /// Whether the compiled plan was served from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock time this job spent executing (including any extraction
+    /// and compilation).
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessors() {
+        let j = HuntJob::tbql("proc p read file f return p");
+        assert_eq!(j.kind(), "tbql");
+        assert!(j.source().starts_with("proc"));
+        let j = HuntJob::report("Attackers stole /etc/passwd.");
+        assert_eq!(j.kind(), "report");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ServiceError::from(SynthesisError::EmptyGraph);
+        assert!(e.to_string().contains("synthesis"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # threatraptor-service
+//!
+//! The multi-hunt execution service: everything between "one parsed log,
+//! one query at a time" and "a store serving heavy concurrent hunt
+//! traffic".
+//!
+//! The reproduction's base pipeline (paper Fig. 1) is strictly
+//! single-hunt: one [`AuditStore`], one query, one result. Production
+//! threat hunting is not — intelligence arrives continuously, analysts
+//! and automation hunt concurrently, and the same queries recur across
+//! time windows and re-runs. This crate adds that layer:
+//!
+//! * [`job::HuntJob`] — a unit of hunt work: raw OSCTI text *or* TBQL;
+//! * [`cache::PlanCache`] — compiled plans keyed by normalized query
+//!   text, plus memoized report synthesis, shared by all workers;
+//! * [`scheduler::HuntScheduler`] — a fixed worker pool draining a job
+//!   batch against a [`ShardedStore`], merging results deterministically
+//!   (submission order);
+//! * [`service::HuntService`] — the owning façade: store + cache +
+//!   config, constructed from a parsed log or an existing store.
+//!
+//! Execution inside each job uses
+//! [`threatraptor_engine::ShardedEngine`], whose scatter-gather keeps
+//! *exact* result parity with single-store execution (fan-out happens at
+//! the data-query level; joins stay global).
+//!
+//! [`AuditStore`]: threatraptor_storage::AuditStore
+//! [`ShardedStore`]: threatraptor_storage::ShardedStore
+
+pub mod cache;
+pub mod job;
+pub mod scheduler;
+pub mod service;
+
+pub use cache::{normalize_tbql, CacheStats, CachedPlan, PlanCache};
+pub use job::{HuntJob, JobReport, ServiceError};
+pub use scheduler::HuntScheduler;
+pub use service::{HuntService, ServiceConfig};

@@ -1,0 +1,223 @@
+//! The concurrent hunt scheduler: a fixed worker pool draining a job
+//! queue against one sharded store.
+//!
+//! Workers pull jobs from a shared atomic cursor (no per-worker queues —
+//! hunt latencies vary by orders of magnitude, so work stealing by
+//! construction beats static assignment), resolve each job to a compiled
+//! plan through the shared [`PlanCache`], execute it with a
+//! [`ShardedEngine`], and deposit the report at the job's submission
+//! index — so the merged output is deterministic regardless of worker
+//! interleaving.
+
+use crate::cache::PlanCache;
+use crate::job::{HuntJob, JobReport, ServiceError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
+use threatraptor_storage::ShardedStore;
+
+/// A scheduler borrowing a store and a plan cache. Cheap to construct;
+/// the long-lived state (store, cache) lives in
+/// [`crate::service::HuntService`] or with the caller.
+#[derive(Debug)]
+pub struct HuntScheduler<'a> {
+    store: &'a ShardedStore,
+    cache: &'a PlanCache,
+    workers: usize,
+    shard_threads: usize,
+    mode: ExecMode,
+}
+
+impl<'a> HuntScheduler<'a> {
+    /// A scheduler with one worker per available core. Per-hunt shard
+    /// fan-out defaults to sequential (`shard_threads = 1`): with many
+    /// concurrent hunts, the job level is the right place to spend cores,
+    /// and nesting both levels oversubscribes the pool.
+    pub fn new(store: &'a ShardedStore, cache: &'a PlanCache) -> HuntScheduler<'a> {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        HuntScheduler {
+            store,
+            cache,
+            workers,
+            shard_threads: 1,
+            mode: ExecMode::Scheduled,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> HuntScheduler<'a> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-hunt shard fan-out thread count.
+    pub fn shard_threads(mut self, threads: usize) -> HuntScheduler<'a> {
+        self.shard_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the execution strategy (default: the paper's scheduled mode).
+    pub fn mode(mut self, mode: ExecMode) -> HuntScheduler<'a> {
+        self.mode = mode;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of jobs to completion on the worker pool and returns
+    /// reports in submission order.
+    pub fn run(&self, jobs: Vec<HuntJob>) -> Vec<JobReport> {
+        let n = jobs.len();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = self.run_job(i, &jobs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(report);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// Executes one job directly (no pool) — also the worker body.
+    pub fn run_job(&self, index: usize, job: &HuntJob) -> JobReport {
+        let t0 = Instant::now();
+        let (tbql, cache_hit, outcome) = self.resolve_and_execute(job);
+        JobReport {
+            index,
+            job: job.clone(),
+            tbql,
+            outcome,
+            cache_hit,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Convenience single hunt for a TBQL query through the cache.
+    pub fn hunt(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
+        self.run_job(0, &HuntJob::tbql(tbql)).outcome
+    }
+
+    fn resolve_and_execute(
+        &self,
+        job: &HuntJob,
+    ) -> (Option<String>, bool, Result<HuntResult, ServiceError>) {
+        let tbql_src = match job {
+            HuntJob::Tbql(src) => src.clone(),
+            HuntJob::Report(text) => match self.cache.synthesize_report(text) {
+                Ok(tbql) => tbql,
+                Err(e) => return (None, false, Err(ServiceError::Synthesis(e))),
+            },
+        };
+        let (plan, cache_hit) = match self.cache.plan(&tbql_src) {
+            Ok(v) => v,
+            Err(e) => return (Some(tbql_src), false, Err(ServiceError::Engine(e))),
+        };
+        let engine = ShardedEngine::with_threads(self.store, self.shard_threads);
+        let outcome = engine
+            .execute(&plan.compiled, self.mode)
+            .map_err(ServiceError::Engine);
+        (Some(plan.tbql.clone()), cache_hit, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    fn store() -> ShardedStore {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage, AttackKind::PasswordCrack])
+            .target_events(5_000)
+            .build();
+        ShardedStore::ingest(&sc.log, true, 4)
+    }
+
+    #[test]
+    fn batch_reports_come_back_in_submission_order() {
+        let store = store();
+        let cache = PlanCache::new();
+        let sched = HuntScheduler::new(&store, &cache).workers(4);
+        let jobs: Vec<HuntJob> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    HuntJob::tbql(FIG2_TBQL)
+                } else {
+                    HuntJob::tbql("proc p[\"%/bin/ghost%\"] read file f return p")
+                }
+            })
+            .collect();
+        let reports = sched.run(jobs);
+        assert_eq!(reports.len(), 12);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let result = r.outcome.as_ref().expect("valid TBQL executes");
+            assert_eq!(result.is_empty(), i % 2 != 0, "job {i}");
+        }
+        // 2 distinct plans retained; concurrent first touches may each
+        // count a miss (up to one per worker per plan), so bound hits
+        // from below by the worst-case race rather than exactly.
+        let s = cache.stats();
+        assert_eq!(s.plans, 2);
+        assert_eq!(s.hits + s.misses, 12);
+        assert!(s.hits >= 12 - 2 * 4, "too few cache hits: {}", s.hits);
+    }
+
+    #[test]
+    fn report_jobs_synthesize_then_hunt() {
+        let store = store();
+        let cache = PlanCache::new();
+        let sched = HuntScheduler::new(&store, &cache).workers(2);
+        let reports = sched.run(vec![
+            HuntJob::report(threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT),
+            HuntJob::report("Nothing interesting happened today."),
+        ]);
+        let ok = &reports[0];
+        assert!(ok.tbql.as_deref().unwrap().contains("%/bin/tar%"));
+        assert!(!ok.outcome.as_ref().unwrap().is_empty());
+        let bad = &reports[1];
+        assert!(matches!(bad.outcome, Err(ServiceError::Synthesis(_))));
+        assert!(bad.tbql.is_none());
+    }
+
+    #[test]
+    fn bad_tbql_surfaces_engine_error() {
+        let store = store();
+        let cache = PlanCache::new();
+        let sched = HuntScheduler::new(&store, &cache);
+        let err = sched.hunt("totally broken").unwrap_err();
+        assert!(matches!(err, ServiceError::Engine(_)));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let store = store();
+        let cache = PlanCache::new();
+        let reports = HuntScheduler::new(&store, &cache).run(Vec::new());
+        assert!(reports.is_empty());
+    }
+}

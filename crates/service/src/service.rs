@@ -1,0 +1,198 @@
+//! The owning service façade: sharded store + plan cache + scheduler
+//! configuration in one long-lived value.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::job::{HuntJob, JobReport, ServiceError};
+use crate::scheduler::HuntScheduler;
+use threatraptor_audit::parser::ParsedLog;
+use threatraptor_engine::{ExecMode, HuntResult};
+use threatraptor_storage::{AuditStore, ShardedStore};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of store shards.
+    pub shards: usize,
+    /// Worker-pool size for batch hunts.
+    pub workers: usize,
+    /// Per-hunt shard fan-out threads (1 = job-level parallelism only,
+    /// the right default when `workers` already covers the cores).
+    pub shard_threads: usize,
+    /// Apply Causality-Preserved Reduction during ingestion.
+    pub cpr: bool,
+    /// Execution strategy for all hunts.
+    pub mode: ExecMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            shards: 8,
+            workers: cores,
+            shard_threads: 1,
+            cpr: true,
+            mode: ExecMode::Scheduled,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default config with `shards` shards.
+    pub fn with_shards(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-hunt shard fan-out thread count.
+    pub fn shard_threads(mut self, threads: usize) -> ServiceConfig {
+        self.shard_threads = threads.max(1);
+        self
+    }
+}
+
+/// A multi-hunt execution service over one ingested log: owns the
+/// sharded store and the plan cache, hands batches to a worker pool.
+///
+/// ```
+/// use threatraptor_audit::sim::scenario::ScenarioBuilder;
+/// use threatraptor_service::{HuntJob, HuntService, ServiceConfig};
+///
+/// let scenario = ScenarioBuilder::new().seed(42).target_events(3_000).build();
+/// let service = HuntService::from_parsed(&scenario.log, ServiceConfig::with_shards(4));
+/// let reports = service.run(vec![
+///     HuntJob::tbql(threatraptor_tbql::parser::FIG2_TBQL),
+///     HuntJob::report(threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT),
+/// ]);
+/// assert!(reports.iter().all(|r| !r.outcome.as_ref().unwrap().is_empty()));
+/// ```
+#[derive(Debug)]
+pub struct HuntService {
+    store: ShardedStore,
+    cache: PlanCache,
+    config: ServiceConfig,
+}
+
+impl HuntService {
+    /// Ingests a parsed log into `config.shards` shards (parallel, with
+    /// global CPR when `config.cpr`).
+    pub fn from_parsed(log: &ParsedLog, config: ServiceConfig) -> HuntService {
+        let store = ShardedStore::ingest(log, config.cpr, config.shards);
+        Self::from_sharded(store, config)
+    }
+
+    /// Re-partitions an existing single store (its reduction setting is
+    /// kept; `config.cpr` is ignored on this path).
+    pub fn from_store(store: &AuditStore, config: ServiceConfig) -> HuntService {
+        let store = ShardedStore::from_store(store, config.shards);
+        Self::from_sharded(store, config)
+    }
+
+    /// Wraps an existing sharded store.
+    pub fn from_sharded(store: ShardedStore, config: ServiceConfig) -> HuntService {
+        HuntService {
+            store,
+            cache: PlanCache::new(),
+            config,
+        }
+    }
+
+    /// The underlying sharded store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Plan/synthesis cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// A scheduler view over this service's store and cache (for custom
+    /// worker counts on a per-batch basis).
+    pub fn scheduler(&self) -> HuntScheduler<'_> {
+        HuntScheduler::new(&self.store, &self.cache)
+            .workers(self.config.workers)
+            .shard_threads(self.config.shard_threads)
+            .mode(self.config.mode)
+    }
+
+    /// Runs a batch of jobs on the worker pool; reports come back in
+    /// submission order.
+    pub fn run(&self, jobs: Vec<HuntJob>) -> Vec<JobReport> {
+        self.scheduler().run(jobs)
+    }
+
+    /// Hunts a single TBQL query (through the plan cache).
+    pub fn hunt_tbql(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
+        self.scheduler().hunt(tbql)
+    }
+
+    /// Hunts a single OSCTI report end-to-end (through both caches).
+    pub fn hunt_report(&self, report: &str) -> Result<HuntResult, ServiceError> {
+        self.run(vec![HuntJob::report(report)])
+            .pop()
+            .expect("one job in, one report out")
+            .outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    fn service() -> HuntService {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(4_000)
+            .build();
+        HuntService::from_parsed(&sc.log, ServiceConfig::with_shards(4).workers(4))
+    }
+
+    #[test]
+    fn end_to_end_tbql_and_report_hunts() {
+        let svc = service();
+        let direct = svc.hunt_tbql(FIG2_TBQL).unwrap();
+        assert!(!direct.is_empty());
+        let via_report = svc
+            .hunt_report(threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT)
+            .unwrap();
+        assert_eq!(direct.rows, via_report.rows);
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let svc = service();
+        svc.run(vec![HuntJob::tbql(FIG2_TBQL)]);
+        svc.run(vec![HuntJob::tbql(FIG2_TBQL)]);
+        let stats = svc.cache_stats();
+        assert_eq!(stats.misses, 1, "second batch must reuse the plan");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn from_store_re_partitions() {
+        let sc = ScenarioBuilder::new().seed(7).target_events(2_000).build();
+        let single = AuditStore::ingest(&sc.log, true);
+        let svc = HuntService::from_store(&single, ServiceConfig::with_shards(3));
+        assert_eq!(svc.store().shard_count(), 3);
+        assert_eq!(svc.store().event_count(), single.event_count());
+    }
+}

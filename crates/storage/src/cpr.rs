@@ -127,6 +127,22 @@ pub fn reduce(events: &[Event]) -> (Vec<Event>, ReductionStats) {
     (out, stats)
 }
 
+/// Applies CPR when `use_cpr`, otherwise passes the stream through with
+/// identity statistics — the shared ingestion preamble of
+/// [`crate::store::AuditStore::ingest`] and
+/// [`crate::sharded::ShardedStore::ingest`].
+pub fn reduce_if(events: &[Event], use_cpr: bool) -> (Vec<Event>, ReductionStats) {
+    if use_cpr {
+        reduce(events)
+    } else {
+        let stats = ReductionStats {
+            before: events.len(),
+            after: events.len(),
+        };
+        (events.to_vec(), stats)
+    }
+}
+
 /// Helper converting the natural tuple order into the run key layout.
 trait IntoRunKey {
     fn into_run_key(self) -> RunKey;
@@ -160,7 +176,9 @@ mod tests {
 
     #[test]
     fn quiet_burst_merges_to_one() {
-        let events: Vec<Event> = (0..5).map(|i| ev(i, 0, Operation::Read, 1, i as u64 * 10)).collect();
+        let events: Vec<Event> = (0..5)
+            .map(|i| ev(i, 0, Operation::Read, 1, i as u64 * 10))
+            .collect();
         let (out, stats) = reduce(&events);
         assert_eq!(out.len(), 1);
         assert_eq!(stats.before, 5);
@@ -269,8 +287,8 @@ mod tests {
     fn arb_events() -> impl Strategy<Value = Vec<Event>> {
         prop::collection::vec(
             (
-                0u32..4,                       // subject
-                0u32..4,                       // object
+                0u32..4, // subject
+                0u32..4, // object
                 prop::sample::select(vec![
                     Operation::Read,
                     Operation::Write,

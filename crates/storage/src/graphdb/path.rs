@@ -152,7 +152,11 @@ impl PathQuery {
                     .as_ref()
                     .is_none_or(|ops| ops.contains(&edge.op))
             {
-                let next_min = if self.time_monotone { edge.end } else { u64::MIN };
+                let next_min = if self.time_monotone {
+                    edge.end
+                } else {
+                    u64::MIN
+                };
                 self.dfs(g, edge.dst, next_min, stack, out);
             }
             stack.pop();

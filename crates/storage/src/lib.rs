@@ -20,12 +20,17 @@
 //! * [`cpr`] — Causality-Preserved Reduction (Xu et al., CCS'16), the
 //!   event-merging technique the paper applies to reduce data size;
 //! * [`store`] — [`store::AuditStore`], which ingests a parsed log into
-//!   both backends and keeps key attributes indexed.
+//!   both backends and keeps key attributes indexed;
+//! * [`sharded`] — [`sharded::ShardedStore`], which partitions one
+//!   globally-reduced log into independent per-time-window shards with
+//!   parallel ingestion (the substrate of the concurrent hunt service).
 
 pub mod cpr;
 pub mod graphdb;
 pub mod relational;
+pub mod sharded;
 pub mod store;
 
 pub use relational::{Database, Predicate, SqlSelect, Value};
-pub use store::AuditStore;
+pub use sharded::ShardedStore;
+pub use store::{AuditStore, EventLookup};

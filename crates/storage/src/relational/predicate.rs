@@ -210,11 +210,7 @@ mod tests {
     fn table() -> Table {
         let mut t = Table::new(
             "event",
-            vec![
-                Column::new("id"),
-                Column::new("op"),
-                Column::new("bytes"),
-            ],
+            vec![Column::new("id"), Column::new("op"), Column::new("bytes")],
         );
         t.insert(vec![Value::int(0), Value::str("read"), Value::int(100)]);
         t.insert(vec![Value::int(1), Value::str("write"), Value::int(5000)]);
@@ -241,7 +237,10 @@ mod tests {
         ]);
         assert!(!p.eval(&t, t.row(0)));
         assert!(p.eval(&t, t.row(1)));
-        let q = Predicate::Or(vec![Predicate::eq("op", "read"), Predicate::eq("op", "write")]);
+        let q = Predicate::Or(vec![
+            Predicate::eq("op", "read"),
+            Predicate::eq("op", "write"),
+        ]);
         assert!(q.eval(&t, t.row(0)) && q.eval(&t, t.row(1)));
         let n = Predicate::Not(Box::new(Predicate::eq("op", "read")));
         assert!(!n.eval(&t, t.row(0)));

@@ -146,14 +146,24 @@ impl SqlSelect {
                 .filter_map(|j| {
                     if aliases.contains(&j.left.0) && j.right.0 == next.alias {
                         Some((
-                            (aliases.iter().position(|a| *a == j.left.0).expect("contained"),
-                             j.left.1.clone()),
+                            (
+                                aliases
+                                    .iter()
+                                    .position(|a| *a == j.left.0)
+                                    .expect("contained"),
+                                j.left.1.clone(),
+                            ),
                             j.right.1.clone(),
                         ))
                     } else if aliases.contains(&j.right.0) && j.left.0 == next.alias {
                         Some((
-                            (aliases.iter().position(|a| *a == j.right.0).expect("contained"),
-                             j.right.1.clone()),
+                            (
+                                aliases
+                                    .iter()
+                                    .position(|a| *a == j.right.0)
+                                    .expect("contained"),
+                                j.right.1.clone(),
+                            ),
                             j.left.1.clone(),
                         ))
                     } else {

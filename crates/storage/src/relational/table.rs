@@ -323,7 +323,9 @@ mod tests {
             .index_range("start", &Value::int(100), &Value::int(150))
             .unwrap();
         assert_eq!(rids.len(), 6); // starts 100,110,...,150
-        assert!(t.index_range("op", &Value::int(0), &Value::int(1)).is_none());
+        assert!(t
+            .index_range("op", &Value::int(0), &Value::int(1))
+            .is_none());
     }
 
     #[test]

@@ -41,28 +41,32 @@ pub struct AuditStore {
 impl AuditStore {
     /// Ingests a parsed log, optionally applying CPR first.
     pub fn ingest(log: &ParsedLog, use_cpr: bool) -> AuditStore {
-        let (events, reduction) = if use_cpr {
-            cpr::reduce(&log.events)
-        } else {
-            let stats = cpr::ReductionStats {
-                before: log.events.len(),
-                after: log.events.len(),
-            };
-            (log.events.clone(), stats)
-        };
+        let (events, reduction) = cpr::reduce_if(&log.events, use_cpr);
+        Self::from_events(&log.entities, events, reduction)
+    }
 
+    /// Builds a store over an already reduced (or deliberately unreduced)
+    /// event stream. No further CPR is applied; `reduction` is recorded
+    /// as-is. This is the shard-construction path of
+    /// [`crate::sharded::ShardedStore`], which reduces once globally and
+    /// then partitions.
+    pub fn from_events(
+        entities: &[Entity],
+        events: Vec<Event>,
+        reduction: cpr::ReductionStats,
+    ) -> AuditStore {
         let mut db = Database::new();
-        db.add_table(Self::build_process_table(&log.entities));
-        db.add_table(Self::build_file_table(&log.entities));
-        db.add_table(Self::build_network_table(&log.entities));
+        db.add_table(Self::build_process_table(entities));
+        db.add_table(Self::build_file_table(entities));
+        db.add_table(Self::build_network_table(entities));
         db.add_table(Self::build_event_table(&events));
 
-        let graph = GraphDb::build(log.entities.len(), &events);
+        let graph = GraphDb::build(entities.len(), &events);
 
         AuditStore {
             db,
             graph,
-            entities: log.entities.clone(),
+            entities: entities.to_vec(),
             events,
             reduction,
         }
@@ -202,6 +206,38 @@ impl AuditStore {
     }
 }
 
+/// Position-addressed access to stored events and entities — the part of
+/// a store that result evaluation needs. Implemented by [`AuditStore`]
+/// (positions are table rows) and by
+/// [`crate::sharded::ShardedStore`] (positions are global, spanning all
+/// shards), so [`HuntResult`]-style consumers work over either.
+///
+/// [`HuntResult`]: https://docs.rs/threatraptor-engine
+pub trait EventLookup {
+    /// Event stored at `pos`.
+    fn event_at(&self, pos: usize) -> &Event;
+
+    /// Number of stored events.
+    fn event_count(&self) -> usize;
+
+    /// Entity by id.
+    fn entity(&self, id: EntityId) -> &Entity;
+}
+
+impl EventLookup for AuditStore {
+    fn event_at(&self, pos: usize) -> &Event {
+        AuditStore::event_at(self, pos)
+    }
+
+    fn event_count(&self) -> usize {
+        AuditStore::event_count(self)
+    }
+
+    fn entity(&self, id: EntityId) -> &Entity {
+        AuditStore::entity(self, id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,7 +265,10 @@ mod tests {
         let plain = store(false);
         let reduced = store(true);
         assert!(reduced.event_count() < plain.event_count());
-        assert!(reduced.reduction.factor() > 1.2, "bursty workloads must compress");
+        assert!(
+            reduced.reduction.factor() > 1.2,
+            "bursty workloads must compress"
+        );
         assert_eq!(reduced.db.table(TABLE_EVENT).len(), reduced.event_count());
         // Graph edge count matches stored events.
         assert_eq!(reduced.graph.edge_count(), reduced.event_count());
@@ -241,11 +280,11 @@ mod tests {
         let t = s.db.table(TABLE_EVENT);
         for pos in [0usize, s.events.len() / 2, s.events.len() - 1] {
             let row = t.row(pos);
-            assert_eq!(row[t.col("id")].as_int().unwrap() as u32, s.events[pos].id.0);
             assert_eq!(
-                row[t.col("op")].as_str().unwrap(),
-                s.events[pos].op.name()
+                row[t.col("id")].as_int().unwrap() as u32,
+                s.events[pos].id.0
             );
+            assert_eq!(row[t.col("op")].as_str().unwrap(), s.events[pos].op.name());
         }
     }
 

@@ -119,7 +119,10 @@ mod tests {
     fn fig2_verbs_map_exactly() {
         assert_eq!(map_relation("read", ObjectClass::File).ops, vec!["read"]);
         assert_eq!(map_relation("write", ObjectClass::File).ops, vec!["write"]);
-        assert_eq!(map_relation("connect", ObjectClass::Net).ops, vec!["connect"]);
+        assert_eq!(
+            map_relation("connect", ObjectClass::Net).ops,
+            vec!["connect"]
+        );
     }
 
     #[test]
@@ -131,7 +134,10 @@ mod tests {
 
     #[test]
     fn transformations_read_their_input() {
-        assert_eq!(map_relation("compress", ObjectClass::File).ops, vec!["read"]);
+        assert_eq!(
+            map_relation("compress", ObjectClass::File).ops,
+            vec!["read"]
+        );
         assert_eq!(map_relation("encrypt", ObjectClass::File).ops, vec!["read"]);
     }
 

@@ -147,9 +147,7 @@ pub fn synthesize_with_plan(
                     obj_filter.as_deref(),
                 );
                 builder = match window {
-                    Some(w) => {
-                        builder.event_windowed(subj_spec, &ops, obj_spec, Some(&name), w)
-                    }
+                    Some(w) => builder.event_windowed(subj_spec, &ops, obj_spec, Some(&name), w),
                     None => builder.event(subj_spec, &ops, obj_spec, Some(&name)),
                 };
             }
@@ -259,8 +257,9 @@ mod tests {
 
     #[test]
     fn screening_failure_reported() {
-        let result = ThreatExtractor::new()
-            .extract("The sample beacons to update.evil-cdn.net and then resolves cdn.evil-cdn.net.");
+        let result = ThreatExtractor::new().extract(
+            "The sample beacons to update.evil-cdn.net and then resolves cdn.evil-cdn.net.",
+        );
         let err = synthesize(&result.graph).unwrap_err();
         assert!(matches!(
             err,
@@ -324,7 +323,10 @@ mod tests {
     #[test]
     fn ip_subnet_filters() {
         assert_eq!(ip_filter("10.0.0.1", IocType::Ip), "10.0.0.1");
-        assert_eq!(ip_filter("192.168.29.128/32", IocType::IpSubnet), "192.168.29.128");
+        assert_eq!(
+            ip_filter("192.168.29.128/32", IocType::IpSubnet),
+            "192.168.29.128"
+        );
         assert_eq!(ip_filter("10.1.2.0/24", IocType::IpSubnet), "10.1.2.%");
         assert_eq!(ip_filter("10.1.0.0/16", IocType::IpSubnet), "10.1.%");
         assert_eq!(ip_filter("10.0.0.0/8", IocType::IpSubnet), "10.%");
@@ -339,8 +341,14 @@ mod tests {
         let q = synthesize(&g).unwrap();
         let printed = print_query(&q);
         // /tmp/cracker appears as a file object AND as a proc subject.
-        assert!(printed.contains(r#"file f1["%/tmp/cracker%"]"#), "{printed}");
-        assert!(printed.contains(r#"proc p2["%/tmp/cracker%"]"#), "{printed}");
+        assert!(
+            printed.contains(r#"file f1["%/tmp/cracker%"]"#),
+            "{printed}"
+        );
+        assert!(
+            printed.contains(r#"proc p2["%/tmp/cracker%"]"#),
+            "{printed}"
+        );
         analyze(&q).expect("dual-role query analyzes");
     }
 }

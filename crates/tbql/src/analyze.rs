@@ -87,24 +87,24 @@ impl AnalyzedQuery {
             }
         }
         for (var, info) in &self.entities {
-            let mut filters: Vec<String> =
-                info.filters.iter().map(|f| format!("{f:?}")).collect();
+            let mut filters: Vec<String> = info.filters.iter().map(|f| format!("{f:?}")).collect();
             filters.sort();
             filters.dedup(); // repeating a filter on a reuse changes nothing
-            writeln!(s, "entity {var} {} {}", info.ty.keyword(), filters.join(" & "))
-                .expect("write to String");
+            writeln!(
+                s,
+                "entity {var} {} {}",
+                info.ty.keyword(),
+                filters.join(" & ")
+            )
+            .expect("write to String");
         }
         let mut before = self.before.clone();
         before.sort();
         for (a, b) in before {
             writeln!(s, "before {a} {b}").expect("write to String");
         }
-        writeln!(
-            s,
-            "return distinct={} {:?}",
-            self.distinct, self.returns
-        )
-        .expect("write to String");
+        writeln!(s, "return distinct={} {:?}", self.distinct, self.returns)
+            .expect("write to String");
         s
     }
 }
@@ -145,7 +145,11 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery, TbqlError> {
 
     // 2. Entity type unification.
     let mut types: HashMap<String, (EntityType, Span)> = HashMap::new();
-    let unify = |id: &str, ty: EntityType, span: Span, types: &mut HashMap<String, (EntityType, Span)>| -> Result<(), TbqlError> {
+    let unify = |id: &str,
+                 ty: EntityType,
+                 span: Span,
+                 types: &mut HashMap<String, (EntityType, Span)>|
+     -> Result<(), TbqlError> {
         match types.get(id) {
             Some((existing, _)) if *existing != ty => Err(TbqlError::new(
                 span,
@@ -181,9 +185,9 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery, TbqlError> {
         let op_ty = match pat {
             Pattern::Event(e) => {
                 let mut tys = e.ops.iter().filter_map(|o| operation_object_type(o));
-                let first = tys.next().ok_or_else(|| {
-                    TbqlError::new(e.span, "event pattern has no operations")
-                })?;
+                let first = tys
+                    .next()
+                    .ok_or_else(|| TbqlError::new(e.span, "event pattern has no operations"))?;
                 for t in tys {
                     if t != first {
                         return Err(TbqlError::new(
@@ -421,11 +425,7 @@ fn check_acyclic(before: &[(String, String)], query: &Query) -> Result<(), TbqlE
         }
     }
     if visited != nodes.len() {
-        let span = query
-            .temporal
-            .last()
-            .map(|t| t.span)
-            .unwrap_or_default();
+        let span = query.temporal.last().map(|t| t.span).unwrap_or_default();
         return Err(TbqlError::new(
             span,
             "temporal constraints are contradictory (cycle in `before` ordering)",

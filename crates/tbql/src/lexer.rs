@@ -234,7 +234,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, TbqlError> {
                 }
                 let text = &src[start..i];
                 let v: i64 = text.parse().map_err(|_| {
-                    TbqlError::new(Span::new(start, i), format!("integer `{text}` out of range"))
+                    TbqlError::new(
+                        Span::new(start, i),
+                        format!("integer `{text}` out of range"),
+                    )
                 })?;
                 Tok::Int(v)
             }
@@ -359,7 +362,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\"b\\c""#), vec![Tok::Str("a\"b\\c".into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""a\"b\\c""#),
+            vec![Tok::Str("a\"b\\c".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@ use crate::lexer::{lex, SpannedTok, Tok};
 
 /// Reserved words that cannot name entities or patterns.
 pub const KEYWORDS: &[&str] = &[
-    "proc", "file", "ip", "as", "with", "before", "after", "return", "distinct", "window",
-    "like",
+    "proc", "file", "ip", "as", "with", "before", "after", "return", "distinct", "window", "like",
 ];
 
 /// Parses a TBQL query.
@@ -134,7 +133,10 @@ impl Parser {
             self.expect(Tok::LBracket)?;
             let (last_op, op_span) = self.ident("an operation")?;
             if operation_object_type(&last_op).is_none() {
-                return Err(TbqlError::new(op_span, format!("unknown operation `{last_op}`")));
+                return Err(TbqlError::new(
+                    op_span,
+                    format!("unknown operation `{last_op}`"),
+                ));
             }
             self.expect(Tok::RBracket)?;
             let object = self.entity()?;
@@ -493,9 +495,10 @@ mod tests {
 
     #[test]
     fn parses_after_relation() {
-        let q =
-            parse_query("proc p read file f as e1 proc p write file g as e2 with e2 after e1 return p")
-                .unwrap();
+        let q = parse_query(
+            "proc p read file f as e1 proc p write file g as e2 with e2 after e1 return p",
+        )
+        .unwrap();
         assert_eq!(q.temporal[0].rel, TemporalRel::After);
     }
 

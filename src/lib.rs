@@ -1,1 +1,5 @@
-//! Root package: integration tests and examples live here.
+//! Root package: re-exports the [`threatraptor`] facade (including the
+//! service layer) so downstream code can depend on a single crate;
+//! integration tests and examples live here.
+
+pub use threatraptor::*;

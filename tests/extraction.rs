@@ -14,9 +14,17 @@ fn corpus_extraction_meets_quality_bars() {
         ioc.merge(i);
         rel.merge(r);
     }
-    assert!(ioc.precision() > 0.95, "IOC precision {:.3}", ioc.precision());
+    assert!(
+        ioc.precision() > 0.95,
+        "IOC precision {:.3}",
+        ioc.precision()
+    );
     assert!(ioc.recall() > 0.95, "IOC recall {:.3}", ioc.recall());
-    assert!(rel.precision() > 0.8, "relation precision {:.3}", rel.precision());
+    assert!(
+        rel.precision() > 0.8,
+        "relation precision {:.3}",
+        rel.precision()
+    );
     assert!(rel.recall() > 0.6, "relation recall {:.3}", rel.recall());
     assert!(ioc.f1() >= rel.f1(), "IOC extraction outperforms relations");
 }
@@ -73,9 +81,8 @@ fn every_tree_in_the_corpus_is_valid() {
         let result = extractor.extract(report.text);
         for (b, trees) in result.trees.iter().enumerate() {
             for (s, tree) in trees.iter().enumerate() {
-                tree.validate().unwrap_or_else(|e| {
-                    panic!("report {} block {b} sentence {s}: {e}", report.id)
-                });
+                tree.validate()
+                    .unwrap_or_else(|e| panic!("report {} block {b} sentence {s}: {e}", report.id));
             }
         }
     }

@@ -69,10 +69,7 @@ fn malformed_tbql_is_rejected_with_spans() {
     ];
     for (query, needle) in cases {
         let err = raptor.hunt(query).unwrap_err();
-        assert!(
-            err.to_string().contains(needle),
-            "query {query:?} → {err}"
-        );
+        assert!(err.to_string().contains(needle), "query {query:?} → {err}");
     }
 }
 
@@ -81,14 +78,14 @@ fn unauditable_intelligence_fails_synthesis_not_execution() {
     let raptor = raptor();
     // Hash- and domain-only intel: everything screens out.
     let err = raptor
-        .hunt_report(
-            "The sample d41d8cd98f00b204e9800998ecf8427e beacons to evil-cdn.com hourly.",
-        )
+        .hunt_report("The sample d41d8cd98f00b204e9800998ecf8427e beacons to evil-cdn.com hourly.")
         .unwrap_err();
     assert!(matches!(err, ThreatRaptorError::Synthesis(_)), "{err}");
 
     // No relations at all.
-    let err = raptor.hunt_report("Quarterly earnings were strong.").unwrap_err();
+    let err = raptor
+        .hunt_report("Quarterly earnings were strong.")
+        .unwrap_err();
     assert!(matches!(err, ThreatRaptorError::Synthesis(_)));
 }
 

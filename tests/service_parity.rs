@@ -1,0 +1,183 @@
+//! Service-layer integration tests: sharded/single execution parity over
+//! randomized scenarios and queries, plus concurrent-hunt smoke tests.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use threatraptor::prelude::*;
+use threatraptor_bench::all_cases;
+use threatraptor_service::{HuntJob, PlanCache, ServiceError};
+use threatraptor_storage::{AuditStore, ShardedStore};
+
+/// Order-normalized view of a hunt result: sorted projected rows plus the
+/// set of matched original event ids.
+fn normalized(
+    r: &HuntResult,
+    ids: BTreeSet<threatraptor::audit::event::EventId>,
+) -> (
+    Vec<Vec<String>>,
+    BTreeSet<threatraptor::audit::event::EventId>,
+) {
+    let mut rows = r.rows.clone();
+    rows.sort();
+    (rows, ids)
+}
+
+/// The core parity assertion: for one scenario seed and query, execution
+/// over `shards` shards returns exactly the records single-store
+/// execution returns.
+fn assert_parity(seed: u64, shards: usize, query: &str) {
+    let sc = ScenarioBuilder::new()
+        .seed(seed)
+        .attacks(&[AttackKind::DataLeakage, AttackKind::PasswordCrack])
+        .target_events(2_500)
+        .build();
+    let single = AuditStore::ingest(&sc.log, true);
+    let sharded = ShardedStore::ingest(&sc.log, true, shards);
+
+    let expected = Engine::new(&single).hunt(query).expect("single store");
+    let got = ShardedEngine::new(&sharded).hunt(query).expect("sharded");
+
+    let expected_norm = normalized(&expected, expected.matched_event_ids(&single));
+    let got_norm = normalized(&got, got.matched_event_ids(&sharded));
+    assert_eq!(
+        got_norm, expected_norm,
+        "sharded execution diverged (seed {seed}, {shards} shards)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: shard/single parity holds across scenario seeds, shard
+    /// counts, and the reference query corpus — including shard counts
+    /// large enough that attack chains straddle shard boundaries.
+    #[test]
+    fn sharded_hunts_match_single_store(
+        seed in 0u64..6,
+        shards in 1usize..24,
+        case in prop::sample::select(vec![0usize, 1]),
+    ) {
+        let query = all_cases()[case].reference_tbql;
+        assert_parity(seed, shards, query);
+    }
+
+    /// Parity also holds for path patterns, whose multi-hop flows are the
+    /// hard case for partitioned execution.
+    #[test]
+    fn sharded_path_hunts_match_single_store(seed in 0u64..4, shards in 2usize..32) {
+        assert_parity(
+            seed,
+            shards,
+            "proc p[\"%/bin/tar%\"] ~>(1~3)[write] file f return distinct p, f",
+        );
+    }
+}
+
+#[test]
+fn fig2_parity_all_shard_counts() {
+    for shards in [1, 2, 3, 7, 8, 16, 64] {
+        assert_parity(42, shards, threatraptor::FIG2_TBQL);
+    }
+}
+
+/// Concurrency smoke test: ≥8 simultaneous hunts through one service,
+/// every result identical to the sequential reference.
+#[test]
+fn eight_concurrent_hunts_agree_with_sequential() {
+    let sc = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&[AttackKind::DataLeakage, AttackKind::PasswordCrack])
+        .target_events(4_000)
+        .build();
+    let raptor = ThreatRaptor::from_parsed(&sc.log, true);
+    let service = raptor.service(ServiceConfig::with_shards(8).workers(8));
+
+    let cases = all_cases();
+    let jobs: Vec<HuntJob> = (0..16)
+        .map(|i| HuntJob::tbql(cases[i % 2].reference_tbql))
+        .collect();
+    let reports = service.run(jobs);
+    assert_eq!(reports.len(), 16);
+
+    let reference: Vec<_> = (0..2)
+        .map(|i| raptor.hunt(cases[i].reference_tbql).unwrap())
+        .collect();
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(report.index, i);
+        let result = report.outcome.as_ref().expect("hunt succeeds");
+        assert_eq!(result.rows, reference[i % 2].rows, "job {i}");
+        assert!(!result.is_empty());
+    }
+    // 16 jobs, 2 distinct plans: the cache must have absorbed the rest.
+    // (Concurrent first touches of the same plan may each count a miss,
+    // so bound the hits from below rather than exactly.)
+    let stats = service.cache_stats();
+    assert_eq!(stats.plans, 2);
+    assert_eq!(stats.hits + stats.misses, 16);
+    assert!(stats.hits >= 16 - 8, "cache absorbed too little: {stats:?}");
+}
+
+/// Raw threads hammering one service concurrently (beyond the scheduler's
+/// own pool): the service must be freely shareable.
+#[test]
+fn service_is_shareable_across_threads() {
+    let sc = ScenarioBuilder::new()
+        .seed(3)
+        .attacks(&[AttackKind::DataLeakage])
+        .target_events(2_000)
+        .build();
+    let raptor = ThreatRaptor::from_parsed(&sc.log, true);
+    let service = raptor.service(ServiceConfig::with_shards(4).workers(2));
+    let reference = service.hunt_tbql(threatraptor::FIG2_TBQL).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                let r = service.hunt_tbql(threatraptor::FIG2_TBQL).unwrap();
+                assert_eq!(r.rows, reference.rows);
+            });
+        }
+    });
+}
+
+/// Mixed batches keep error isolation: one failing job must not poison
+/// its neighbors.
+#[test]
+fn failing_jobs_are_isolated() {
+    let sc = ScenarioBuilder::new().seed(42).target_events(2_000).build();
+    let raptor = ThreatRaptor::from_parsed(&sc.log, true);
+    // One worker: with a parallel pool, jobs 0 and 3 may both miss the
+    // cache concurrently, making the final cache_hit assertion racy.
+    let service = raptor.service(ServiceConfig::with_shards(4).workers(1));
+    let reports = service.run(vec![
+        HuntJob::tbql(threatraptor::FIG2_TBQL),
+        HuntJob::tbql("syntactically broken"),
+        HuntJob::report("Nothing interesting happened today."),
+        HuntJob::tbql(threatraptor::FIG2_TBQL),
+    ]);
+    assert!(reports[0].outcome.is_ok());
+    assert!(matches!(reports[1].outcome, Err(ServiceError::Engine(_))));
+    assert!(matches!(
+        reports[2].outcome,
+        Err(ServiceError::Synthesis(_))
+    ));
+    assert!(reports[3].outcome.is_ok());
+    assert!(reports[3].cache_hit, "plan from job 0 must be reused");
+}
+
+/// The plan cache returns byte-identical results for formatting variants
+/// of one query.
+#[test]
+fn plan_cache_normalization_preserves_results() {
+    let sc = ScenarioBuilder::new().seed(42).target_events(2_000).build();
+    let sharded = ShardedStore::ingest(&sc.log, true, 4);
+    let cache = PlanCache::new();
+    let sched = threatraptor_service::HuntScheduler::new(&sharded, &cache).workers(2);
+
+    let original = threatraptor::FIG2_TBQL;
+    let reformatted = original.split_whitespace().collect::<Vec<_>>().join("  ");
+    let a = sched.hunt(original).unwrap();
+    let b = sched.hunt(&reformatted).unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(cache.stats().plans, 1, "one plan serves both spellings");
+}

@@ -25,9 +25,7 @@ fn relational_and_graph_views_are_consistent() {
     for (pos, ev) in store.events.iter().enumerate().step_by(97) {
         let edges = store.graph.out_edges(ev.subject);
         assert!(
-            edges
-                .iter()
-                .any(|&e| store.graph.edge(e).event_pos == pos),
+            edges.iter().any(|&e| store.graph.edge(e).event_pos == pos),
             "event {pos} missing from adjacency"
         );
     }
