@@ -12,7 +12,9 @@
 //!   ([`entity`], [`event`]);
 //! * a **Sysdig-like raw log format** and its parser ([`rawlog`],
 //!   [`parser`]), so the storage layer consumes *parsed text logs* exactly
-//!   as the paper's log-parsing component does;
+//!   as the paper's log-parsing component does — plus a chunked replay
+//!   [`feed`] that turns a raw log into a stream of [`parser::LogChunk`]s
+//!   for the streaming ingest layer;
 //! * a **host simulator** ([`sim`]) with kernel-style pid/fd bookkeeping, a
 //!   virtual clock, benign background workloads, and scripted multi-step
 //!   attacks (including the paper's two demonstration attacks), each event
@@ -23,6 +25,7 @@
 
 pub mod entity;
 pub mod event;
+pub mod feed;
 pub mod parser;
 pub mod rawlog;
 pub mod sim;
@@ -30,5 +33,6 @@ pub mod stats;
 
 pub use entity::{Entity, EntityId, EntityKind, FileEntity, NetworkEntity, ProcessEntity};
 pub use event::{AttackTag, Event, EventId, EventType, Operation};
-pub use parser::{ParseError, ParsedLog, Parser};
+pub use feed::{ChunkBy, LogFeed};
+pub use parser::{LogChunk, ParseError, ParsedLog, Parser};
 pub use sim::scenario::{AttackKind, BenignMix, Scenario, ScenarioBuilder, ScenarioSpec};

@@ -70,6 +70,34 @@ impl ParsedLog {
     }
 }
 
+/// One increment of a chunked parse: the entities and events added since
+/// the previous chunk was taken. Entity ids are global and append-only —
+/// `new_entities` continues the id sequence of every earlier chunk, and
+/// `events` may reference entities from any chunk so far. Produced by
+/// [`Parser::take_chunk`] / [`crate::feed::LogFeed`] and consumed by the
+/// storage layer's streaming ingest.
+#[derive(Debug, Clone, Default)]
+pub struct LogChunk {
+    /// Entities first referenced in this chunk, in global id order.
+    pub new_entities: Vec<Entity>,
+    /// Events of this chunk, in log order with global [`EventId`]s.
+    pub events: Vec<Event>,
+}
+
+impl LogChunk {
+    /// True when the chunk carries neither entities nor events.
+    pub fn is_empty(&self) -> bool {
+        self.new_entities.is_empty() && self.events.is_empty()
+    }
+
+    /// `(min start, max start)` over this chunk's events.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        let lo = self.events.iter().map(|e| e.start).min()?;
+        let hi = self.events.iter().map(|e| e.start).max()?;
+        Some((lo, hi))
+    }
+}
+
 /// Streaming parser with entity interning.
 #[derive(Debug, Default)]
 pub struct Parser {
@@ -77,6 +105,10 @@ pub struct Parser {
     proc_ids: HashMap<(u32, u64), EntityId>,
     file_ids: HashMap<String, EntityId>,
     net_ids: HashMap<(String, u16, String, u16, String), EntityId>,
+    /// Chunk cursors: how much of `out` earlier [`Parser::take_chunk`]
+    /// calls have already handed out.
+    taken_entities: usize,
+    taken_events: usize,
 }
 
 impl Parser {
@@ -98,6 +130,39 @@ impl Parser {
             self.parse_line(trimmed, lineno)?;
         }
         Ok(self.out)
+    }
+
+    /// Events parsed but not yet handed out by [`Parser::take_chunk`].
+    pub fn pending_events(&self) -> usize {
+        self.out.events.len() - self.taken_events
+    }
+
+    /// The `i`-th pending event (0 = oldest not yet taken).
+    pub fn pending_event(&self, i: usize) -> &Event {
+        &self.out.events[self.taken_events + i]
+    }
+
+    /// Takes everything parsed since the last chunk: all pending entities
+    /// and all pending events.
+    pub fn take_chunk(&mut self) -> LogChunk {
+        let n = self.pending_events();
+        self.take_chunk_events(n)
+    }
+
+    /// Takes a chunk with the first `n` pending events (clamped) and
+    /// *all* pending entities. Handing out entities eagerly keeps the
+    /// global id sequence contiguous per chunk; an entity interned by a
+    /// still-pending event simply arrives one chunk early, which the
+    /// append-only id scheme makes harmless.
+    pub fn take_chunk_events(&mut self, n: usize) -> LogChunk {
+        let n = n.min(self.pending_events());
+        let chunk = LogChunk {
+            new_entities: self.out.entities[self.taken_entities..].to_vec(),
+            events: self.out.events[self.taken_events..self.taken_events + n].to_vec(),
+        };
+        self.taken_entities = self.out.entities.len();
+        self.taken_events += n;
+        chunk
     }
 
     /// Parses a single line, appending to the accumulated log.

@@ -17,6 +17,8 @@
 //! | E6 CPR data reduction         | `exp_e6` | `bench_cpr` |
 //! | E7 NLP pipeline throughput    | `exp_e7` | `bench_nlp` |
 //! | E8 synthesis correctness      | `exp_e8` | — |
+//! | E9 concurrent hunt throughput | `exp_e9` | `bench_service` |
+//! | E10 streaming ingest & hunt-under-ingest | `exp_e10` | — |
 //!
 //! Shared infrastructure: the annotated OSCTI [`corpus`], the per-attack
 //! [`cases`] (report text + ground truth + reference queries), the

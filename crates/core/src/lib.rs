@@ -51,12 +51,16 @@ pub use threatraptor_storage as storage;
 pub use threatraptor_synth as synth;
 pub use threatraptor_tbql as tbql;
 
-pub use threatraptor_audit::parser::{ParseError, ParsedLog};
+pub use threatraptor_audit::feed::{ChunkBy, LogFeed};
+pub use threatraptor_audit::parser::{LogChunk, ParseError, ParsedLog};
 pub use threatraptor_engine::{Engine, EngineError, ExecMode, HuntResult, ShardedEngine};
 pub use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
 pub use threatraptor_nlp::{ExtractionResult, ThreatBehaviorGraph, ThreatExtractor};
-pub use threatraptor_service::{HuntJob, HuntService, JobReport, ServiceConfig};
-pub use threatraptor_storage::{AuditStore, ShardedStore};
+pub use threatraptor_service::{
+    FollowDelta, FollowHunt, HuntJob, HuntService, IngestConfig, IngestService, JobReport,
+    ServiceConfig,
+};
+pub use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
 pub use threatraptor_synth::{synthesize, synthesize_with_plan, SynthesisError, SynthesisPlan};
 pub use threatraptor_tbql::parser::FIG2_TBQL;
 
@@ -65,11 +69,14 @@ use std::fmt;
 /// Common imports for ThreatRaptor applications.
 pub mod prelude {
     pub use crate::{HuntOutcome, ThreatRaptor, ThreatRaptorError};
+    pub use threatraptor_audit::feed::{ChunkBy, LogFeed};
     pub use threatraptor_audit::sim::scenario::{AttackKind, BenignMix, ScenarioBuilder};
     pub use threatraptor_engine::{Engine, ExecMode, HuntResult, ShardedEngine};
     pub use threatraptor_nlp::{ThreatBehaviorGraph, ThreatExtractor};
-    pub use threatraptor_service::{HuntJob, HuntService, ServiceConfig};
-    pub use threatraptor_storage::{AuditStore, ShardedStore};
+    pub use threatraptor_service::{
+        FollowHunt, HuntJob, HuntService, IngestConfig, IngestService, ServiceConfig,
+    };
+    pub use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
     pub use threatraptor_synth::{DefaultPlan, PathPatternPlan, TimeWindowPlan};
     pub use threatraptor_tbql::printer::print_query;
 }

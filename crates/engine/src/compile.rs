@@ -240,22 +240,12 @@ impl CompiledQuery {
             panic!("path_plan on an event pattern");
         };
         let endpoint = |var: &str| {
-            let table = store.db.table(self.var_tables[var]);
-            let mut legs = vec![self.var_predicates[var].clone()];
-            if let Some(p) = extra.get(var) {
-                legs.push(p.clone());
-            }
-            let pred = Predicate::and(legs);
-            let set: std::collections::HashSet<threatraptor_audit::entity::EntityId> = table
-                .select(&pred)
-                .into_iter()
-                .map(|rid| {
-                    threatraptor_audit::entity::EntityId(
-                        table.cell(rid, "id").as_int().expect("id is integral") as u32,
-                    )
-                })
-                .collect();
-            set
+            crate::exec::entity_filter_set_in(
+                store.db.table(self.var_tables[var]),
+                self,
+                var,
+                extra,
+            )
         };
         PathQuery {
             src: Some(endpoint(&pat.subject_var)),

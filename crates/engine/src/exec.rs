@@ -369,18 +369,31 @@ impl<'s> Engine<'s> {
         var: &str,
         extra: &HashMap<String, Predicate>,
     ) -> HashSet<EntityId> {
-        let table = self.store.db.table(cq.var_tables[var]);
-        let mut legs = vec![cq.var_predicates[var].clone()];
-        if let Some(p) = extra.get(var) {
-            legs.push(p.clone());
-        }
-        let pred = Predicate::and(legs);
-        table
-            .select(&pred)
-            .into_iter()
-            .map(|rid| EntityId(table.cell(rid, "id").as_int().expect("id column") as u32))
-            .collect()
+        entity_filter_set_in(self.store.db.table(cq.var_tables[var]), cq, var, extra)
     }
+}
+
+/// Entity ids in `table` satisfying `var`'s compiled predicate merged
+/// with any propagated extra filter — the one resolution routine behind
+/// every executor's entity filtering. The caller picks the table: the
+/// single-store [`Engine`] and the path planner probe their store's
+/// catalog, the sharded executor the store-level shared entity tables.
+pub(crate) fn entity_filter_set_in(
+    table: &threatraptor_storage::relational::Table,
+    cq: &CompiledQuery,
+    var: &str,
+    extra: &HashMap<String, Predicate>,
+) -> HashSet<EntityId> {
+    let mut legs = vec![cq.var_predicates[var].clone()];
+    if let Some(p) = extra.get(var) {
+        legs.push(p.clone());
+    }
+    let pred = Predicate::and(legs);
+    table
+        .select(&pred)
+        .into_iter()
+        .map(|rid| EntityId(table.cell(rid, "id").as_int().expect("id column") as u32))
+        .collect()
 }
 
 /// One pattern's data query as seen by the scheduling driver: pattern +

@@ -30,8 +30,8 @@
 
 use crate::compile::{compile, CompiledPattern, CompiledQuery, CompiledShape};
 use crate::error::EngineError;
-use crate::exec::{expand_paths, run_schedule, Engine, ExecMode, PatternRow};
-use crate::result::HuntResult;
+use crate::exec::{expand_paths, project_matches, run_schedule, Engine, ExecMode, PatternRow};
+use crate::result::{HuntResult, Match};
 use std::collections::{HashMap, HashSet};
 use threatraptor_audit::entity::EntityId;
 use threatraptor_storage::relational::{Predicate, Value};
@@ -111,6 +111,41 @@ impl<'s> ShardedEngine<'s> {
         ))
     }
 
+    /// Projects a set of matches through this store, exactly as
+    /// [`ShardedEngine::execute`] projects its own matches — the
+    /// follow-mode hunt uses this to turn a *delta* of new matches into
+    /// result rows without re-projecting the whole result. Returns
+    /// `(columns, rows)`; when the query is `distinct`, rows are sorted
+    /// and deduplicated within the given match set.
+    pub fn project(
+        &self,
+        cq: &CompiledQuery,
+        matches: &[Match],
+    ) -> (Vec<String>, Vec<Vec<String>>) {
+        project_matches(cq, matches, &|id, attr| self.store.entity(id).attr(attr))
+    }
+
+    /// Entity ids satisfying a variable's merged predicate, resolved
+    /// against the **store-level** entity tables. In a batch store these
+    /// are the same physical tables every shard shares; in a streaming
+    /// snapshot they are the authoritative current tables — sealed shards
+    /// carry only the (sufficient for shard-local residuals, but
+    /// incomplete) entity prefix known when they were frozen, so probing
+    /// shard 0 would miss entities that arrived after the oldest seal.
+    fn global_entity_filter_set(
+        &self,
+        cq: &CompiledQuery,
+        var: &str,
+        extra: &HashMap<String, Predicate>,
+    ) -> HashSet<EntityId> {
+        crate::exec::entity_filter_set_in(
+            self.store.entity_table(cq.var_tables[var]),
+            cq,
+            var,
+            extra,
+        )
+    }
+
     /// Runs one pattern's data query across all shards; the returned rows
     /// carry *global* event positions, sorted for a deterministic join.
     fn fetch_pattern(
@@ -130,11 +165,11 @@ impl<'s> ShardedEngine<'s> {
     /// own slice of the stream with the single-store executor, then rows
     /// are translated to global positions and merge-sorted.
     ///
-    /// Entity predicates are resolved to id sets **once** (entity tables
-    /// are replicated, so shard 0 speaks for all) and pushed down as
-    /// indexed `id IN (…)` filters; each shard then probes its id B-tree
-    /// instead of re-running `LIKE` scans over the full entity tables —
-    /// without this, per-shard entity filtering costs `shards ×` the
+    /// Entity predicates are resolved to id sets **once** against the
+    /// store-level entity tables and pushed down as indexed `id IN (…)`
+    /// filters; each shard then probes its id B-tree instead of
+    /// re-running `LIKE` scans over the full entity tables — without
+    /// this, per-shard entity filtering costs `shards ×` the
     /// single-store price.
     fn scatter_event_pattern(
         &self,
@@ -143,11 +178,10 @@ impl<'s> ShardedEngine<'s> {
         extra: &HashMap<String, Predicate>,
         mode: ExecMode,
     ) -> Vec<PatternRow> {
-        let probe = Engine::new(self.store.shard(0));
         let mut extra = extra.clone();
         for var in [&pat.subject_var, &pat.object_var] {
-            let ids: HashSet<Value> = probe
-                .entity_filter_set(cq, var, &extra)
+            let ids: HashSet<Value> = self
+                .global_entity_filter_set(cq, var, &extra)
                 .into_iter()
                 .map(|e| Value::from(e.0))
                 .collect();
@@ -194,11 +228,11 @@ impl<'s> ShardedEngine<'s> {
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
     ) -> Vec<PatternRow> {
-        // Entity tables are replicated, so filter sets evaluated on any
-        // one shard are global.
-        let probe = Engine::new(self.store.shard(0));
-        let srcs = probe.entity_filter_set(cq, &pat.subject_var, extra);
-        let dsts = probe.entity_filter_set(cq, &pat.object_var, extra);
+        // Endpoint sets come from the store-level entity tables (the
+        // authoritative, complete tables in both batch and streaming
+        // stores).
+        let srcs = self.global_entity_filter_set(cq, &pat.subject_var, extra);
+        let dsts = self.global_entity_filter_set(cq, &pat.object_var, extra);
 
         // The expansion probes the same hot nodes repeatedly (a node
         // reached by many partial paths is probed once per path per hop),

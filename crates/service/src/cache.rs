@@ -7,9 +7,16 @@
 //! query text so formatting variants of the same query share one plan,
 //! and separately memoizes OSCTI-report synthesis (report text → TBQL),
 //! which dominates report-job latency.
+//!
+//! Both maps are **size-capped with LRU eviction** — a long-lived
+//! multi-tenant service sees an unbounded stream of distinct queries and
+//! reports, and an unbounded memo is a slow memory leak. Syntheses are
+//! keyed by a 128-bit content hash of the report text instead of the
+//! text itself: reports run to many KB, and with the old full-text keys
+//! the memo — not the compiled plans — was the dominant memory consumer.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use threatraptor_engine::compile::{compile, CompiledQuery};
 use threatraptor_engine::EngineError;
@@ -18,6 +25,11 @@ use threatraptor_synth::{synthesize, SynthesisError};
 use threatraptor_tbql::analyze::analyze;
 use threatraptor_tbql::parser::parse_query;
 use threatraptor_tbql::printer::print_query;
+
+/// Default capacity of the compiled-plan map.
+pub const DEFAULT_PLAN_CAPACITY: usize = 512;
+/// Default capacity of the report-synthesis memo.
+pub const DEFAULT_SYNTHESIS_CAPACITY: usize = 256;
 
 /// Collapses whitespace runs *outside string literals* to single spaces
 /// and trims, so that formatting variants of one query map to one cache
@@ -61,6 +73,35 @@ pub fn normalize_tbql(src: &str) -> String {
     out
 }
 
+/// 128-bit content key for a report text: two independent 64-bit FNV-1a
+/// style passes plus the length. Not cryptographic — just wide enough
+/// that an accidental collision between distinct reports is negligible
+/// (and a collision costs a wrong memo hit, not a safety violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReportKey {
+    hash: [u64; 2],
+    len: usize,
+}
+
+impl ReportKey {
+    /// Hashes a report text.
+    pub fn of(text: &str) -> ReportKey {
+        // Standard FNV-1a.
+        let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+        // Same shape, independent offset and multiplier (splitmix64's
+        // golden-ratio constant, odd → invertible mod 2^64).
+        let mut b: u64 = 0x5851_f42d_4c95_7f2d;
+        for byte in text.bytes() {
+            a = (a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ u64::from(byte)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        ReportKey {
+            hash: [a, b],
+            len: text.len(),
+        }
+    }
+}
+
 /// Cache counters at a point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -72,6 +113,8 @@ pub struct CacheStats {
     pub plans: usize,
     /// Distinct report syntheses currently cached.
     pub reports: usize,
+    /// Entries evicted so far (plans + syntheses).
+    pub evictions: usize,
 }
 
 impl CacheStats {
@@ -95,34 +138,106 @@ pub struct CachedPlan {
     pub compiled: CompiledQuery,
 }
 
+/// A plan map entry: the plan plus its recency stamp (atomic so hits
+/// under the read lock can refresh it without write contention).
+#[derive(Debug)]
+struct PlanSlot {
+    plan: Arc<CachedPlan>,
+    last_used: AtomicU64,
+}
+
 /// A memoized synthesis outcome, computed at most once per report.
 type SynthesisCell = Arc<OnceLock<Result<String, SynthesisError>>>;
 
+/// A synthesis memo entry with its recency stamp.
+#[derive(Debug)]
+struct SynthSlot {
+    cell: SynthesisCell,
+    last_used: u64,
+}
+
+/// Evicts the least-recently-used entries until `map` fits `capacity`.
+/// O(n) scans per eviction — capacities are a few hundred, and eviction
+/// only runs on insert overflow, so simplicity beats a linked LRU here.
+fn evict_lru<K: Clone + Eq + std::hash::Hash, V>(
+    map: &mut HashMap<K, V>,
+    capacity: usize,
+    last_used: impl Fn(&V) -> u64,
+) -> usize {
+    let mut evicted = 0;
+    while map.len() > capacity {
+        let Some(oldest) = map
+            .iter()
+            .min_by_key(|(_, v)| last_used(v))
+            .map(|(k, _)| k.clone())
+        else {
+            break;
+        };
+        map.remove(&oldest);
+        evicted += 1;
+    }
+    evicted
+}
+
 /// Thread-safe plan + synthesis cache, shared by all scheduler workers.
-#[derive(Debug, Default)]
+/// Both maps are size-capped (LRU): see [`PlanCache::with_capacities`].
+#[derive(Debug)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<String, Arc<CachedPlan>>>,
-    /// Per-report cell: `OnceLock::get_or_init` makes concurrent first
-    /// touches of the same report run extraction+synthesis exactly once
-    /// (the expensive stage — worth more than the plans' race-and-drop).
-    syntheses: Mutex<HashMap<String, SynthesisCell>>,
+    plans: RwLock<HashMap<String, PlanSlot>>,
+    /// Per-report cell keyed by content hash:
+    /// `OnceLock::get_or_init` makes concurrent first touches of the same
+    /// report run extraction+synthesis exactly once (the expensive stage
+    /// — worth more than the plans' race-and-drop).
+    syntheses: Mutex<HashMap<ReportKey, SynthSlot>>,
+    plan_capacity: usize,
+    synthesis_capacity: usize,
+    /// Logical clock for LRU stamps.
+    tick: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with default capacities.
     pub fn new() -> PlanCache {
-        PlanCache::default()
+        Self::with_capacities(DEFAULT_PLAN_CAPACITY, DEFAULT_SYNTHESIS_CAPACITY)
+    }
+
+    /// An empty cache holding at most `plans` compiled plans and
+    /// `syntheses` memoized report syntheses (each clamped to ≥ 1);
+    /// least-recently-used entries are evicted on overflow.
+    pub fn with_capacities(plans: usize, syntheses: usize) -> PlanCache {
+        PlanCache {
+            plans: RwLock::new(HashMap::new()),
+            syntheses: Mutex::new(HashMap::new()),
+            plan_capacity: plans.max(1),
+            synthesis_capacity: syntheses.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Returns the compiled plan for `tbql_src`, compiling at most once
     /// per normalized query text. The boolean is `true` on a cache hit.
     pub fn plan(&self, tbql_src: &str) -> Result<(Arc<CachedPlan>, bool), EngineError> {
         let key = normalize_tbql(tbql_src);
-        if let Some(plan) = self.plans.read().expect("plan cache poisoned").get(&key) {
+        if let Some(slot) = self.plans.read().expect("plan cache poisoned").get(&key) {
+            slot.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(plan), true));
+            return Ok((Arc::clone(&slot.plan), true));
         }
 
         // Compile outside any lock: compilation is pure, and two workers
@@ -134,27 +249,42 @@ impl PlanCache {
             tbql: print_query(&query),
             compiled,
         });
+        let tick = self.next_tick();
         let mut plans = self.plans.write().expect("plan cache poisoned");
-        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        let entry = plans.entry(key).or_insert_with(|| PlanSlot {
+            plan: Arc::clone(&plan),
+            last_used: AtomicU64::new(tick),
+        });
+        let plan = Arc::clone(&entry.plan);
+        let evicted = evict_lru(&mut plans, self.plan_capacity, |slot| {
+            slot.last_used.load(Ordering::Relaxed)
+        });
+        drop(plans);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok((Arc::clone(entry), false))
+        Ok((plan, false))
     }
 
-    /// Returns the TBQL synthesized from an OSCTI report, memoized by
-    /// report text (successes *and* failures — a report that synthesizes
-    /// to nothing will keep doing so). Concurrent requests for the same
-    /// report block on one synthesis instead of each running the NLP
-    /// pipeline.
+    /// Returns the TBQL synthesized from an OSCTI report, memoized by a
+    /// content hash of the report text (successes *and* failures — a
+    /// report that synthesizes to nothing will keep doing so). Concurrent
+    /// requests for the same report block on one synthesis instead of
+    /// each running the NLP pipeline.
     pub fn synthesize_report(&self, report: &str) -> Result<String, SynthesisError> {
-        let cell = {
+        let key = ReportKey::of(report);
+        let tick = self.next_tick();
+        let (cell, evicted) = {
             let mut map = self.syntheses.lock().expect("synthesis cache poisoned");
-            match map.get(report) {
-                // Probe by &str first: the hot hit path must not clone a
-                // multi-KB report inside the critical section.
-                Some(cell) => Arc::clone(cell),
-                None => Arc::clone(map.entry(report.to_string()).or_default()),
-            }
+            let slot = map.entry(key).or_insert_with(|| SynthSlot {
+                cell: Arc::default(),
+                last_used: tick,
+            });
+            slot.last_used = tick;
+            let cell = Arc::clone(&slot.cell);
+            let evicted = evict_lru(&mut map, self.synthesis_capacity, |s| s.last_used);
+            (cell, evicted)
         };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         cell.get_or_init(|| {
             let extraction = ThreatExtractor::new().extract(report);
             synthesize(&extraction.graph).map(|q| print_query(&q))
@@ -173,6 +303,7 @@ impl PlanCache {
                 .lock()
                 .expect("synthesis cache poisoned")
                 .len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -238,5 +369,61 @@ mod tests {
         let err = cache.synthesize_report("Nothing interesting happened.");
         assert!(err.is_err());
         assert_eq!(cache.stats().reports, 2);
+    }
+
+    #[test]
+    fn plan_map_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacities(2, 2);
+        let q = |path: &str| format!("proc p[\"%{path}%\"] read file f return p");
+        cache.plan(&q("/bin/a")).unwrap();
+        cache.plan(&q("/bin/b")).unwrap();
+        // Touch /bin/a so /bin/b is the LRU victim.
+        cache.plan(&q("/bin/a")).unwrap();
+        cache.plan(&q("/bin/c")).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.plans, 2, "capacity must hold");
+        assert_eq!(s.evictions, 1);
+        // /bin/a survived, /bin/b did not.
+        let (_, hit_a) = cache.plan(&q("/bin/a")).unwrap();
+        assert!(hit_a, "recently used plan must survive eviction");
+        let (_, hit_b) = cache.plan(&q("/bin/b")).unwrap();
+        assert!(!hit_b, "LRU plan must have been evicted");
+    }
+
+    #[test]
+    fn synthesis_memo_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacities(8, 2);
+        let reports = [
+            "Attackers read /etc/passwd with /bin/cat.",
+            "Attackers wrote /tmp/x with /bin/dd.",
+            "Attackers sent /tmp/y to 1.2.3.4 with /usr/bin/curl.",
+        ];
+        for r in &reports {
+            let _ = cache.synthesize_report(r);
+        }
+        let s = cache.stats();
+        assert_eq!(s.reports, 2, "memo capacity must hold");
+        assert!(s.evictions >= 1);
+    }
+
+    #[test]
+    fn report_keys_are_content_hashes() {
+        let a = ReportKey::of("the same text");
+        let b = ReportKey::of("the same text");
+        let c = ReportKey::of("different text!");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Sanity: keys are fixed-size regardless of report length.
+        assert_eq!(
+            std::mem::size_of::<ReportKey>(),
+            std::mem::size_of::<[u64; 2]>() + std::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = PlanCache::with_capacities(0, 0);
+        cache.plan(FIG2_TBQL).unwrap();
+        assert_eq!(cache.stats().plans, 1);
     }
 }

@@ -1,0 +1,284 @@
+//! Follow-mode hunts: a standing query over a growing store.
+//!
+//! A batch hunt answers "did this behavior happen in the log I have?";
+//! a follow-mode hunt answers "tell me *when it appears*" while audit
+//! data keeps streaming in. A [`FollowHunt`] pins one compiled plan and
+//! is polled with successive store snapshots (epoch views from
+//! [`threatraptor_storage::StreamingStore`], via
+//! [`crate::ingest::IngestService`]):
+//!
+//! * a poll against an unchanged store (same raw-event high-water mark)
+//!   is free — no execution at all;
+//! * otherwise the cached plan is re-executed against the snapshot
+//!   (compilation is never repeated; sealed shards are shared, only the
+//!   open window was re-indexed by the snapshot) and the **delta** —
+//!   matches not seen by any earlier poll — is extracted and merged into
+//!   the running result;
+//! * matches are identified by their bindings plus the *original* event
+//!   ids of their witnesses, which are stable across CPR merging (a
+//!   merged event keeps its first constituent's id), across seals, and
+//!   across shard-layout changes — so re-found matches do not duplicate.
+//!
+//! The running result is append-only, like a streaming alert feed:
+//! matches are never retracted. Delivery semantics follow from
+//! incremental CPR at the frontier: matches whose witnesses are sealed
+//! or closed are reported **exactly once**. A match witnessed by a
+//! *provisional* open-window event is reported with the event's state as
+//! of that poll; the event absorbing later constituents does not re-fire
+//! it (the id stays the first constituent's). The one corner where a
+//! duplicate is possible: a later chunk delivers an event with the
+//! *exact same start time* on the same entity pair that sorts ahead of
+//! the provisional witness — the merged run is then re-led by the
+//! newcomer's id, re-keying the match. Frontier delivery is therefore
+//! at-least-once under start-time ties, exactly-once otherwise.
+
+use crate::cache::CachedPlan;
+use crate::job::ServiceError;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+use threatraptor_audit::entity::EntityId;
+use threatraptor_audit::event::EventId;
+use threatraptor_engine::result::Match;
+use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
+use threatraptor_storage::ShardedStore;
+
+/// Stable identity of a match: sorted variable bindings plus, per
+/// pattern, the original (CPR-stable) ids of its witnessing events.
+type MatchKey = (Vec<(String, EntityId)>, Vec<(String, Vec<EventId>)>);
+
+fn match_key(m: &Match, store: &ShardedStore) -> MatchKey {
+    let mut bindings: Vec<(String, EntityId)> = m
+        .bindings
+        .iter()
+        .map(|(var, &id)| (var.clone(), id))
+        .collect();
+    bindings.sort();
+    let mut events: Vec<(String, Vec<EventId>)> = m
+        .events
+        .iter()
+        .map(|(pat, positions)| {
+            (
+                pat.clone(),
+                positions.iter().map(|&p| store.event_at(p).id).collect(),
+            )
+        })
+        .collect();
+    events.sort();
+    (bindings, events)
+}
+
+/// What one poll produced.
+#[derive(Debug, Clone, Default)]
+pub struct FollowDelta {
+    /// Matches first seen by this poll.
+    pub new_matches: usize,
+    /// Projected rows of the new matches (deduplicated against the
+    /// running result when the query is `distinct`).
+    pub rows: Vec<Vec<String>>,
+    /// True when the store had not changed and execution was skipped.
+    pub unchanged: bool,
+    /// Wall-clock time of this poll (≈ 0 when `unchanged`).
+    pub elapsed: Duration,
+}
+
+impl FollowDelta {
+    /// True when this poll surfaced nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.new_matches == 0
+    }
+}
+
+/// A standing hunt: one compiled plan plus the accumulated result of all
+/// polls so far.
+#[derive(Debug)]
+pub struct FollowHunt {
+    plan: Arc<CachedPlan>,
+    mode: ExecMode,
+    shard_threads: usize,
+    seen: HashSet<MatchKey>,
+    result: Option<HuntResult>,
+    /// Raw-event high-water mark (`reduction().before`) of the last
+    /// snapshot polled; appends are the only way results can change, so
+    /// an equal mark lets the poll skip execution entirely.
+    last_raw: Option<usize>,
+    polls: usize,
+}
+
+impl FollowHunt {
+    /// A follow hunt over an already compiled plan.
+    pub fn new(plan: Arc<CachedPlan>, mode: ExecMode, shard_threads: usize) -> FollowHunt {
+        FollowHunt {
+            plan,
+            mode,
+            shard_threads: shard_threads.max(1),
+            seen: HashSet::new(),
+            result: None,
+            last_raw: None,
+            polls: 0,
+        }
+    }
+
+    /// The canonical TBQL text of the standing query.
+    pub fn tbql(&self) -> &str {
+        &self.plan.tbql
+    }
+
+    /// Number of polls so far (including skipped ones).
+    pub fn polls(&self) -> usize {
+        self.polls
+    }
+
+    /// The running merged result, or `None` before the first poll.
+    pub fn result(&self) -> Option<&HuntResult> {
+        self.result.as_ref()
+    }
+
+    /// Evaluates the standing query against a snapshot and merges the
+    /// delta into the running result. Snapshots must come from one
+    /// growing store (polling across unrelated stores would produce
+    /// deltas without meaning).
+    pub fn poll(&mut self, snapshot: &ShardedStore) -> Result<FollowDelta, ServiceError> {
+        self.polls += 1;
+        let raw = snapshot.reduction().before;
+        if self.last_raw == Some(raw) {
+            return Ok(FollowDelta {
+                unchanged: true,
+                ..FollowDelta::default()
+            });
+        }
+
+        let engine = ShardedEngine::with_threads(snapshot, self.shard_threads);
+        let full = engine
+            .execute(&self.plan.compiled, self.mode)
+            .map_err(ServiceError::Engine)?;
+        self.last_raw = Some(raw);
+
+        // Extract the delta: matches no earlier poll has seen.
+        let delta_matches: Vec<Match> = full
+            .matches
+            .iter()
+            .filter(|m| self.seen.insert(match_key(m, snapshot)))
+            .cloned()
+            .collect();
+        let (columns, mut delta_rows) = engine.project(&self.plan.compiled, &delta_matches);
+
+        // Merge into the running result.
+        let running = self.result.get_or_insert_with(|| HuntResult {
+            columns,
+            rows: Vec::new(),
+            matches: Vec::new(),
+            stats: full.stats.clone(),
+        });
+        running.stats = full.stats.clone();
+        if self.plan.compiled.distinct {
+            // Projection deduped within the delta; dedup against history
+            // too so the running rows stay a distinct set.
+            let known: HashSet<&Vec<String>> = running.rows.iter().collect();
+            delta_rows.retain(|r| !known.contains(r));
+        }
+        let new_matches = delta_matches.len();
+        running.matches.extend(delta_matches);
+        let rows = delta_rows.clone();
+        running.rows.extend(delta_rows);
+
+        Ok(FollowDelta {
+            new_matches,
+            rows,
+            unchanged: false,
+            elapsed: full.stats.elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanCache;
+    use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+    use threatraptor_storage::{SealPolicy, StreamingStore};
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    fn follow(tbql: &str) -> FollowHunt {
+        let cache = PlanCache::new();
+        let (plan, _) = cache.plan(tbql).unwrap();
+        FollowHunt::new(plan, ExecMode::Scheduled, 1)
+    }
+
+    #[test]
+    fn attack_appears_as_a_delta_then_never_refires() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(4_000)
+            .build();
+        let mut store = StreamingStore::new(true, SealPolicy::events(400));
+        let mut hunt = follow(FIG2_TBQL);
+
+        let mut total = 0usize;
+        let mut fired_at = None;
+        store.append_batch(&sc.log.entities, &[]);
+        for (i, batch) in sc.log.events.chunks(500).enumerate() {
+            store.append_batch(&[], batch);
+            let delta = hunt.poll(&store.snapshot()).unwrap();
+            assert!(!delta.unchanged);
+            if !delta.is_empty() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+            total += delta.new_matches;
+        }
+        assert!(fired_at.is_some(), "the attack must surface mid-stream");
+        assert!(total > 0);
+
+        // The final running result agrees with a from-scratch batch hunt.
+        let batch = ShardedEngine::new(&store.snapshot())
+            .hunt(FIG2_TBQL)
+            .unwrap();
+        let result = hunt.result().unwrap();
+        assert_eq!(result.matches.len(), batch.matches.len());
+        let norm = |rows: &[Vec<String>]| {
+            let mut r = rows.to_vec();
+            r.sort();
+            r
+        };
+        assert_eq!(norm(&result.rows), norm(&batch.rows));
+    }
+
+    #[test]
+    fn unchanged_snapshots_skip_execution() {
+        let sc = ScenarioBuilder::new().seed(7).target_events(1_000).build();
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        store.append_batch(&sc.log.entities, &sc.log.events);
+        let mut hunt = follow(FIG2_TBQL);
+
+        let first = hunt.poll(&store.snapshot()).unwrap();
+        assert!(!first.unchanged);
+        let second = hunt.poll(&store.snapshot()).unwrap();
+        assert!(second.unchanged, "no appends → poll must be free");
+        assert!(second.is_empty());
+        assert_eq!(hunt.polls(), 2);
+    }
+
+    #[test]
+    fn distinct_rows_stay_distinct_across_polls() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(3_000)
+            .build();
+        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1\nreturn distinct p, f";
+        let mut store = StreamingStore::new(true, SealPolicy::events(300));
+        let mut hunt = follow(q);
+        store.append_batch(&sc.log.entities, &[]);
+        for batch in sc.log.events.chunks(400) {
+            store.append_batch(&[], batch);
+            hunt.poll(&store.snapshot()).unwrap();
+        }
+        let rows = &hunt.result().unwrap().rows;
+        let mut deduped = rows.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(rows.len(), deduped.len(), "distinct rows must not repeat");
+        assert!(!rows.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! The ingest service: a thread-safe front-end over a live
+//! [`StreamingStore`].
+//!
+//! Collectors push parsed [`LogChunk`]s in with
+//! [`IngestService::append`]; analysts hunt *while ingestion is in
+//! flight* — every hunt runs against an immutable snapshot taken at hunt
+//! start, so appends never block on hunts and hunts never observe a
+//! half-applied batch. Standing queries attach with
+//! [`IngestService::hunt_follow`] and are re-evaluated against new data
+//! on each [`IngestService::poll`].
+//!
+//! Locking discipline: appends and seals take the write lock for the
+//! (incremental, open-window-bounded) reduction step only. Snapshots
+//! hold the read lock just long enough to clone Arc handles of the
+//! sealed shards and materialize the open window's event list; the
+//! expensive part — indexing the open window into a queryable shard —
+//! runs outside any lock.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::follow::{FollowDelta, FollowHunt};
+use crate::job::ServiceError;
+use std::sync::RwLock;
+use threatraptor_audit::parser::LogChunk;
+use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
+use threatraptor_storage::cpr::ReductionStats;
+use threatraptor_storage::{AppendOutcome, SealPolicy, ShardedStore, StreamingStore};
+
+/// Construction parameters for an [`IngestService`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Apply Causality-Preserved Reduction at the ingest frontier.
+    pub cpr: bool,
+    /// When to freeze the open window into an immutable shard.
+    pub policy: SealPolicy,
+    /// Execution strategy for hunts.
+    pub mode: ExecMode,
+    /// Per-hunt shard fan-out threads.
+    pub shard_threads: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            cpr: true,
+            policy: SealPolicy::events(4_096),
+            mode: ExecMode::Scheduled,
+            shard_threads: 1,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Default config with the given seal policy.
+    pub fn with_policy(policy: SealPolicy) -> IngestConfig {
+        IngestConfig {
+            policy,
+            ..IngestConfig::default()
+        }
+    }
+
+    /// Disables CPR at the frontier.
+    pub fn no_cpr(mut self) -> IngestConfig {
+        self.cpr = false;
+        self
+    }
+}
+
+/// A point-in-time description of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStatus {
+    /// Sealed (immutable) shards so far.
+    pub sealed_shards: usize,
+    /// Events currently in the open window (after reduction).
+    pub open_events: usize,
+    /// Total stored events (sealed + open).
+    pub total_events: usize,
+    /// Entities registered so far.
+    pub entities: usize,
+    /// Stream-global reduction statistics.
+    pub reduction: ReductionStats,
+    /// Change counter (bumps on every append/seal).
+    pub epoch: u64,
+}
+
+/// A live, continuously queryable hunt service: appendable store plus the
+/// shared plan cache.
+///
+/// ```
+/// use threatraptor_audit::LogFeed;
+/// use threatraptor_audit::sim::scenario::ScenarioBuilder;
+/// use threatraptor_service::{IngestConfig, IngestService};
+///
+/// let scenario = ScenarioBuilder::new().seed(42).target_events(2_000).build();
+/// let service = IngestService::new(IngestConfig::default());
+/// for chunk in LogFeed::by_events(&scenario.raw, 500) {
+///     service.append(&chunk.unwrap());
+///     // Hunts are allowed at any point mid-ingest.
+///     let _ = service.hunt(threatraptor_tbql::parser::FIG2_TBQL);
+/// }
+/// assert_eq!(service.status().total_events, service.snapshot().event_count());
+/// ```
+#[derive(Debug)]
+pub struct IngestService {
+    stream: RwLock<StreamingStore>,
+    cache: PlanCache,
+    config: IngestConfig,
+}
+
+impl IngestService {
+    /// An empty service.
+    pub fn new(config: IngestConfig) -> IngestService {
+        IngestService {
+            stream: RwLock::new(StreamingStore::new(config.cpr, config.policy)),
+            cache: PlanCache::new(),
+            config,
+        }
+    }
+
+    /// Appends one parsed chunk, auto-sealing under the policy.
+    pub fn append(&self, chunk: &LogChunk) -> AppendOutcome {
+        self.stream
+            .write()
+            .expect("stream lock poisoned")
+            .append(chunk)
+    }
+
+    /// Manually freezes the open window's stable prefix into an immutable
+    /// shard. Returns whether anything was sealed.
+    pub fn seal(&self) -> bool {
+        self.stream
+            .write()
+            .expect("stream lock poisoned")
+            .seal()
+            .is_some()
+    }
+
+    /// An immutable snapshot of everything appended so far (sealed shards
+    /// shared by reference, open window materialized). The read lock is
+    /// held only for the cheap parts extraction; indexing the open
+    /// window happens after it is released.
+    pub fn snapshot(&self) -> ShardedStore {
+        let parts = self
+            .stream
+            .read()
+            .expect("stream lock poisoned")
+            .snapshot_parts();
+        parts.build()
+    }
+
+    /// Hunts a TBQL query against a fresh snapshot, through the plan
+    /// cache.
+    pub fn hunt(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let snapshot = self.snapshot();
+        ShardedEngine::with_threads(&snapshot, self.config.shard_threads)
+            .execute(&plan.compiled, self.config.mode)
+            .map_err(ServiceError::Engine)
+    }
+
+    /// Opens a follow-mode hunt: the query is compiled once (through the
+    /// cache) and evaluated against everything ingested so far; each
+    /// subsequent [`IngestService::poll`] re-evaluates it against a fresh
+    /// snapshot and yields only the newly appeared matches.
+    pub fn hunt_follow(&self, tbql: &str) -> Result<(FollowHunt, FollowDelta), ServiceError> {
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let mut hunt = FollowHunt::new(plan, self.config.mode, self.config.shard_threads);
+        let delta = hunt.poll(&self.snapshot())?;
+        Ok((hunt, delta))
+    }
+
+    /// Polls a follow-mode hunt against the current stream state. Free
+    /// when nothing was appended since the last poll.
+    pub fn poll(&self, hunt: &mut FollowHunt) -> Result<FollowDelta, ServiceError> {
+        hunt.poll(&self.snapshot())
+    }
+
+    /// Current stream state.
+    pub fn status(&self) -> IngestStatus {
+        let stream = self.stream.read().expect("stream lock poisoned");
+        IngestStatus {
+            sealed_shards: stream.sealed_count(),
+            open_events: stream.open_len(),
+            total_events: stream.event_count(),
+            entities: stream.entities().len(),
+            reduction: stream.reduction(),
+            epoch: stream.epoch(),
+        }
+    }
+
+    /// Plan/synthesis cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+    use threatraptor_audit::LogFeed;
+    use threatraptor_storage::{AuditStore, ShardedStore};
+    use threatraptor_tbql::parser::FIG2_TBQL;
+
+    fn scenario() -> threatraptor_audit::sim::scenario::Scenario {
+        ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(4_000)
+            .build()
+    }
+
+    #[test]
+    fn replayed_feed_matches_batch_ingestion() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::with_policy(SealPolicy::events(500)));
+        for chunk in LogFeed::by_events(&sc.raw, 300) {
+            service.append(&chunk.unwrap());
+        }
+        let snapshot = service.snapshot();
+        let batch = AuditStore::ingest(&sc.log, true);
+        assert_eq!(snapshot.event_count(), batch.event_count());
+        assert_eq!(snapshot.reduction(), batch.reduction);
+
+        let got = service.hunt(FIG2_TBQL).unwrap();
+        let want = threatraptor_engine::Engine::new(&batch)
+            .hunt(FIG2_TBQL)
+            .unwrap();
+        assert_eq!(got.rows, want.rows);
+    }
+
+    #[test]
+    fn hunts_mid_ingest_see_consistent_prefixes() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::with_policy(SealPolicy::events(400)));
+        let mut counts = Vec::new();
+        for chunk in LogFeed::by_events(&sc.raw, 800) {
+            service.append(&chunk.unwrap());
+            let r = service.hunt(FIG2_TBQL).unwrap();
+            counts.push(r.matches.len());
+        }
+        // The attack eventually appears and stays found.
+        assert!(*counts.last().unwrap() > 0);
+        let status = service.status();
+        assert!(status.sealed_shards > 0);
+        assert_eq!(status.total_events, status.reduction.after,);
+    }
+
+    #[test]
+    fn appends_proceed_while_a_snapshot_is_held() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::default());
+        let mut feed = LogFeed::by_events(&sc.raw, 1_000);
+        service.append(&feed.next().unwrap().unwrap());
+        let held: ShardedStore = service.snapshot();
+        let held_count = held.event_count();
+        for chunk in feed {
+            service.append(&chunk.unwrap());
+        }
+        // The held snapshot is unaffected; new snapshots see everything.
+        assert_eq!(held.event_count(), held_count);
+        assert!(service.snapshot().event_count() > held_count);
+    }
+
+    #[test]
+    fn follow_hunt_fires_when_the_attack_streams_in() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::with_policy(SealPolicy::events(400)));
+        let (mut hunt, initial) = service.hunt_follow(FIG2_TBQL).unwrap();
+        assert!(initial.is_empty(), "nothing ingested yet");
+
+        let mut fired = false;
+        for chunk in LogFeed::by_events(&sc.raw, 700) {
+            service.append(&chunk.unwrap());
+            let delta = service.poll(&mut hunt).unwrap();
+            fired |= !delta.is_empty();
+        }
+        assert!(fired, "the streamed attack must fire the standing query");
+        // A poll with no new data is free.
+        let idle = service.poll(&mut hunt).unwrap();
+        assert!(idle.unchanged);
+        // And the plan was compiled exactly once.
+        assert_eq!(service.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_appends_and_hunts_are_safe() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::with_policy(SealPolicy::events(300)));
+        let chunks: Vec<_> = LogFeed::by_events(&sc.raw, 250)
+            .map(|c| c.unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            let svc = &service;
+            let writer = scope.spawn(move || {
+                for chunk in &chunks {
+                    svc.append(chunk);
+                }
+            });
+            for _ in 0..8 {
+                // Hunts interleave with appends; each must see a
+                // consistent snapshot and never error.
+                let r = svc.hunt(FIG2_TBQL).unwrap();
+                let snap = svc.snapshot();
+                assert!(r.matches.len() <= snap.event_count().max(1));
+            }
+            writer.join().unwrap();
+        });
+        // After the dust settles, the full attack is found.
+        assert!(!service.hunt(FIG2_TBQL).unwrap().is_empty());
+    }
+}

@@ -12,12 +12,19 @@
 //!
 //! * [`job::HuntJob`] — a unit of hunt work: raw OSCTI text *or* TBQL;
 //! * [`cache::PlanCache`] — compiled plans keyed by normalized query
-//!   text, plus memoized report synthesis, shared by all workers;
+//!   text, plus memoized report synthesis (keyed by content hash),
+//!   shared by all workers, with LRU eviction on both maps;
 //! * [`scheduler::HuntScheduler`] — a fixed worker pool draining a job
 //!   batch against a [`ShardedStore`], merging results deterministically
 //!   (submission order);
 //! * [`service::HuntService`] — the owning façade: store + cache +
-//!   config, constructed from a parsed log or an existing store.
+//!   config, constructed from a parsed log or an existing store;
+//! * [`ingest::IngestService`] — the *live* variant: a thread-safe
+//!   front-end over a [`StreamingStore`] accepting appended log chunks
+//!   while hunts run against immutable snapshots;
+//! * [`follow::FollowHunt`] — standing queries over a growing store:
+//!   poll with successive snapshots, get only the newly appeared matches
+//!   merged into a running result.
 //!
 //! Execution inside each job uses
 //! [`threatraptor_engine::ShardedEngine`], whose scatter-gather keeps
@@ -26,13 +33,18 @@
 //!
 //! [`AuditStore`]: threatraptor_storage::AuditStore
 //! [`ShardedStore`]: threatraptor_storage::ShardedStore
+//! [`StreamingStore`]: threatraptor_storage::StreamingStore
 
 pub mod cache;
+pub mod follow;
+pub mod ingest;
 pub mod job;
 pub mod scheduler;
 pub mod service;
 
-pub use cache::{normalize_tbql, CacheStats, CachedPlan, PlanCache};
+pub use cache::{normalize_tbql, CacheStats, CachedPlan, PlanCache, ReportKey};
+pub use follow::{FollowDelta, FollowHunt};
+pub use ingest::{IngestConfig, IngestService, IngestStatus};
 pub use job::{HuntJob, JobReport, ServiceError};
 pub use scheduler::HuntScheduler;
 pub use service::{HuntService, ServiceConfig};

@@ -2,6 +2,7 @@
 //! configuration in one long-lived value.
 
 use crate::cache::{CacheStats, PlanCache};
+use crate::follow::FollowHunt;
 use crate::job::{HuntJob, JobReport, ServiceError};
 use crate::scheduler::HuntScheduler;
 use threatraptor_audit::parser::ParsedLog;
@@ -149,6 +150,20 @@ impl HuntService {
             .expect("one job in, one report out")
             .outcome
     }
+
+    /// Opens a follow-mode hunt: the query is compiled once through this
+    /// service's plan cache and evaluated against the (static) store; the
+    /// returned handle can then be polled with successive snapshots of a
+    /// *growing* store — typically
+    /// [`crate::ingest::IngestService::snapshot`] views — and yields only
+    /// the matches that newly appeared. (Polling it again with this
+    /// service's own store is free: the store does not grow.)
+    pub fn hunt_follow(&self, tbql: &str) -> Result<FollowHunt, ServiceError> {
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let mut follow = FollowHunt::new(plan, self.config.mode, self.config.shard_threads);
+        follow.poll(&self.store)?;
+        Ok(follow)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +200,18 @@ mod tests {
         let stats = svc.cache_stats();
         assert_eq!(stats.misses, 1, "second batch must reuse the plan");
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn hunt_follow_seeds_from_the_static_store() {
+        let svc = service();
+        let mut follow = svc.hunt_follow(FIG2_TBQL).unwrap();
+        let seeded = follow.result().expect("initial poll ran").clone();
+        assert!(!seeded.matches.is_empty());
+        assert_eq!(seeded.rows, svc.hunt_tbql(FIG2_TBQL).unwrap().rows);
+        // This store never grows: re-polling it is free and empty.
+        let delta = follow.poll(svc.store()).unwrap();
+        assert!(delta.unchanged);
     }
 
     #[test]

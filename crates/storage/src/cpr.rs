@@ -51,6 +51,117 @@ impl ReductionStats {
     }
 }
 
+/// The total order CPR processes events in (and sorts its output by).
+#[inline]
+fn sort_key(e: &Event) -> (u64, u64, threatraptor_audit::event::EventId) {
+    (e.start, e.end, e.id)
+}
+
+/// Upper bound on a merged event's total time span (`end - start`, in the
+/// log's time unit). A run whose next constituent would stretch it past
+/// this bound is closed and a fresh run started.
+///
+/// Unbounded runs are correct for batch reduction but hostile to
+/// streaming: a quiet entity pair can keep one run open for the entire
+/// capture, pinning the ingest frontier's watermark at the run's first
+/// event and making the open window unboundedly large. The cap makes the
+/// frontier sealable — every open run starts within `MAX_RUN_SPAN` of the
+/// stream's high-water mark — while being far above observed merged-run
+/// spans (simulator workloads top out around `2^23`), so it costs no
+/// measurable reduction. Batch and incremental reduction apply the same
+/// bound, keeping their outputs byte-identical.
+pub const MAX_RUN_SPAN: u64 = 1 << 24;
+
+/// The CPR state machine: events are pushed in [`sort_key`] order, merged
+/// runs accumulate in `open`, and closed runs spill into the caller's
+/// output buffer. Extracted from the batch [`reduce`] loop so the
+/// streaming [`IncrementalReducer`] evolves *the same state in the same
+/// order* — byte parity between batch and incremental reduction holds by
+/// construction, not by re-implementation.
+#[derive(Debug, Clone, Default)]
+struct CprMachine {
+    /// seq of the most recent activity touching each entity.
+    last_touch: HashMap<EntityId, u64>,
+    /// Open run per key: (accumulated event, seq of its last constituent).
+    open: HashMap<RunKey, (Event, u64)>,
+    seq: u64,
+}
+
+impl CprMachine {
+    /// Feeds one event (the next in sort order); closed runs and
+    /// non-mergeable events are appended to `out` in closing order (not
+    /// globally sorted — callers sort the final output).
+    fn push(&mut self, ev: &Event, out: &mut Vec<Event>) {
+        self.seq += 1;
+        let seq = self.seq;
+        let key: RunKey = (ev.subject, ev.op, ev.object).into_run_key();
+
+        if ev.op.cpr_mergeable() {
+            if let Some((acc, last_seq)) = self.open.get_mut(&key) {
+                let subj_quiet = self.last_touch.get(&ev.subject) == Some(last_seq);
+                let obj_quiet = self.last_touch.get(&ev.object) == Some(last_seq);
+                let within_span = acc.end.max(ev.end) - acc.start <= MAX_RUN_SPAN;
+                if subj_quiet && obj_quiet && within_span && acc.tag == ev.tag {
+                    // Extend the run.
+                    acc.end = acc.end.max(ev.end);
+                    acc.bytes += ev.bytes;
+                    acc.merged += ev.merged;
+                    *last_seq = seq;
+                    self.last_touch.insert(ev.subject, seq);
+                    self.last_touch.insert(ev.object, seq);
+                    return;
+                }
+            }
+            // Start a new run (flushing any stale run under this key).
+            if let Some((acc, _)) = self.open.remove(&key) {
+                out.push(acc);
+            }
+            self.open.insert(key, (ev.clone(), seq));
+        } else {
+            // Non-mergeable event: flush the run under this key, if any,
+            // then emit as-is.
+            if let Some((acc, _)) = self.open.remove(&key) {
+                out.push(acc);
+            }
+            out.push(ev.clone());
+        }
+        self.last_touch.insert(ev.subject, seq);
+        self.last_touch.insert(ev.object, seq);
+    }
+
+    /// Closes every open run into `out` (end of stream).
+    fn flush(&mut self, out: &mut Vec<Event>) {
+        for (_, (acc, _)) in self.open.drain() {
+            out.push(acc);
+        }
+    }
+
+    /// Closes runs that can never accept another constituent: input is
+    /// processed in start order, so any future event starts at or after
+    /// `now`, and extending a run whose first constituent is more than
+    /// [`MAX_RUN_SPAN`] behind `now` would exceed the span bound and be
+    /// refused anyway. Closing them early changes *when* they reach the
+    /// output buffer, never what the (finally sorted) output contains —
+    /// which is why only the incremental reducer bothers: it unpins the
+    /// sealing watermark from dormant runs.
+    fn expire(&mut self, now: u64, out: &mut Vec<Event>) {
+        self.open.retain(|_, (acc, _)| {
+            if now.saturating_sub(acc.start) > MAX_RUN_SPAN {
+                out.push(acc.clone());
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Smallest output start among still-open runs (a run's output keeps
+    /// its first constituent's start, so this is fixed per run).
+    fn open_min_start(&self) -> Option<u64> {
+        self.open.values().map(|(acc, _)| acc.start).min()
+    }
+}
+
 /// Applies CPR to an event stream. Returns the reduced stream (sorted by
 /// start time) and the reduction statistics.
 ///
@@ -67,64 +178,198 @@ pub fn reduce(events: &[Event]) -> (Vec<Event>, ReductionStats) {
 
     // Process in time order.
     let mut order: Vec<usize> = (0..events.len()).collect();
-    order.sort_by_key(|&i| (events[i].start, events[i].end, events[i].id));
+    order.sort_by_key(|&i| sort_key(&events[i]));
 
-    // seq of the most recent output-event activity touching each entity.
-    let mut last_touch: HashMap<EntityId, u64> = HashMap::new();
-    // Open run per key: (accumulated event, seq of its last constituent).
-    let mut open: HashMap<RunKey, (Event, u64)> = HashMap::new();
+    let mut machine = CprMachine::default();
     let mut out: Vec<Event> = Vec::with_capacity(events.len());
-    let mut seq: u64 = 0;
-
     for &i in &order {
-        let ev = &events[i];
-        seq += 1;
-        let key: RunKey = (ev.subject, ev.op, ev.object).into_run_key();
-
-        let mergeable = ev.op.cpr_mergeable();
-        if mergeable {
-            if let Some((acc, last_seq)) = open.get_mut(&key) {
-                let subj_quiet = last_touch.get(&ev.subject) == Some(last_seq);
-                let obj_quiet = last_touch.get(&ev.object) == Some(last_seq);
-                if subj_quiet && obj_quiet && acc.tag == ev.tag {
-                    // Extend the run.
-                    acc.end = acc.end.max(ev.end);
-                    acc.bytes += ev.bytes;
-                    acc.merged += ev.merged;
-                    *last_seq = seq;
-                    last_touch.insert(ev.subject, seq);
-                    last_touch.insert(ev.object, seq);
-                    continue;
-                }
-            }
-            // Start a new run (flushing any stale run under this key).
-            if let Some((acc, _)) = open.remove(&key) {
-                out.push(acc);
-            }
-            open.insert(key, (ev.clone(), seq));
-        } else {
-            // Non-mergeable event: flush the run under this key, if any,
-            // then emit as-is.
-            if let Some((acc, _)) = open.remove(&key) {
-                out.push(acc);
-            }
-            out.push(ev.clone());
-        }
-        last_touch.insert(ev.subject, seq);
-        last_touch.insert(ev.object, seq);
+        machine.push(&events[i], &mut out);
     }
-
-    // Flush all remaining runs.
-    for (_, (acc, _)) in open.drain() {
-        out.push(acc);
-    }
-    out.sort_by_key(|e| (e.start, e.end, e.id));
+    machine.flush(&mut out);
+    out.sort_by_key(sort_key);
 
     let stats = ReductionStats {
         before,
         after: out.len(),
     };
     (out, stats)
+}
+
+/// Incremental CPR over an append-only event stream — the ingest-frontier
+/// reducer of [`crate::stream::StreamingStore`].
+///
+/// The batch [`reduce`] sorts the whole stream by `(start, end, id)` and
+/// runs the [`CprMachine`] over it once. This type runs the *same*
+/// machine over a stream that arrives in chunks, holding back just enough
+/// input to preserve the exact processing order:
+///
+/// * events whose start is strictly below the stream's high-water start
+///   can never be preceded by future input (appends are start-ordered
+///   across chunks — true of audit streams and the raw-log replay feed),
+///   so they are fed to the machine immediately, in sorted order;
+/// * events *at* the high-water start stay staged — a later chunk may
+///   still deliver ties that sort before them;
+/// * closed runs accumulate in `done`; a closed output becomes **stable**
+///   (safe to seal into an immutable shard) only when its start is
+///   strictly below the [`IncrementalReducer::watermark`] — the smallest
+///   start any future output could have. Sealing above the watermark
+///   could split a run that batch CPR would merge, breaking parity.
+///
+/// With `use_cpr = false` the reducer is a pass-through that preserves
+/// arrival order (matching [`reduce_if`] with `use_cpr = false`), and
+/// every appended event is immediately stable.
+///
+/// For start-ordered appends, `sealed outputs ++ visible()` is
+/// byte-identical to `reduce(all appended events).0` at every point in
+/// the stream. Out-of-order stragglers (an event starting before the
+/// high-water mark) are still ingested — they are processed on arrival —
+/// but exact batch parity is no longer guaranteed past that point.
+#[derive(Debug, Clone)]
+pub struct IncrementalReducer {
+    use_cpr: bool,
+    machine: CprMachine,
+    /// Input at the high-water start, not yet safely orderable.
+    staged: Vec<Event>,
+    /// Closed outputs not yet taken by a seal, in closing order.
+    done: Vec<Event>,
+    /// High-water start time over all appended input.
+    max_start: u64,
+    /// Total events appended (the `before` side of the stats).
+    before: usize,
+}
+
+impl IncrementalReducer {
+    /// An empty reducer. `use_cpr = false` gives order-preserving
+    /// pass-through (identity reduction).
+    pub fn new(use_cpr: bool) -> IncrementalReducer {
+        IncrementalReducer {
+            use_cpr,
+            machine: CprMachine::default(),
+            staged: Vec::new(),
+            done: Vec::new(),
+            max_start: 0,
+            before: 0,
+        }
+    }
+
+    /// Appends a chunk of events (any order within the chunk; chunks
+    /// themselves must be non-decreasing in start time for exact batch
+    /// parity).
+    pub fn append(&mut self, events: &[Event]) {
+        self.before += events.len();
+        if !self.use_cpr {
+            self.done.extend_from_slice(events);
+            return;
+        }
+        self.staged.extend_from_slice(events);
+        self.max_start = self
+            .staged
+            .iter()
+            .map(|e| e.start)
+            .fold(self.max_start, u64::max);
+        // Everything strictly below the high-water start is now safely
+        // orderable: feed it to the machine in global sort order.
+        self.staged.sort_by_key(sort_key);
+        let ready = self.staged.partition_point(|e| e.start < self.max_start);
+        for ev in self.staged.drain(..ready) {
+            self.machine.push(&ev, &mut self.done);
+        }
+        // Close runs too old to ever extend, so dormant entity pairs do
+        // not pin the watermark.
+        self.machine.expire(self.max_start, &mut self.done);
+    }
+
+    /// The start time below which every output is final: no open run, no
+    /// staged event, and (for start-ordered appends) no future input can
+    /// produce an output starting earlier.
+    pub fn watermark(&self) -> u64 {
+        if !self.use_cpr {
+            return u64::MAX;
+        }
+        self.machine
+            .open_min_start()
+            .map_or(self.max_start, |open| open.min(self.max_start))
+    }
+
+    /// Takes the stable prefix — closed outputs starting strictly below
+    /// the watermark, sorted — leaving everything else open. This is the
+    /// seal operation's input; the returned slice is an exact prefix of
+    /// what batch [`reduce`] over the full stream will eventually emit.
+    pub fn take_stable(&mut self) -> Vec<Event> {
+        if !self.use_cpr {
+            // Pass-through: arrival order is the output order.
+            return std::mem::take(&mut self.done);
+        }
+        let wm = self.watermark();
+        let mut stable = Vec::new();
+        self.done.retain(|e| {
+            if e.start < wm {
+                stable.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        stable.sort_by_key(sort_key);
+        stable
+    }
+
+    /// The open window as batch CPR would emit it if the stream ended
+    /// now: unsealed closed outputs, open-run accumulators, and staged
+    /// input, fully reduced and sorted. Non-destructive — appending more
+    /// events afterwards continues exactly where the stream left off.
+    pub fn visible(&self) -> Vec<Event> {
+        if !self.use_cpr {
+            return self.done.clone();
+        }
+        let mut machine = self.machine.clone();
+        let mut out = self.done.clone();
+        let mut staged = self.staged.clone();
+        staged.sort_by_key(sort_key);
+        for ev in &staged {
+            machine.push(ev, &mut out);
+        }
+        machine.flush(&mut out);
+        out.sort_by_key(sort_key);
+        out
+    }
+
+    /// Number of events currently in the open window — exactly
+    /// `visible().len()`: staged frontier input is run through a cloned
+    /// machine so ties that will merge are counted once, not twice. Cost
+    /// is proportional to the *staged* set (same-start frontier events),
+    /// not the whole window.
+    pub fn open_len(&self) -> usize {
+        if !self.use_cpr || self.staged.is_empty() {
+            return self.done.len() + self.machine.open.len();
+        }
+        let mut machine = self.machine.clone();
+        let mut out = Vec::new();
+        let mut staged = self.staged.clone();
+        staged.sort_by_key(sort_key);
+        for ev in &staged {
+            machine.push(ev, &mut out);
+        }
+        self.done.len() + out.len() + machine.open.len()
+    }
+
+    /// Time span `(min start, max start)` of the open window, or `None`
+    /// when it is empty.
+    pub fn open_span(&self) -> Option<(u64, u64)> {
+        let lo = self
+            .done
+            .iter()
+            .map(|e| e.start)
+            .chain(self.machine.open.values().map(|(acc, _)| acc.start))
+            .chain(self.staged.iter().map(|e| e.start))
+            .min()?;
+        Some((lo, self.max_start.max(lo)))
+    }
+
+    /// Total events appended so far (the `before` of [`ReductionStats`]).
+    pub fn appended(&self) -> usize {
+        self.before
+    }
 }
 
 /// Applies CPR when `use_cpr`, otherwise passes the stream through with
@@ -359,5 +604,103 @@ mod tests {
             prop_assert_eq!(stats.before, stats.after);
             prop_assert_eq!(once, twice);
         }
+
+        /// Incremental CPR parity: for any chunking of a start-ordered
+        /// stream, with seals interleaved at arbitrary points, the sealed
+        /// outputs followed by the open window are byte-identical to one
+        /// batch reduction of the whole stream.
+        #[test]
+        fn incremental_matches_batch(events in arb_events(), chunk in 1usize..17) {
+            let (batch, stats) = reduce(&events);
+            let mut inc = IncrementalReducer::new(true);
+            let mut sealed: Vec<Event> = Vec::new();
+            for (i, c) in events.chunks(chunk).enumerate() {
+                inc.append(c);
+                if i % 2 == 0 {
+                    sealed.extend(inc.take_stable());
+                }
+            }
+            let mut all = sealed;
+            all.extend(inc.visible());
+            prop_assert_eq!(all, batch);
+            prop_assert_eq!(inc.appended(), stats.before);
+        }
+    }
+
+    #[test]
+    fn span_cap_closes_oversized_runs() {
+        // Two quiet same-key events further apart than the span cap must
+        // not merge — in batch or incrementally.
+        let far = MAX_RUN_SPAN + 100;
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 0),
+            ev(1, 0, Operation::Read, 1, far),
+        ];
+        let (out, _) = reduce(&events);
+        assert_eq!(out.len(), 2, "span cap must split the run");
+
+        let mut inc = IncrementalReducer::new(true);
+        inc.append(&events);
+        assert_eq!(inc.visible(), out);
+    }
+
+    #[test]
+    fn dormant_runs_do_not_pin_the_watermark() {
+        let mut inc = IncrementalReducer::new(true);
+        // A quiet pair opens a run at t=0...
+        inc.append(&[
+            ev(0, 0, Operation::Read, 1, 0),
+            ev(1, 0, Operation::Read, 1, 10),
+        ]);
+        // ...then goes dormant while unrelated traffic streams past the
+        // span cap. The run must expire and the watermark advance.
+        let far = MAX_RUN_SPAN + 1_000;
+        inc.append(&[ev(2, 2, Operation::Write, 3, far)]);
+        inc.append(&[ev(3, 2, Operation::Write, 3, far + 10)]);
+        assert!(
+            inc.watermark() >= far,
+            "watermark {} pinned",
+            inc.watermark()
+        );
+        let stable = inc.take_stable();
+        assert!(
+            stable.iter().any(|e| e.merged == 2),
+            "the expired run must be sealable: {stable:?}"
+        );
+    }
+
+    #[test]
+    fn open_len_counts_staged_ties_after_merging() {
+        // Two same-start mergeable events both stay staged at the
+        // high-water mark; they will merge, so the open window holds one
+        // event, not two — open_len must agree with visible().
+        let mut a = ev(0, 0, Operation::Read, 1, 10);
+        let mut b = ev(1, 0, Operation::Read, 1, 10);
+        a.end = 14;
+        b.end = 12;
+        let mut inc = IncrementalReducer::new(true);
+        inc.append(&[a]);
+        inc.append(&[b]);
+        assert_eq!(inc.visible().len(), 1);
+        assert_eq!(inc.open_len(), inc.visible().len());
+    }
+
+    #[test]
+    fn passthrough_reducer_preserves_arrival_order() {
+        // With CPR off, the reducer is an order-preserving identity —
+        // matching `reduce_if(_, false)`.
+        let events = vec![
+            ev(0, 0, Operation::Read, 1, 50),
+            ev(1, 2, Operation::Write, 3, 10),
+            ev(2, 4, Operation::Fork, 5, 30),
+        ];
+        let mut inc = IncrementalReducer::new(false);
+        inc.append(&events[..2]);
+        inc.append(&events[2..]);
+        assert_eq!(inc.visible(), events);
+        assert_eq!(inc.watermark(), u64::MAX);
+        assert_eq!(inc.take_stable(), events);
+        assert_eq!(inc.open_len(), 0);
+        assert_eq!(inc.appended(), 3);
     }
 }

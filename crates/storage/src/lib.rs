@@ -23,14 +23,20 @@
 //!   both backends and keeps key attributes indexed;
 //! * [`sharded`] — [`sharded::ShardedStore`], which partitions one
 //!   globally-reduced log into independent per-time-window shards with
-//!   parallel ingestion (the substrate of the concurrent hunt service).
+//!   parallel ingestion (the substrate of the concurrent hunt service);
+//! * [`stream`] — [`stream::StreamingStore`], the live variant: sealed
+//!   immutable shards plus one appendable open window with incremental
+//!   CPR at the ingest frontier, snapshotting into ordinary
+//!   [`sharded::ShardedStore`] epoch views for hunts under ingest.
 
 pub mod cpr;
 pub mod graphdb;
 pub mod relational;
 pub mod sharded;
 pub mod store;
+pub mod stream;
 
 pub use relational::{Database, Predicate, SqlSelect, Value};
 pub use sharded::ShardedStore;
-pub use store::{AuditStore, EventLookup};
+pub use store::{AuditStore, EntityTables, EventLookup};
+pub use stream::{AppendOutcome, SealPolicy, SnapshotParts, StreamingStore};

@@ -4,6 +4,7 @@ use super::index::{BTreeIndex, HashIndex, Index};
 use super::predicate::Predicate;
 use super::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Row identifier within a table (dense, append-only).
 pub type RowId = usize;
@@ -207,9 +208,14 @@ impl Table {
 }
 
 /// A named collection of tables (the database catalog).
+///
+/// Tables are held behind [`Arc`] so immutable tables can be *shared*
+/// between databases: a sharded store registers one physical copy of the
+/// (identical) entity tables in every shard's catalog instead of
+/// replicating them per shard.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -220,6 +226,11 @@ impl Database {
 
     /// Adds (or replaces) a table.
     pub fn add_table(&mut self, table: Table) {
+        self.add_shared_table(Arc::new(table));
+    }
+
+    /// Adds (or replaces) a table that may be shared with other catalogs.
+    pub fn add_shared_table(&mut self, table: Arc<Table>) {
         self.tables.insert(table.name.clone(), table);
     }
 
@@ -232,11 +243,23 @@ impl Database {
             .unwrap_or_else(|| panic!("no table named `{name}`"))
     }
 
-    /// Mutable table lookup.
+    /// Shared handle to a table (for registering it in another catalog).
+    pub fn shared_table(&self, name: &str) -> Arc<Table> {
+        Arc::clone(
+            self.tables
+                .get(name)
+                .unwrap_or_else(|| panic!("no table named `{name}`")),
+        )
+    }
+
+    /// Mutable table lookup. Clones the table first if it is currently
+    /// shared with another catalog (copy-on-write).
     pub fn table_mut(&mut self, name: &str) -> &mut Table {
-        self.tables
-            .get_mut(name)
-            .unwrap_or_else(|| panic!("no table named `{name}`"))
+        Arc::make_mut(
+            self.tables
+                .get_mut(name)
+                .unwrap_or_else(|| panic!("no table named `{name}`")),
+        )
     }
 
     /// Whether the database has a table with this name.

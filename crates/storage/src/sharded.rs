@@ -22,7 +22,9 @@
 //! parity guarantee rests on.
 
 use crate::cpr::{self, ReductionStats};
-use crate::store::{AuditStore, EventLookup};
+use crate::relational::Table;
+use crate::store::{AuditStore, EntityTables, EventLookup};
+use std::sync::Arc;
 use threatraptor_audit::entity::{Entity, EntityId};
 use threatraptor_audit::event::Event;
 use threatraptor_audit::parser::ParsedLog;
@@ -59,13 +61,24 @@ where
 
 /// A log partitioned into independent [`AuditStore`] shards by
 /// time-window, with globally reduced events and global entity ids.
+///
+/// Shards are held behind [`Arc`] and share one entity array plus one
+/// physical copy of the entity tables (entity ids are global, so the
+/// tables are identical): cloning a `ShardedStore`, or assembling one
+/// from already-built shards (the streaming snapshot path in
+/// [`crate::stream`]), costs reference counts, not table rebuilds.
 #[derive(Debug, Clone)]
 pub struct ShardedStore {
-    shards: Vec<AuditStore>,
+    shards: Vec<Arc<AuditStore>>,
     /// `offsets[i]` is the global position of shard `i`'s first event;
     /// a trailing sentinel holds the total event count.
     offsets: Vec<usize>,
     reduction: ReductionStats,
+    /// The shared entity array (authoritative: in a streaming snapshot,
+    /// older sealed shards may carry a shorter prefix of it).
+    entities: Arc<[Entity]>,
+    /// The shared entity tables, for store-level entity-filter probes.
+    tables: EntityTables,
 }
 
 impl ShardedStore {
@@ -74,22 +87,58 @@ impl ShardedStore {
     /// on scoped threads. `shards` is clamped to at least 1.
     pub fn ingest(log: &ParsedLog, use_cpr: bool, shards: usize) -> ShardedStore {
         let (events, reduction) = cpr::reduce_if(&log.events, use_cpr);
-        Self::build(&log.entities, events, reduction, shards)
+        let entities: Arc<[Entity]> = Arc::from(log.entities.as_slice());
+        let tables = EntityTables::build(&entities);
+        Self::build(entities, tables, events, reduction, shards)
     }
 
     /// Re-partitions an existing single store into `shards` shards,
-    /// reusing its already reduced events (no second CPR pass).
+    /// reusing its already reduced events (no second CPR pass) and its
+    /// already built entity array and tables (shared, not copied).
     pub fn from_store(store: &AuditStore, shards: usize) -> ShardedStore {
         Self::build(
-            &store.entities,
+            Arc::clone(&store.entities),
+            store.entity_tables(),
             store.events.clone(),
             store.reduction,
             shards,
         )
     }
 
+    /// Assembles a store from already-built shards (the streaming
+    /// snapshot path): offsets are derived from the shards' event counts,
+    /// `entities`/`tables` are the authoritative current entity state
+    /// (sealed shards may hold an older prefix), and `reduction` is the
+    /// stream-global statistic.
+    pub fn from_parts(
+        shards: Vec<Arc<AuditStore>>,
+        entities: Arc<[Entity]>,
+        tables: EntityTables,
+        reduction: ReductionStats,
+    ) -> ShardedStore {
+        assert!(
+            !shards.is_empty(),
+            "a sharded store needs at least one shard"
+        );
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        let mut pos = 0usize;
+        for shard in &shards {
+            offsets.push(pos);
+            pos += shard.event_count();
+        }
+        offsets.push(pos);
+        ShardedStore {
+            shards,
+            offsets,
+            reduction,
+            entities,
+            tables,
+        }
+    }
+
     fn build(
-        entities: &[Entity],
+        entities: Arc<[Entity]>,
+        tables: EntityTables,
         events: Vec<Event>,
         reduction: ReductionStats,
         shards: usize,
@@ -114,19 +163,26 @@ impl ShardedStore {
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        let shards: Vec<AuditStore> = fan_out(n, workers, |i| {
+        let shards: Vec<Arc<AuditStore>> = fan_out(n, workers, |i| {
             let slice = &events[offsets[i]..offsets[i + 1]];
             let stats = ReductionStats {
                 before: slice.len(),
                 after: slice.len(),
             };
-            AuditStore::from_events(entities, slice.to_vec(), stats)
+            Arc::new(AuditStore::from_shared(
+                Arc::clone(&entities),
+                &tables,
+                slice.to_vec(),
+                stats,
+            ))
         });
 
         ShardedStore {
             shards,
             offsets,
             reduction,
+            entities,
+            tables,
         }
     }
 
@@ -136,7 +192,7 @@ impl ShardedStore {
     }
 
     /// All shards, in time order.
-    pub fn shards(&self) -> &[AuditStore] {
+    pub fn shards(&self) -> &[Arc<AuditStore>] {
         &self.shards
     }
 
@@ -185,15 +241,30 @@ impl ShardedStore {
         *self.offsets.last().expect("offsets always has a sentinel")
     }
 
-    /// Entity accessor (entity ids are global; every shard replicates the
-    /// entity tables).
+    /// Entity accessor (entity ids are global; the entity array is shared
+    /// across shards).
     pub fn entity(&self, id: EntityId) -> &Entity {
-        self.shards[0].entity(id)
+        &self.entities[id.index()]
     }
 
     /// All entities, indexed by [`EntityId`].
     pub fn entities(&self) -> &[Entity] {
-        &self.shards[0].entities
+        &self.entities
+    }
+
+    /// The store-level entity table registered under `name` — the
+    /// authoritative table for resolving entity predicates globally. (In
+    /// a streaming snapshot, per-shard entity tables of older sealed
+    /// shards hold only the entities known when the shard was sealed —
+    /// sufficient for shard-local residual filtering, but not for global
+    /// filter-set resolution.)
+    pub fn entity_table(&self, name: &str) -> &Table {
+        self.tables.table(name)
+    }
+
+    /// Shared handles to the store-level entity tables.
+    pub fn entity_tables(&self) -> EntityTables {
+        self.tables.clone()
     }
 
     /// Event at a global position.
@@ -273,12 +344,27 @@ mod tests {
     }
 
     #[test]
-    fn entities_replicated_and_ids_global() {
+    fn entities_shared_and_ids_global() {
         let log = scenario_log();
         let sharded = ShardedStore::ingest(&log, false, 3);
         assert_eq!(sharded.entities().len(), log.entities.len());
         for shard in sharded.shards() {
-            assert_eq!(shard.entities.len(), log.entities.len());
+            // One physical entity array and one physical copy of each
+            // entity table, shared by every shard — not replicas.
+            assert!(std::ptr::eq(
+                shard.entities.as_ptr(),
+                sharded.entities().as_ptr()
+            ));
+            for table in [
+                crate::store::TABLE_PROCESS,
+                crate::store::TABLE_FILE,
+                crate::store::TABLE_NETWORK,
+            ] {
+                assert!(std::ptr::eq(
+                    shard.db.table(table) as *const _,
+                    sharded.entity_table(table) as *const _
+                ));
+            }
         }
         let id = EntityId(0);
         assert_eq!(sharded.entity(id), &log.entities[0]);

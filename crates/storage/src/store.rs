@@ -9,6 +9,7 @@
 use crate::cpr;
 use crate::graphdb::GraphDb;
 use crate::relational::{Column, Database, Table, Value};
+use std::sync::Arc;
 use threatraptor_audit::entity::{Entity, EntityId};
 use threatraptor_audit::event::{Event, EventType};
 use threatraptor_audit::parser::ParsedLog;
@@ -22,6 +23,41 @@ pub const TABLE_NETWORK: &str = "network";
 /// Table name for events.
 pub const TABLE_EVENT: &str = "event";
 
+/// The three entity tables of a store, behind shared handles so one
+/// physical copy can serve many shards (entity ids are global, so every
+/// shard of one log sees identical entity tables — replicating them per
+/// shard is pure waste at production entity counts).
+#[derive(Debug, Clone)]
+pub struct EntityTables {
+    /// Process table (indexed on `id`).
+    pub process: Arc<Table>,
+    /// File table (indexed on `id` and `name`).
+    pub file: Arc<Table>,
+    /// Network-connection table (indexed on `id` and `dstip`).
+    pub network: Arc<Table>,
+}
+
+impl EntityTables {
+    /// Builds all three entity tables (with their indexes) once.
+    pub fn build(entities: &[Entity]) -> EntityTables {
+        EntityTables {
+            process: Arc::new(AuditStore::build_process_table(entities)),
+            file: Arc::new(AuditStore::build_file_table(entities)),
+            network: Arc::new(AuditStore::build_network_table(entities)),
+        }
+    }
+
+    /// The table registered under `name`, or a panic for non-entity names.
+    pub fn table(&self, name: &str) -> &Table {
+        match name {
+            TABLE_PROCESS => &self.process,
+            TABLE_FILE => &self.file,
+            TABLE_NETWORK => &self.network,
+            other => panic!("`{other}` is not an entity table"),
+        }
+    }
+}
+
 /// The combined store over relational and graph backends.
 #[derive(Debug, Clone)]
 pub struct AuditStore {
@@ -29,8 +65,9 @@ pub struct AuditStore {
     pub db: Database,
     /// Graph backend (Neo4j role).
     pub graph: GraphDb,
-    /// All entities, indexed by [`EntityId`].
-    pub entities: Vec<Entity>,
+    /// All entities, indexed by [`EntityId`]. Shared (not replicated)
+    /// across the shards of a [`crate::sharded::ShardedStore`].
+    pub entities: Arc<[Entity]>,
     /// Stored events (CPR-reduced when enabled), in time order. Row `i` of
     /// the event table corresponds to `events[i]`.
     pub events: Vec<Event>,
@@ -47,18 +84,32 @@ impl AuditStore {
 
     /// Builds a store over an already reduced (or deliberately unreduced)
     /// event stream. No further CPR is applied; `reduction` is recorded
-    /// as-is. This is the shard-construction path of
-    /// [`crate::sharded::ShardedStore`], which reduces once globally and
-    /// then partitions.
+    /// as-is.
     pub fn from_events(
         entities: &[Entity],
         events: Vec<Event>,
         reduction: cpr::ReductionStats,
     ) -> AuditStore {
+        let tables = EntityTables::build(entities);
+        Self::from_shared(Arc::from(entities), &tables, events, reduction)
+    }
+
+    /// Builds a store over an already reduced event stream, sharing the
+    /// entity array and entity tables with the caller (and any sibling
+    /// shards). Only the event table and the graph are built here — this
+    /// is the shard-construction path of
+    /// [`crate::sharded::ShardedStore`], which reduces once globally,
+    /// builds the entity tables once, and then partitions the events.
+    pub fn from_shared(
+        entities: Arc<[Entity]>,
+        tables: &EntityTables,
+        events: Vec<Event>,
+        reduction: cpr::ReductionStats,
+    ) -> AuditStore {
         let mut db = Database::new();
-        db.add_table(Self::build_process_table(entities));
-        db.add_table(Self::build_file_table(entities));
-        db.add_table(Self::build_network_table(entities));
+        db.add_shared_table(Arc::clone(&tables.process));
+        db.add_shared_table(Arc::clone(&tables.file));
+        db.add_shared_table(Arc::clone(&tables.network));
         db.add_table(Self::build_event_table(&events));
 
         let graph = GraphDb::build(entities.len(), &events);
@@ -66,9 +117,18 @@ impl AuditStore {
         AuditStore {
             db,
             graph,
-            entities: entities.to_vec(),
+            entities,
             events,
             reduction,
+        }
+    }
+
+    /// Shared handles to this store's entity tables.
+    pub fn entity_tables(&self) -> EntityTables {
+        EntityTables {
+            process: self.db.shared_table(TABLE_PROCESS),
+            file: self.db.shared_table(TABLE_FILE),
+            network: self.db.shared_table(TABLE_NETWORK),
         }
     }
 

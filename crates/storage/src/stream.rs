@@ -1,0 +1,562 @@
+//! Streaming ingest: a live, continuously queryable audit store.
+//!
+//! The batch [`ShardedStore`] is build-once: the full log must exist
+//! before the first hunt can run. Production threat hunting works the
+//! other way around — audit data is collected *continuously* and hunts
+//! run while collection is in flight. This module turns the batch store
+//! into a live one:
+//!
+//! * a [`StreamingStore`] holds a list of immutable **sealed** shards
+//!   (ordinary [`AuditStore`]s behind [`Arc`]) plus one mutable **open
+//!   window** at the ingest frontier;
+//! * [`StreamingStore::append`] feeds event batches into an
+//!   [`IncrementalReducer`], which applies Causality-Preserved Reduction
+//!   incrementally — merging only against the open window while evolving
+//!   exactly the state the batch reducer would, so the stored stream is
+//!   byte-identical to batch ingestion of the same log;
+//! * a [`SealPolicy`] (by open-window event count and/or time span)
+//!   decides when to freeze the open window. Sealing takes only the
+//!   *stable prefix* — closed CPR outputs below the reducer's watermark —
+//!   so a merge run is never split across a seal boundary;
+//! * [`StreamingStore::snapshot`] assembles a regular [`ShardedStore`]
+//!   from Arc-cloned sealed shards plus a freshly indexed open shard.
+//!   The snapshot is an immutable epoch view: hunts run against it with
+//!   the unmodified sharded engine while appends continue, and further
+//!   appends never mutate an already-taken snapshot.
+//!
+//! Global invariants are inherited from the batch path: entity ids are
+//! assigned by the parser in first-appearance order and never change, and
+//! global event positions are the concatenation of sealed shards plus the
+//! open window — exactly the positions batch ingestion assigns.
+
+use crate::cpr::{IncrementalReducer, ReductionStats};
+use crate::sharded::ShardedStore;
+use crate::store::{AuditStore, EntityTables};
+use std::sync::Arc;
+use threatraptor_audit::entity::Entity;
+use threatraptor_audit::event::Event;
+use threatraptor_audit::parser::LogChunk;
+
+/// When to freeze the open window into an immutable shard. Both limits
+/// are optional; with neither set, sealing is manual only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SealPolicy {
+    /// Seal when the open window holds at least this many (reduced)
+    /// events.
+    pub max_open_events: Option<usize>,
+    /// Seal when the open window spans at least this much log time
+    /// (max start − min start, in the log's time unit).
+    pub max_open_span: Option<u64>,
+}
+
+impl SealPolicy {
+    /// Manual sealing only.
+    pub fn manual() -> SealPolicy {
+        SealPolicy::default()
+    }
+
+    /// Seal every `n` open events.
+    pub fn events(n: usize) -> SealPolicy {
+        SealPolicy {
+            max_open_events: Some(n.max(1)),
+            max_open_span: None,
+        }
+    }
+
+    /// Seal every `span` of log time.
+    pub fn span(span: u64) -> SealPolicy {
+        SealPolicy {
+            max_open_events: None,
+            max_open_span: Some(span.max(1)),
+        }
+    }
+
+    /// Adds an event-count limit to this policy.
+    pub fn or_events(mut self, n: usize) -> SealPolicy {
+        self.max_open_events = Some(n.max(1));
+        self
+    }
+
+    fn triggered(&self, open_len: usize, open_span: Option<(u64, u64)>) -> bool {
+        if self.max_open_events.is_some_and(|n| open_len >= n) {
+            return true;
+        }
+        match (self.max_open_span, open_span) {
+            (Some(max), Some((lo, hi))) => hi - lo >= max,
+            _ => false,
+        }
+    }
+}
+
+/// What one append did: how much arrived, and whether it tripped a seal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Raw events appended by this call.
+    pub appended: usize,
+    /// New entities registered by this call.
+    pub new_entities: usize,
+    /// Shards sealed by this call (auto-sealing under the policy).
+    pub sealed: usize,
+}
+
+/// Cached shared entity state, rebuilt only when entities have grown.
+#[derive(Debug, Clone)]
+struct SharedEntities {
+    len: usize,
+    entities: Arc<[Entity]>,
+    tables: EntityTables,
+}
+
+/// The detached ingredients of a snapshot, extracted under any lock the
+/// caller holds and assembled (indexed) afterwards with
+/// [`SnapshotParts::build`]. See [`StreamingStore::snapshot_parts`].
+#[derive(Debug, Clone)]
+pub struct SnapshotParts {
+    sealed: Vec<Arc<AuditStore>>,
+    entities: Arc<[Entity]>,
+    tables: EntityTables,
+    open_events: Vec<Event>,
+    raw_appended: usize,
+    sealed_events: usize,
+}
+
+impl SnapshotParts {
+    /// Builds the snapshot: indexes the open window into a fresh shard
+    /// and assembles the sharded view. The expensive half of
+    /// [`StreamingStore::snapshot`]; needs no access to the live store.
+    pub fn build(self) -> ShardedStore {
+        let open_stats = ReductionStats {
+            before: self.open_events.len(),
+            after: self.open_events.len(),
+        };
+        let open = Arc::new(AuditStore::from_shared(
+            Arc::clone(&self.entities),
+            &self.tables,
+            self.open_events,
+            open_stats,
+        ));
+        let total = self.sealed_events + open.event_count();
+        let mut shards = self.sealed;
+        shards.push(open);
+        ShardedStore::from_parts(
+            shards,
+            self.entities,
+            self.tables,
+            ReductionStats {
+                before: self.raw_appended,
+                after: total,
+            },
+        )
+    }
+}
+
+/// An appendable audit store: immutable sealed shards plus one open
+/// window with incremental CPR at the frontier.
+#[derive(Debug)]
+pub struct StreamingStore {
+    use_cpr: bool,
+    policy: SealPolicy,
+    /// All entities seen so far, in global id order (append-only).
+    entities: Vec<Entity>,
+    /// Shared entity array/tables as of `shared.len` entities; refreshed
+    /// lazily so repeated seals/snapshots without entity growth reuse one
+    /// physical copy.
+    shared: Option<SharedEntities>,
+    reducer: IncrementalReducer,
+    sealed: Vec<Arc<AuditStore>>,
+    sealed_events: usize,
+    /// Monotone change counter: bumped on every append and seal.
+    epoch: u64,
+}
+
+impl StreamingStore {
+    /// An empty streaming store.
+    pub fn new(use_cpr: bool, policy: SealPolicy) -> StreamingStore {
+        StreamingStore {
+            use_cpr,
+            policy,
+            entities: Vec::new(),
+            shared: None,
+            reducer: IncrementalReducer::new(use_cpr),
+            sealed: Vec::new(),
+            sealed_events: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Appends a parsed chunk (new entities + events), then auto-seals
+    /// while the policy is triggered.
+    ///
+    /// `new_entities` must continue the global id sequence (the chunked
+    /// parser feed guarantees this); events may reference any entity
+    /// registered so far.
+    pub fn append(&mut self, chunk: &LogChunk) -> AppendOutcome {
+        self.append_batch(&chunk.new_entities, &chunk.events)
+    }
+
+    /// [`StreamingStore::append`] over bare slices.
+    pub fn append_batch(&mut self, new_entities: &[Entity], events: &[Event]) -> AppendOutcome {
+        for (offset, entity) in new_entities.iter().enumerate() {
+            assert_eq!(
+                entity.id().index(),
+                self.entities.len() + offset,
+                "appended entities must continue the global id sequence"
+            );
+        }
+        self.entities.extend_from_slice(new_entities);
+        if !new_entities.is_empty() {
+            // Rebuild the shared entity tables on the (write-side) append
+            // path, so read-side snapshots always hit the cache instead
+            // of rebuilding under their lock.
+            self.refresh_shared();
+        }
+        debug_assert!(events
+            .iter()
+            .all(|e| e.subject.index() < self.entities.len()
+                && e.object.index() < self.entities.len()));
+        self.reducer.append(events);
+        self.epoch += 1;
+
+        let mut sealed = 0;
+        while self
+            .policy
+            .triggered(self.reducer.open_len(), self.reducer.open_span())
+        {
+            if self.seal().is_none() {
+                // Nothing stable to seal (one giant open run): stop
+                // rather than spin; the next append will retry.
+                break;
+            }
+            sealed += 1;
+        }
+        AppendOutcome {
+            appended: events.len(),
+            new_entities: new_entities.len(),
+            sealed,
+        }
+    }
+
+    /// Freezes the stable prefix of the open window into an immutable
+    /// shard. Returns `None` (and seals nothing) when no output is
+    /// stable yet — open CPR runs stay open so a merge is never split
+    /// across a seal boundary.
+    pub fn seal(&mut self) -> Option<Arc<AuditStore>> {
+        let stable = self.reducer.take_stable();
+        if stable.is_empty() {
+            return None;
+        }
+        self.refresh_shared();
+        let shared = self.shared.as_ref().expect("refreshed above");
+        let stats = ReductionStats {
+            before: stable.len(),
+            after: stable.len(),
+        };
+        let shard = Arc::new(AuditStore::from_shared(
+            Arc::clone(&shared.entities),
+            &shared.tables,
+            stable,
+            stats,
+        ));
+        self.sealed_events += shard.event_count();
+        self.sealed.push(Arc::clone(&shard));
+        self.epoch += 1;
+        Some(shard)
+    }
+
+    /// An immutable epoch view over everything appended so far: all
+    /// sealed shards (shared, zero-copy) plus the open window built into
+    /// a fresh indexed shard. Hunts run against the snapshot with the
+    /// ordinary sharded engine; appends after this call never affect it.
+    ///
+    /// Cost is proportional to the open-window size (bounded by the seal
+    /// policy), not to the total store size. Callers holding a lock
+    /// around the store can split the cost with
+    /// [`StreamingStore::snapshot_parts`]: the parts extraction is the
+    /// cheap in-lock half, [`SnapshotParts::build`] the expensive
+    /// out-of-lock half.
+    pub fn snapshot(&self) -> ShardedStore {
+        self.snapshot_parts().build()
+    }
+
+    /// Extracts everything a snapshot needs from the live store: Arc
+    /// clones of the sealed shards, the shared entity state, and the
+    /// open window's event list (the incremental reducer's simulated
+    /// completion — O(open window), no index builds). The returned parts
+    /// are fully detached: [`SnapshotParts::build`] — which pays for
+    /// indexing the open window — can run with no lock held while
+    /// appends continue.
+    pub fn snapshot_parts(&self) -> SnapshotParts {
+        let (entities, tables) = self.shared_parts();
+        SnapshotParts {
+            sealed: self.sealed.clone(),
+            entities,
+            tables,
+            open_events: self.reducer.visible(),
+            raw_appended: self.reducer.appended(),
+            sealed_events: self.sealed_events,
+        }
+    }
+
+    /// Number of sealed (immutable) shards.
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Events currently in the open window (after reduction).
+    pub fn open_len(&self) -> usize {
+        self.reducer.open_len()
+    }
+
+    /// Total stored events: sealed plus open window.
+    pub fn event_count(&self) -> usize {
+        self.sealed_events + self.reducer.open_len()
+    }
+
+    /// All entities registered so far.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Stream-global reduction statistics (raw appended vs stored).
+    pub fn reduction(&self) -> ReductionStats {
+        ReductionStats {
+            before: self.reducer.appended(),
+            after: self.event_count(),
+        }
+    }
+
+    /// Whether CPR is applied at the frontier.
+    pub fn uses_cpr(&self) -> bool {
+        self.use_cpr
+    }
+
+    /// The seal policy.
+    pub fn policy(&self) -> SealPolicy {
+        self.policy
+    }
+
+    /// Monotone change counter: differs between two observations iff an
+    /// append or seal happened in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Shared entity array/tables for the current entity set, reusing the
+    /// cache when entities have not grown (no `&mut self`: snapshot must
+    /// work under a read lock).
+    fn shared_parts(&self) -> (Arc<[Entity]>, EntityTables) {
+        match &self.shared {
+            Some(s) if s.len == self.entities.len() => (Arc::clone(&s.entities), s.tables.clone()),
+            _ => {
+                let entities: Arc<[Entity]> = Arc::from(self.entities.as_slice());
+                let tables = EntityTables::build(&entities);
+                (entities, tables)
+            }
+        }
+    }
+
+    /// Refreshes the shared-entity cache if entities have grown.
+    fn refresh_shared(&mut self) {
+        if self
+            .shared
+            .as_ref()
+            .is_none_or(|s| s.len != self.entities.len())
+        {
+            let (entities, tables) = self.shared_parts();
+            self.shared = Some(SharedEntities {
+                len: self.entities.len(),
+                entities,
+                tables,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpr;
+    use threatraptor_audit::entity::EntityId;
+    use threatraptor_audit::event::{EventId, Operation};
+    use threatraptor_audit::parser::ParsedLog;
+    use threatraptor_audit::sim::scenario::ScenarioBuilder;
+
+    fn scenario_log(events: usize) -> ParsedLog {
+        ScenarioBuilder::new()
+            .seed(42)
+            .target_events(events)
+            .build()
+            .log
+    }
+
+    /// Replays a parsed log into a streaming store in `chunk`-sized event
+    /// batches, registering all entities up front (ids are global either
+    /// way; the chunked-feed tests cover incremental entity arrival).
+    fn replay(log: &ParsedLog, store: &mut StreamingStore, chunk: usize) {
+        store.append_batch(&log.entities, &[]);
+        for batch in log.events.chunks(chunk.max(1)) {
+            store.append_batch(&[], batch);
+        }
+    }
+
+    fn assert_stream_parity(log: &ParsedLog, store: &StreamingStore, use_cpr: bool) {
+        let snapshot = store.snapshot();
+        let (expected, stats) = cpr::reduce_if(&log.events, use_cpr);
+        assert_eq!(snapshot.event_count(), expected.len());
+        assert_eq!(snapshot.reduction(), stats);
+        assert_eq!(store.reduction(), stats);
+        for (pos, want) in expected.iter().enumerate() {
+            assert_eq!(snapshot.event_at(pos), want, "position {pos}");
+        }
+    }
+
+    #[test]
+    fn chunked_append_matches_batch_ingest() {
+        let log = scenario_log(3_000);
+        for use_cpr in [true, false] {
+            for chunk in [1usize, 7, 256, 100_000] {
+                let mut store = StreamingStore::new(use_cpr, SealPolicy::manual());
+                replay(&log, &mut store, chunk);
+                assert_stream_parity(&log, &store, use_cpr);
+            }
+        }
+    }
+
+    #[test]
+    fn sealing_preserves_the_global_stream() {
+        let log = scenario_log(3_000);
+        for policy in [SealPolicy::events(200), SealPolicy::span(1 << 22)] {
+            let mut store = StreamingStore::new(true, policy);
+            replay(&log, &mut store, 64);
+            assert!(store.sealed_count() > 1, "policy must have sealed");
+            assert_stream_parity(&log, &store, true);
+        }
+    }
+
+    #[test]
+    fn seal_never_splits_a_merge_run() {
+        // A quiet read burst interrupted by manual seals: batch CPR
+        // merges it to one event, and so must chunked append + seal —
+        // the seal may only take the stable prefix.
+        let ev = |id: u32, start: u64| Event {
+            id: EventId(id),
+            subject: EntityId(0),
+            op: Operation::Read,
+            object: EntityId(1),
+            start,
+            end: start + 2,
+            bytes: 10,
+            merged: 1,
+            tag: None,
+        };
+        let events: Vec<Event> = (0..6).map(|i| ev(i, u64::from(i) * 10)).collect();
+        let entities = scenario_log(50).entities;
+
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        store.append_batch(&entities, &events[..2]);
+        assert!(store.seal().is_none(), "the open run must not seal");
+        store.append_batch(&[], &events[2..4]);
+        store.seal();
+        store.append_batch(&[], &events[4..]);
+
+        let snapshot = store.snapshot();
+        let (expected, _) = cpr::reduce(&events);
+        assert_eq!(expected.len(), 1);
+        assert_eq!(snapshot.event_count(), 1);
+        assert_eq!(snapshot.event_at(0), &expected[0]);
+        assert_eq!(snapshot.event_at(0).merged, 6);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_epoch_views() {
+        let log = scenario_log(2_000);
+        let mut store = StreamingStore::new(true, SealPolicy::events(300));
+        let half = log.events.len() / 2;
+        store.append_batch(&log.entities, &log.events[..half]);
+        let early = store.snapshot();
+        let early_count = early.event_count();
+        let early_first = early.event_at(0).clone();
+        let early_sealed = store.event_count() - store.open_len();
+        assert!(early_sealed > 0, "the policy must have sealed by midway");
+
+        store.append_batch(&[], &log.events[half..]);
+        let late = store.snapshot();
+
+        // The early snapshot is untouched by later appends, and equals a
+        // batch reduction of exactly the half-stream it observed.
+        assert_eq!(early.event_count(), early_count);
+        assert_eq!(early.event_at(0), &early_first);
+        let (expected_half, _) = cpr::reduce(&log.events[..half]);
+        assert_eq!(early.event_count(), expected_half.len());
+        assert!(late.event_count() > early.event_count());
+        // The *sealed* region of the early snapshot is a stable prefix of
+        // every later view. (The open window is provisional: a visible
+        // open event may still absorb later constituents.)
+        for pos in 0..early_sealed {
+            assert_eq!(early.event_at(pos), late.event_at(pos), "position {pos}");
+        }
+    }
+
+    #[test]
+    fn auto_seal_bounds_the_open_window() {
+        let log = scenario_log(3_000);
+        let mut store = StreamingStore::new(true, SealPolicy::events(250));
+        replay(&log, &mut store, 50);
+        // The open window stays near the threshold: it can exceed it only
+        // by what is still unstable (open runs + staged ties).
+        assert!(store.sealed_count() >= 2);
+        assert!(
+            store.open_len() < 250 + 250,
+            "open window {} should be bounded by the seal policy",
+            store.open_len()
+        );
+        let counts: usize = store
+            .snapshot()
+            .shards()
+            .iter()
+            .map(|s| s.event_count())
+            .sum();
+        assert_eq!(counts, store.event_count());
+    }
+
+    #[test]
+    fn epoch_advances_on_append_and_seal() {
+        let log = scenario_log(500);
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        let e0 = store.epoch();
+        store.append_batch(&log.entities, &log.events[..100]);
+        let e1 = store.epoch();
+        assert!(e1 > e0);
+        store.append_batch(&[], &log.events[100..200]);
+        assert!(store.epoch() > e1);
+        let before_seal = store.epoch();
+        if store.seal().is_some() {
+            assert!(store.epoch() > before_seal);
+        }
+    }
+
+    #[test]
+    fn sealed_shards_share_one_entity_table_copy() {
+        let log = scenario_log(2_000);
+        let mut store = StreamingStore::new(true, SealPolicy::events(200));
+        replay(&log, &mut store, 100);
+        let snapshot = store.snapshot();
+        // All entities arrived before the first seal, so every shard —
+        // sealed and open — shares the same physical entity tables.
+        for shard in snapshot.shards() {
+            assert!(std::ptr::eq(
+                shard.db.table(crate::store::TABLE_PROCESS) as *const _,
+                snapshot.entity_table(crate::store::TABLE_PROCESS) as *const _
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "global id sequence")]
+    fn entity_id_gaps_are_rejected() {
+        let log = scenario_log(200);
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        // Skipping the first entity breaks the id sequence.
+        store.append_batch(&log.entities[1..], &[]);
+    }
+}

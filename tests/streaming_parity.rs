@@ -1,0 +1,167 @@
+//! Streaming/batch parity: chunked append + seal must be
+//! indistinguishable from one-shot ingestion.
+//!
+//! The streaming layer's contract (ISSUE 2 acceptance criterion): for
+//! any seed log, replaying it in chunks through a `StreamingStore` —
+//! with sealing interleaved under any policy — yields hunt results
+//! byte-identical to `ShardedStore::ingest` of the same log, with
+//! identical `ReductionStats` totals, under both relational and graph
+//! execution modes. And a hunt issued mid-ingest runs against a
+//! consistent snapshot without blocking further appends.
+
+use proptest::prelude::*;
+use threatraptor::prelude::*;
+use threatraptor_audit::LogFeed;
+use threatraptor_bench::all_cases;
+use threatraptor_storage::{SealPolicy, StreamingStore};
+
+/// Replays a scenario's raw log chunk-by-chunk into a streaming store.
+fn stream_store(raw: &str, chunk: usize, policy: SealPolicy, cpr: bool) -> StreamingStore {
+    let mut store = StreamingStore::new(cpr, policy);
+    for part in LogFeed::by_events(raw, chunk) {
+        store.append(&part.expect("simulator logs are well-formed"));
+    }
+    store
+}
+
+/// The core parity assertion: identical stored stream, identical
+/// reduction totals, byte-identical hunt results.
+fn assert_streaming_parity(
+    seed: u64,
+    chunk: usize,
+    policy: SealPolicy,
+    query: &str,
+    mode: ExecMode,
+) {
+    let sc = ScenarioBuilder::new()
+        .seed(seed)
+        .attacks(&[AttackKind::DataLeakage, AttackKind::PasswordCrack])
+        .target_events(2_500)
+        .build();
+    let batch = ShardedStore::ingest(&sc.log, true, 4);
+    let streamed = stream_store(&sc.raw, chunk, policy, true).snapshot();
+
+    // Identical global stream and statistics.
+    assert_eq!(streamed.event_count(), batch.event_count());
+    assert_eq!(streamed.reduction(), batch.reduction());
+    for pos in (0..batch.event_count()).step_by(97) {
+        assert_eq!(
+            streamed.event_at(pos),
+            batch.event_at(pos),
+            "position {pos}"
+        );
+    }
+
+    // Byte-identical hunt results (positions are global and identical, so
+    // even row order agrees — no normalization needed).
+    let want = ShardedEngine::new(&batch).hunt_mode(query, mode).unwrap();
+    let got = ShardedEngine::new(&streamed)
+        .hunt_mode(query, mode)
+        .unwrap();
+    assert_eq!(got.rows, want.rows, "seed {seed}, chunk {chunk}, {mode:?}");
+    assert_eq!(
+        got.matched_event_ids(&streamed),
+        want.matched_event_ids(&batch)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: parity holds across scenario seeds, chunk sizes, seal
+    /// thresholds, and the reference query corpus, under relational and
+    /// graph execution alike.
+    #[test]
+    fn streamed_hunts_match_batch_ingest(
+        seed in 0u64..5,
+        chunk in prop::sample::select(vec![64usize, 333, 1_000]),
+        seal_every in prop::sample::select(vec![150usize, 600, usize::MAX]),
+        case in prop::sample::select(vec![0usize, 1]),
+        mode in prop::sample::select(vec![ExecMode::RelationalOnly, ExecMode::GraphOnly]),
+    ) {
+        let policy = if seal_every == usize::MAX {
+            SealPolicy::manual()
+        } else {
+            SealPolicy::events(seal_every)
+        };
+        let query = all_cases()[case].reference_tbql;
+        assert_streaming_parity(seed, chunk, policy, query, mode);
+    }
+
+    /// Path patterns — multi-hop flows crossing seal boundaries — keep
+    /// parity too (the scheduled mode exercises the hybrid planner).
+    #[test]
+    fn streamed_path_hunts_match_batch_ingest(
+        seed in 0u64..3,
+        chunk in prop::sample::select(vec![100usize, 450]),
+    ) {
+        assert_streaming_parity(
+            seed,
+            chunk,
+            SealPolicy::events(300),
+            "proc p[\"%/bin/tar%\"] ~>(1~3)[write] file f return distinct p, f",
+            ExecMode::Scheduled,
+        );
+    }
+}
+
+/// CPR-off parity: the pass-through frontier preserves arrival order
+/// exactly as batch no-CPR ingestion does.
+#[test]
+fn streaming_without_cpr_matches_batch() {
+    let sc = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&[AttackKind::DataLeakage])
+        .target_events(2_000)
+        .build();
+    let batch = ShardedStore::ingest(&sc.log, false, 4);
+    let streamed = stream_store(&sc.raw, 128, SealPolicy::events(400), false).snapshot();
+    assert_eq!(streamed.event_count(), batch.event_count());
+    assert_eq!(streamed.reduction(), batch.reduction());
+    let want = ShardedEngine::new(&batch)
+        .hunt(threatraptor::FIG2_TBQL)
+        .unwrap();
+    let got = ShardedEngine::new(&streamed)
+        .hunt(threatraptor::FIG2_TBQL)
+        .unwrap();
+    assert_eq!(got.rows, want.rows);
+}
+
+/// The full service path: ingest through `IngestService` with hunts (and
+/// a standing follow-mode query) issued mid-ingest; the final answer
+/// matches batch ingestion, and mid-ingest answers are consistent
+/// prefixes that never block appends.
+#[test]
+fn hunts_under_ingest_are_consistent_and_end_in_parity() {
+    let sc = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&[AttackKind::DataLeakage])
+        .target_events(3_000)
+        .build();
+    let service = IngestService::new(IngestConfig::with_policy(SealPolicy::events(350)));
+    let (mut follow, initial) = service.hunt_follow(threatraptor::FIG2_TBQL).unwrap();
+    assert!(initial.is_empty());
+
+    let mut match_counts = Vec::new();
+    for chunk in LogFeed::by_events(&sc.raw, 500) {
+        service.append(&chunk.unwrap());
+        let mid = service.hunt(threatraptor::FIG2_TBQL).unwrap();
+        match_counts.push(mid.matches.len());
+        service.poll(&mut follow).unwrap();
+    }
+
+    // Mid-ingest match counts grow monotonically to the batch answer.
+    let batch = ThreatRaptor::from_parsed(&sc.log, true);
+    let want = batch.hunt(threatraptor::FIG2_TBQL).unwrap();
+    assert!(match_counts.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(*match_counts.last().unwrap(), want.matches.len());
+
+    // The follow hunt accumulated the same final answer.
+    let merged = follow.result().unwrap();
+    let norm = |rows: &[Vec<String>]| {
+        let mut r = rows.to_vec();
+        r.sort();
+        r
+    };
+    assert_eq!(norm(&merged.rows), norm(&want.rows));
+}
