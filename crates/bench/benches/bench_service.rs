@@ -2,6 +2,7 @@
 //! and shard count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
 use threatraptor::prelude::*;
 use threatraptor_bench::all_cases;
 use threatraptor_service::{HuntScheduler, PlanCache};
@@ -29,12 +30,12 @@ fn bench_service(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch_len as u64));
 
     // Worker scaling at a fixed shard count.
-    let store = ShardedStore::ingest(&scenario.log, true, 8);
+    let store = Arc::new(ShardedStore::ingest(&scenario.log, true, 8));
     let mut worker_counts = vec![1, 2, cores.max(2)];
     worker_counts.dedup();
     for workers in worker_counts {
-        let cache = PlanCache::new();
-        let sched = HuntScheduler::new(&store, &cache).workers(workers);
+        let cache = Arc::new(PlanCache::new());
+        let sched = HuntScheduler::new(Arc::clone(&store), cache).workers(workers);
         sched.run(batch(batch_len)); // warm the plan cache
         group.bench_with_input(BenchmarkId::new("workers", workers), &sched, |b, sched| {
             b.iter(|| {

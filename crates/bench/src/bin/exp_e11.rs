@@ -1,0 +1,269 @@
+//! E11 — live serving: sustained ingest + standing queries + ad-hoc
+//! hunts on the event-driven [`HuntServer`].
+//!
+//! The server (ISSUE 5) replaces hand-polled follow hunts with an
+//! ingest-event-driven dispatcher and the per-batch scheduler with a
+//! persistent job queue. This experiment measures, under one sustained
+//! replay:
+//!
+//! 1. **delivery latency** — for every alert a standing query pushes
+//!    through its subscription channel, the time from the `append` call
+//!    that made the delta available (the last append at or below the
+//!    delivering snapshot's epoch) to the consumer receiving it —
+//!    p50/p90/p99/max over all subscriptions;
+//! 2. **ad-hoc hunt latency** — submit→complete time of jobs injected
+//!    through the bounded queue while ingest and standing queries run;
+//! 3. **totals** — ingest throughput, deltas delivered, exactly-once
+//!    accounting (delivered matches vs. a from-scratch batch hunt).
+//!
+//! `--smoke` runs a reduced configuration for CI.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use threatraptor::prelude::*;
+use threatraptor_audit::LogFeed;
+use threatraptor_bench::fmt;
+use threatraptor_service::{HuntServer, ServerConfig};
+
+/// Distinct match identities in a result: bindings plus each witness's
+/// CPR run identity (entity pair, op, run start). This — not the raw
+/// match count — is what follow-mode delivery is exactly-once over:
+/// several batch matches sharing one identity (distinct events CPR left
+/// separate but with identical pair/op/start) alert once by design.
+fn identity_count(result: &HuntResult, store: &ShardedStore) -> usize {
+    let keys: std::collections::HashSet<String> = result
+        .matches
+        .iter()
+        .map(|m| {
+            let mut bindings: Vec<(&str, u32)> = m
+                .bindings
+                .iter()
+                .map(|(v, id)| (v.as_str(), id.0))
+                .collect();
+            bindings.sort();
+            let mut pats: Vec<String> = m
+                .events
+                .iter()
+                .map(|(pat, positions)| {
+                    let witnesses: Vec<String> = positions
+                        .iter()
+                        .map(|&p| {
+                            let e = store.event_at(p);
+                            format!("{}>{}:{:?}@{}", e.subject.0, e.object.0, e.op, e.start)
+                        })
+                        .collect();
+                    format!("{pat}={}", witnesses.join(","))
+                })
+                .collect();
+            pats.sort();
+            format!("{bindings:?}|{pats:?}")
+        })
+        .collect();
+    keys.len()
+}
+
+/// Duration percentile over a sorted sample (nearest-rank).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("== E11: event-driven serving (ingest + standing queries + ad-hoc hunts) ==\n");
+
+    let target_events = if smoke { 8_000 } else { 60_000 };
+    let chunk = 512;
+    let standing: &[&str] = &[
+        threatraptor::FIG2_TBQL,
+        "proc p read file f return p, f",
+        "proc p[\"%/bin/tar%\"] read file f return distinct p, f",
+        "proc p write file f[\"%/tmp%\"] return distinct p, f",
+    ];
+    let ad_hoc = if smoke { 8 } else { 32 };
+
+    let scenario = ScenarioBuilder::new()
+        .seed(42)
+        .attacks(&AttackKind::ALL)
+        .target_events(target_events)
+        .build();
+    let chunks: Vec<_> = LogFeed::by_events(&scenario.raw, chunk)
+        .map(|c| c.expect("well-formed log"))
+        .collect();
+    println!(
+        "scenario: {} raw events in {} chunks | {} standing queries | {} ad-hoc jobs\n",
+        scenario.log.events.len(),
+        chunks.len(),
+        standing.len(),
+        ad_hoc
+    );
+
+    let server = HuntServer::new(ServerConfig::with_ingest(IngestConfig::with_policy(
+        SealPolicy::events(2_000),
+    )));
+
+    // Each append records (first epoch it will produce, pre-append
+    // instant) — *before* calling append, so a delivery can never beat
+    // its own log entry, and measuring from the pre-append instant errs
+    // on the conservative (larger) side. A delivery at snapshot epoch E
+    // was made available by the last append whose entry is ≤ E.
+    let append_log: Arc<Mutex<Vec<(u64, Instant)>>> = Arc::default();
+    let availability = |log: &[(u64, Instant)], epoch: u64| -> Option<Instant> {
+        log.iter()
+            .take_while(|(e, _)| *e <= epoch)
+            .last()
+            .map(|&(_, t)| t)
+    };
+
+    let mut subs = Vec::new();
+    for q in standing {
+        let (sub, initial) = server.follow(q).expect("valid TBQL");
+        assert!(initial.is_empty(), "nothing ingested yet");
+        subs.push(sub);
+    }
+
+    let (latencies, job_latencies, delivered, ingest_elapsed) = std::thread::scope(|scope| {
+        // One consumer per subscription: receive-only, no polling.
+        let consumers: Vec<_> = subs
+            .iter()
+            .map(|sub| {
+                let append_log = Arc::clone(&append_log);
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut matches = 0usize;
+                    while let Ok(event) = sub.recv() {
+                        let now = Instant::now();
+                        matches += event.delta.new_matches;
+                        let log = append_log.lock().unwrap();
+                        if let Some(t) = availability(&log, event.epoch) {
+                            lat.push(now.duration_since(t));
+                        }
+                    }
+                    (lat, matches)
+                })
+            })
+            .collect();
+
+        // The feeder: sustained appends, with ad-hoc jobs injected at a
+        // fixed cadence. Each job gets a waiter thread so submit→complete
+        // latency is stamped the moment the handle resolves, not when the
+        // feed happens to drain it.
+        let every = (chunks.len() / ad_hoc).max(1);
+        let mut job_waiters = Vec::new();
+        let t0 = Instant::now();
+        for (i, part) in chunks.iter().enumerate() {
+            append_log
+                .lock()
+                .unwrap()
+                .push((server.ingest().epoch() + 1, Instant::now()));
+            server.append(part);
+            if i % every == 0 && job_waiters.len() < ad_hoc {
+                let handle = server.submit(HuntJob::tbql(standing[i % standing.len()]));
+                let submitted = Instant::now();
+                job_waiters.push(scope.spawn(move || {
+                    let report = handle.wait();
+                    assert!(report.outcome.is_ok(), "ad-hoc job under load");
+                    submitted.elapsed()
+                }));
+            }
+        }
+        let ingest_elapsed = t0.elapsed();
+        let job_latencies: Vec<Duration> = job_waiters
+            .into_iter()
+            .map(|waiter| waiter.join().expect("job waiter thread"))
+            .collect();
+
+        assert!(
+            server.wait_caught_up(Duration::from_secs(120)),
+            "the dispatcher must drain the stream"
+        );
+        server.shutdown(); // disconnects subscriptions; consumers finish
+        let mut latencies = Vec::new();
+        let mut delivered = Vec::new();
+        for consumer in consumers {
+            let (lat, matches) = consumer.join().expect("consumer thread");
+            latencies.extend(lat);
+            delivered.push(matches);
+        }
+        (latencies, job_latencies, delivered, ingest_elapsed)
+    });
+
+    // -- 1. delivery latency --------------------------------------------
+    let mut sorted = latencies.clone();
+    sorted.sort();
+    println!(
+        "{}",
+        fmt::table(
+            &["deliveries", "p50", "p90", "p99", "max"],
+            &[vec![
+                sorted.len().to_string(),
+                fmt::dur(percentile(&sorted, 50.0)),
+                fmt::dur(percentile(&sorted, 90.0)),
+                fmt::dur(percentile(&sorted, 99.0)),
+                fmt::dur(sorted.last().copied().unwrap_or_default()),
+            ]]
+        )
+    );
+    println!("(append call → subscriber receives the delta; push, no client polls)\n");
+
+    // -- 2. ad-hoc hunts under load -------------------------------------
+    let mut sorted = job_latencies.clone();
+    sorted.sort();
+    println!(
+        "{}",
+        fmt::table(
+            &["ad-hoc jobs", "p50", "p99", "max"],
+            &[vec![
+                sorted.len().to_string(),
+                fmt::dur(percentile(&sorted, 50.0)),
+                fmt::dur(percentile(&sorted, 99.0)),
+                fmt::dur(sorted.last().copied().unwrap_or_default()),
+            ]]
+        )
+    );
+    println!("(submit → completion handle resolves, concurrent with ingest + dispatch)\n");
+
+    // -- 3. totals + exactly-once accounting ----------------------------
+    let status = server.status();
+    let eps = status.reduction.before as f64 / ingest_elapsed.as_secs_f64();
+    println!(
+        "ingest: {} raw events in {} ({:.0} events/s) | {} sealed shards | {:.2}x reduced",
+        status.reduction.before,
+        fmt::dur(ingest_elapsed),
+        eps,
+        status.sealed_shards,
+        status.reduction.factor(),
+    );
+    let snapshot = server.snapshot();
+    let mut rows = Vec::new();
+    for (i, q) in standing.iter().enumerate() {
+        let batch = ShardedEngine::new(&snapshot).hunt(q).expect("valid TBQL");
+        rows.push(vec![
+            q.trim()
+                .lines()
+                .next()
+                .unwrap_or_default()
+                .chars()
+                .take(48)
+                .collect(),
+            delivered[i].to_string(),
+            identity_count(&batch, &snapshot).to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        fmt::table(&["standing query", "delivered", "batch identities"], &rows)
+    );
+    println!(
+        "shape check: delivered == batch match identities per query (exactly-once, nothing lost)."
+    );
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row[1], row[2],
+            "query {i}: delivered must equal batch match identities"
+        );
+    }
+}

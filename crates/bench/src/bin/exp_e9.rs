@@ -12,6 +12,7 @@
 //!    with all-core shard fan-out (per-pattern scatter-gather);
 //! 3. **plan-cache effect** — the same batch with a cold vs. warm cache.
 
+use std::sync::Arc;
 use std::time::Instant;
 use threatraptor::prelude::*;
 use threatraptor_bench::{all_cases, fmt};
@@ -47,7 +48,7 @@ fn main() {
         .build();
 
     // -- 1. worker scaling over an 8-shard store ------------------------
-    let store = ShardedStore::ingest(&scenario.log, true, 8);
+    let store = Arc::new(ShardedStore::ingest(&scenario.log, true, 8));
     let batch_len = 64;
     println!(
         "store: {} events in {} shards | batch: {} mixed jobs (TBQL + OSCTI reports)\n",
@@ -69,8 +70,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut base = None;
     for &workers in &worker_counts {
-        let cache = PlanCache::new();
-        let sched = HuntScheduler::new(&store, &cache).workers(workers);
+        let cache = Arc::new(PlanCache::new());
+        let sched = HuntScheduler::new(Arc::clone(&store), Arc::clone(&cache)).workers(workers);
         // Warm the caches once so every configuration measures execution,
         // not first-touch compilation.
         sched.run(mixed_batch(batch_len));
@@ -116,8 +117,8 @@ fn main() {
     );
 
     // -- 3. plan-cache effect -------------------------------------------
-    let cache = PlanCache::new();
-    let sched = HuntScheduler::new(&store, &cache).workers(cores);
+    let cache = Arc::new(PlanCache::new());
+    let sched = HuntScheduler::new(Arc::clone(&store), Arc::clone(&cache)).workers(cores);
     let t0 = Instant::now();
     sched.run(mixed_batch(batch_len));
     let cold = t0.elapsed();

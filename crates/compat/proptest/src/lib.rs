@@ -394,6 +394,34 @@ pub mod prop {
         }
     }
 
+    pub mod bool {
+        //! Boolean strategies.
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing `true` with the given probability.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Weighted {
+            probability: f64,
+        }
+
+        /// `true` with probability `probability` (clamped to `[0, 1]`).
+        pub fn weighted(probability: f64) -> Weighted {
+            Weighted {
+                probability: probability.clamp(0.0, 1.0),
+            }
+        }
+
+        impl Strategy for Weighted {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                // 53 bits of uniform randomness → [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                unit < self.probability
+            }
+        }
+    }
+
     pub mod sample {
         //! Sampling strategies.
         use crate::{Strategy, TestRng};

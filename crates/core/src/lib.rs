@@ -57,8 +57,8 @@ pub use threatraptor_engine::{Engine, EngineError, ExecMode, HuntResult, Sharded
 pub use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
 pub use threatraptor_nlp::{ExtractionResult, ThreatBehaviorGraph, ThreatExtractor};
 pub use threatraptor_service::{
-    FollowDelta, FollowHunt, HuntJob, HuntService, IngestConfig, IngestService, JobReport,
-    ServiceConfig,
+    FollowDelta, FollowEvent, FollowHunt, FollowSubscription, HuntJob, HuntServer, HuntService,
+    IngestConfig, IngestService, JobHandle, JobId, JobReport, ServerConfig, ServiceConfig,
 };
 pub use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
 pub use threatraptor_synth::{synthesize, synthesize_with_plan, SynthesisError, SynthesisPlan};
@@ -74,7 +74,8 @@ pub mod prelude {
     pub use threatraptor_engine::{Engine, ExecMode, HuntResult, ShardedEngine};
     pub use threatraptor_nlp::{ThreatBehaviorGraph, ThreatExtractor};
     pub use threatraptor_service::{
-        FollowHunt, HuntJob, HuntService, IngestConfig, IngestService, ServiceConfig,
+        FollowHunt, HuntJob, HuntServer, HuntService, IngestConfig, IngestService, ServerConfig,
+        ServiceConfig,
     };
     pub use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
     pub use threatraptor_synth::{DefaultPlan, PathPatternPlan, TimeWindowPlan};

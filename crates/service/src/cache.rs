@@ -14,10 +14,16 @@
 //! keyed by a 128-bit content hash of the report text instead of the
 //! text itself: reports run to many KB, and with the old full-text keys
 //! the memo — not the compiled plans — was the dominant memory consumer.
+//!
+//! Lock poisoning is recovered from, never propagated: a hunt worker
+//! panicking mid-probe must not take the shared cache — and with it
+//! every other worker — down. Recovery is sound because both maps are
+//! only ever mutated through single-call insert/evict operations whose
+//! intermediate states are valid maps.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use threatraptor_engine::compile::{compile, CompiledQuery};
 use threatraptor_engine::EngineError;
 use threatraptor_nlp::ThreatExtractor;
@@ -234,7 +240,12 @@ impl PlanCache {
     /// per normalized query text. The boolean is `true` on a cache hit.
     pub fn plan(&self, tbql_src: &str) -> Result<(Arc<CachedPlan>, bool), EngineError> {
         let key = normalize_tbql(tbql_src);
-        if let Some(slot) = self.plans.read().expect("plan cache poisoned").get(&key) {
+        if let Some(slot) = self
+            .plans
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             slot.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(&slot.plan), true));
@@ -250,7 +261,7 @@ impl PlanCache {
             compiled,
         });
         let tick = self.next_tick();
-        let mut plans = self.plans.write().expect("plan cache poisoned");
+        let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         let entry = plans.entry(key).or_insert_with(|| PlanSlot {
             plan: Arc::clone(&plan),
             last_used: AtomicU64::new(tick),
@@ -274,7 +285,10 @@ impl PlanCache {
         let key = ReportKey::of(report);
         let tick = self.next_tick();
         let (cell, evicted) = {
-            let mut map = self.syntheses.lock().expect("synthesis cache poisoned");
+            let mut map = self
+                .syntheses
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             let slot = map.entry(key).or_insert_with(|| SynthSlot {
                 cell: Arc::default(),
                 last_used: tick,
@@ -297,11 +311,15 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            plans: self.plans.read().expect("plan cache poisoned").len(),
+            plans: self
+                .plans
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
             reports: self
                 .syntheses
                 .lock()
-                .expect("synthesis cache poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .len(),
             evictions: self.evictions.load(Ordering::Relaxed),
         }

@@ -14,38 +14,47 @@
 //!   open window was re-indexed by the snapshot) and the **delta** —
 //!   matches not seen by any earlier poll — is extracted and merged into
 //!   the running result;
-//! * matches are identified by their bindings plus the *original* event
-//!   ids of their witnesses, which are stable across CPR merging (a
-//!   merged event keeps its first constituent's id), across seals, and
-//!   across shard-layout changes — so re-found matches do not duplicate.
+//! * matches are identified by their bindings plus the **CPR run
+//!   identity** of their witnesses — entity pair, operation, and the
+//!   run's start time — which is stable across CPR merging (a merged
+//!   run keeps its first constituent's start time, and ties at the same
+//!   start share it by definition), across seals, and across
+//!   shard-layout changes — so re-found matches do not duplicate.
 //!
 //! The running result is append-only, like a streaming alert feed:
-//! matches are never retracted. Delivery semantics follow from
-//! incremental CPR at the frontier: matches whose witnesses are sealed
-//! or closed are reported **exactly once**. A match witnessed by a
-//! *provisional* open-window event is reported with the event's state as
-//! of that poll; the event absorbing later constituents does not re-fire
-//! it (the id stays the first constituent's). The one corner where a
-//! duplicate is possible: a later chunk delivers an event with the
-//! *exact same start time* on the same entity pair that sorts ahead of
-//! the provisional witness — the merged run is then re-led by the
-//! newcomer's id, re-keying the match. Frontier delivery is therefore
-//! at-least-once under start-time ties, exactly-once otherwise.
+//! matches are never retracted. Delivery is **exactly-once** per match
+//! identity, including under start-time ties at the ingest frontier: a
+//! match witnessed by a *provisional* open-window event is reported with
+//! the event's state as of that poll, and neither the run absorbing
+//! later constituents nor a same-start-time newcomer re-leading the run
+//! (which changes the merged event's *id* but never its run identity)
+//! re-fires it. The flip side of identity-keyed delivery: two distinct
+//! events with the same entity pair, operation, and start time count as
+//! one behavior instance and alert once.
 
 use crate::cache::CachedPlan;
 use crate::job::ServiceError;
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use threatraptor_audit::entity::EntityId;
-use threatraptor_audit::event::EventId;
-use threatraptor_engine::result::Match;
+use threatraptor_audit::event::Operation;
+use threatraptor_engine::result::{HuntStats, Match};
 use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
 use threatraptor_storage::ShardedStore;
 
+/// Stable identity of one witnessing event: the CPR *run identity* —
+/// entity pair, operation, and the run's start time. An open run's
+/// *event id* is not delivery-stable: a later chunk can deliver a
+/// same-start-time tie that sorts ahead of the provisional leader and
+/// re-leads the merged run under the newcomer's id. The run's start time
+/// cannot change that way (ties share it), so this key survives
+/// re-leading where the first-constituent id does not.
+type WitnessKey = (EntityId, EntityId, Operation, u64);
+
 /// Stable identity of a match: sorted variable bindings plus, per
-/// pattern, the original (CPR-stable) ids of its witnessing events.
-type MatchKey = (Vec<(String, EntityId)>, Vec<(String, Vec<EventId>)>);
+/// pattern, the run identities of its witnessing events.
+type MatchKey = (Vec<(String, EntityId)>, Vec<(String, Vec<WitnessKey>)>);
 
 fn match_key(m: &Match, store: &ShardedStore) -> MatchKey {
     let mut bindings: Vec<(String, EntityId)> = m
@@ -54,18 +63,40 @@ fn match_key(m: &Match, store: &ShardedStore) -> MatchKey {
         .map(|(var, &id)| (var.clone(), id))
         .collect();
     bindings.sort();
-    let mut events: Vec<(String, Vec<EventId>)> = m
+    let mut events: Vec<(String, Vec<WitnessKey>)> = m
         .events
         .iter()
         .map(|(pat, positions)| {
             (
                 pat.clone(),
-                positions.iter().map(|&p| store.event_at(p).id).collect(),
+                positions
+                    .iter()
+                    .map(|&p| {
+                        let e = store.event_at(p);
+                        (e.subject, e.object, e.op, e.start)
+                    })
+                    .collect(),
             )
         })
         .collect();
     events.sort();
     (bindings, events)
+}
+
+/// Accumulates one poll's engine statistics into the running result's:
+/// `elapsed` and the per-pattern `rows_fetched` counters add up across
+/// polls (events scanned is cumulative work, not a point-in-time value),
+/// while `execution_order` reflects the latest execution.
+fn merge_stats(running: &mut HuntStats, poll: &HuntStats) {
+    running.execution_order = poll.execution_order.clone();
+    running.elapsed += poll.elapsed;
+    for (pat, fetched) in &poll.rows_fetched {
+        if let Some((_, total)) = running.rows_fetched.iter_mut().find(|(p, _)| p == pat) {
+            *total += fetched;
+        } else {
+            running.rows_fetched.push((pat.clone(), *fetched));
+        }
+    }
 }
 
 /// What one poll produced.
@@ -78,7 +109,8 @@ pub struct FollowDelta {
     pub rows: Vec<Vec<String>>,
     /// True when the store had not changed and execution was skipped.
     pub unchanged: bool,
-    /// Wall-clock time of this poll (≈ 0 when `unchanged`).
+    /// Wall-clock time of the whole poll — engine execution plus delta
+    /// extraction, projection, and merge (≈ 0 when `unchanged`).
     pub elapsed: Duration,
 }
 
@@ -140,6 +172,7 @@ impl FollowHunt {
     /// deltas without meaning).
     pub fn poll(&mut self, snapshot: &ShardedStore) -> Result<FollowDelta, ServiceError> {
         self.polls += 1;
+        let t0 = Instant::now();
         let raw = snapshot.reduction().before;
         if self.last_raw == Some(raw) {
             return Ok(FollowDelta {
@@ -163,14 +196,16 @@ impl FollowHunt {
             .collect();
         let (columns, mut delta_rows) = engine.project(&self.plan.compiled, &delta_matches);
 
-        // Merge into the running result.
+        // Merge into the running result. Stats accumulate (per-pattern
+        // scan counters and elapsed sum across polls) rather than being
+        // overwritten by the latest execution's point-in-time values.
         let running = self.result.get_or_insert_with(|| HuntResult {
             columns,
             rows: Vec::new(),
             matches: Vec::new(),
-            stats: full.stats.clone(),
+            stats: HuntStats::default(),
         });
-        running.stats = full.stats.clone();
+        merge_stats(&mut running.stats, &full.stats);
         if self.plan.compiled.distinct {
             // Projection deduped within the delta; dedup against history
             // too so the running rows stay a distinct set.
@@ -186,7 +221,7 @@ impl FollowHunt {
             new_matches,
             rows,
             unchanged: false,
-            elapsed: full.stats.elapsed,
+            elapsed: t0.elapsed(),
         })
     }
 }
@@ -257,6 +292,149 @@ mod tests {
         assert!(second.unchanged, "no appends → poll must be free");
         assert!(second.is_empty());
         assert_eq!(hunt.polls(), 2);
+    }
+
+    /// Regression (ISSUE 5 headline): a same-start-time tie arriving in a
+    /// later chunk can sort ahead of the provisional open-window witness
+    /// and re-lead the merged run under the newcomer's event id. With
+    /// id-keyed match identity that re-keyed — and re-fired — an already
+    /// delivered match; run-identity keying must deliver exactly once.
+    #[test]
+    fn same_start_ties_do_not_refire_delivered_matches() {
+        use threatraptor_audit::entity::Entity;
+        use threatraptor_audit::event::{Event, EventId, Operation};
+
+        let entities = ScenarioBuilder::new()
+            .seed(1)
+            .target_events(50)
+            .build()
+            .log
+            .entities;
+        let proc_id = entities
+            .iter()
+            .find_map(|e| matches!(e, Entity::Process(_)).then(|| e.id()))
+            .expect("scenario has a process");
+        let file_id = entities
+            .iter()
+            .find_map(|e| matches!(e, Entity::File(_)).then(|| e.id()))
+            .expect("scenario has a file");
+        let read = |id: u32, start: u64, end: u64| Event {
+            id: EventId(id),
+            subject: proc_id,
+            op: Operation::Read,
+            object: file_id,
+            start,
+            end,
+            bytes: 8,
+            merged: 1,
+            tag: None,
+        };
+
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        store.append_batch(&entities, &[]);
+        let mut hunt = follow("proc p read file f return p, f");
+
+        // Chunk 1: a provisional open-window witness at t=100.
+        store.append_batch(&[], &[read(50, 100, 110)]);
+        let first = hunt.poll(&store.snapshot()).unwrap();
+        assert_eq!(first.new_matches, 1, "the read must fire once");
+
+        // Chunk 2: an equal-start tie with a smaller (end, id) sort key —
+        // it re-leads the merged run, changing the run's event id from 50
+        // to 60. The run identity (pair, op, start) is unchanged.
+        store.append_batch(&[], &[read(60, 100, 105)]);
+        let snapshot = store.snapshot();
+        let merged = (0..snapshot.event_count())
+            .map(|p| snapshot.event_at(p))
+            .find(|e| e.subject == proc_id && e.object == file_id)
+            .expect("the tied reads merged into one run");
+        assert_eq!(merged.id, EventId(60), "the newcomer re-led the run");
+        assert_eq!(merged.merged, 2);
+        let second = hunt.poll(&snapshot).unwrap();
+        assert_eq!(
+            second.new_matches, 0,
+            "a re-led run must not re-fire its delivered match"
+        );
+
+        // Chunk 3: another re-leading tie, this time across a poll that
+        // also seals — still no duplicate.
+        store.append_batch(&[], &[read(40, 100, 103)]);
+        let third = hunt.poll(&store.snapshot()).unwrap();
+        assert_eq!(third.new_matches, 0, "third tie must not re-fire either");
+
+        // The running result agrees with a from-scratch batch hunt.
+        let batch = ShardedEngine::new(&store.snapshot())
+            .hunt("proc p read file f return p, f")
+            .unwrap();
+        let matched: Vec<_> = hunt
+            .result()
+            .unwrap()
+            .matches
+            .iter()
+            .filter(|m| m.bindings.values().any(|&id| id == proc_id))
+            .collect();
+        let batch_matched = batch
+            .matches
+            .iter()
+            .filter(|m| m.bindings.values().any(|&id| id == proc_id))
+            .count();
+        assert_eq!(matched.len(), batch_matched);
+    }
+
+    /// Cumulative counters survive merges: per-pattern scan counts add up
+    /// across polls instead of being overwritten by the latest execution,
+    /// and the delta's elapsed covers the whole poll.
+    #[test]
+    fn running_stats_accumulate_across_polls() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(3_000)
+            .build();
+        let mut store = StreamingStore::new(true, SealPolicy::events(400));
+        let mut hunt = follow(FIG2_TBQL);
+        store.append_batch(&sc.log.entities, &[]);
+
+        let mut per_poll_fetched = Vec::new();
+        let mut summed_elapsed = Duration::ZERO;
+        for batch in sc.log.events.chunks(600) {
+            store.append_batch(&[], batch);
+            let snapshot = store.snapshot();
+            let engine = ShardedEngine::with_threads(&snapshot, 1);
+            let plan = PlanCache::new().plan(FIG2_TBQL).unwrap().0;
+            let solo = engine.execute(&plan.compiled, ExecMode::Scheduled).unwrap();
+            per_poll_fetched.push(solo.stats.rows_fetched);
+            let delta = hunt.poll(&snapshot).unwrap();
+            assert!(
+                delta.elapsed >= solo.stats.elapsed / 8,
+                "delta elapsed must measure the poll, not be zeroed"
+            );
+            summed_elapsed += delta.elapsed;
+        }
+
+        let running = hunt.result().unwrap();
+        // Each pattern's running counter is the sum over all polls.
+        for (pat, total) in &running.stats.rows_fetched {
+            let want: usize = per_poll_fetched
+                .iter()
+                .flatten()
+                .filter(|(p, _)| p == pat)
+                .map(|(_, n)| n)
+                .sum();
+            assert_eq!(total, &want, "pattern {pat} must accumulate");
+            let last_poll: usize = per_poll_fetched
+                .last()
+                .unwrap()
+                .iter()
+                .filter(|(p, _)| p == pat)
+                .map(|(_, n)| n)
+                .sum();
+            assert!(total >= &last_poll);
+        }
+        // Elapsed accumulates execution time across polls; it can only
+        // have grown past any single execution.
+        assert!(running.stats.elapsed <= summed_elapsed);
+        assert!(running.stats.elapsed > Duration::ZERO);
     }
 
     #[test]

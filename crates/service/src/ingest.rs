@@ -14,12 +14,31 @@
 //! hold the read lock just long enough to clone Arc handles of the
 //! sealed shards and materialize the open window's event list; the
 //! expensive part — indexing the open window into a queryable shard —
-//! runs outside any lock.
+//! runs outside any lock. Lock poisoning is recovered from, never
+//! propagated — the availability-over-purity tradeoff of a long-lived
+//! server: a panic that poisons this lock can only come from the write
+//! path itself (read guards do not poison a `RwLock`), i.e. from an
+//! internal invariant violation inside append/seal. Recovering there
+//! risks continuing on a partially applied batch; propagating would
+//! instead panic every future request on every thread, forever. The
+//! mitigations: append validates its input (the entity-id sequence
+//! assert) *before* mutating anything, and the mutation itself is plain
+//! buffer bookkeeping with no unwind paths in normal operation.
+//!
+//! Change notification: every append and seal bumps the stream's epoch
+//! (a lock-free counter shared via
+//! [`threatraptor_storage::StreamingStore::epoch_handle`]) and wakes
+//! anything blocked in [`IngestService::wait_epoch_newer`] — the hook an
+//! event-driven dispatcher ([`crate::server::HuntServer`]) hangs off so
+//! standing queries are driven by ingest events instead of explicit
+//! polls.
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::follow::{FollowDelta, FollowHunt};
 use crate::job::ServiceError;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
 use threatraptor_storage::cpr::ReductionStats;
@@ -102,36 +121,65 @@ pub struct IngestStatus {
 #[derive(Debug)]
 pub struct IngestService {
     stream: RwLock<StreamingStore>,
-    cache: PlanCache,
+    cache: Arc<PlanCache>,
     config: IngestConfig,
+    /// Lock-free mirror of the stream's epoch counter
+    /// ([`StreamingStore::epoch_handle`]): change detection without the
+    /// stream lock.
+    epoch: Arc<AtomicU64>,
+    /// Wakeup gate for epoch waiters. The condvar's mutex guards nothing
+    /// — the epoch atomic is the actual state — but notifying under it
+    /// closes the check-then-wait race in [`IngestService::wait_epoch_newer`].
+    gate: Mutex<()>,
+    gate_cond: Condvar,
 }
 
 impl IngestService {
     /// An empty service.
     pub fn new(config: IngestConfig) -> IngestService {
+        Self::with_cache(config, Arc::new(PlanCache::new()))
+    }
+
+    /// An empty service sharing an existing plan cache (so a server's
+    /// ad-hoc jobs and its standing queries compile each query once).
+    pub fn with_cache(config: IngestConfig, cache: Arc<PlanCache>) -> IngestService {
+        let stream = StreamingStore::new(config.cpr, config.policy);
+        let epoch = stream.epoch_handle();
         IngestService {
-            stream: RwLock::new(StreamingStore::new(config.cpr, config.policy)),
-            cache: PlanCache::new(),
+            stream: RwLock::new(stream),
+            cache,
             config,
+            epoch,
+            gate: Mutex::new(()),
+            gate_cond: Condvar::new(),
         }
     }
 
-    /// Appends one parsed chunk, auto-sealing under the policy.
+    /// Appends one parsed chunk, auto-sealing under the policy, and wakes
+    /// epoch waiters.
     pub fn append(&self, chunk: &LogChunk) -> AppendOutcome {
-        self.stream
+        let outcome = self
+            .stream
             .write()
-            .expect("stream lock poisoned")
-            .append(chunk)
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(chunk);
+        self.notify();
+        outcome
     }
 
     /// Manually freezes the open window's stable prefix into an immutable
     /// shard. Returns whether anything was sealed.
     pub fn seal(&self) -> bool {
-        self.stream
+        let sealed = self
+            .stream
             .write()
-            .expect("stream lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .seal()
-            .is_some()
+            .is_some();
+        if sealed {
+            self.notify();
+        }
+        sealed
     }
 
     /// An immutable snapshot of everything appended so far (sealed shards
@@ -142,9 +190,60 @@ impl IngestService {
         let parts = self
             .stream
             .read()
-            .expect("stream lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .snapshot_parts();
         parts.build()
+    }
+
+    /// Current stream epoch — one atomic load, no lock. Differs between
+    /// two observations iff an append or seal happened in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the stream epoch advances past `last`, `timeout`
+    /// elapses, or [`IngestService::poke`] wakes the waiter; returns the
+    /// epoch current at wakeup (callers loop — spurious wakeups return
+    /// an unchanged epoch). This is the push half of event-driven
+    /// standing queries: a dispatcher parks here instead of polling.
+    pub fn wait_epoch_newer(&self, last: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let current = self.epoch();
+            if current != last {
+                return current;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return current;
+            }
+            let (g, _) = self
+                .gate_cond
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+            // Poked without an epoch change: report the (unchanged)
+            // epoch so the caller can re-check its own exit conditions.
+            if self.epoch() == last {
+                return last;
+            }
+        }
+    }
+
+    /// Wakes every [`IngestService::wait_epoch_newer`] waiter without an
+    /// epoch change — used on shutdown so dispatchers can re-check their
+    /// exit flag instead of sleeping out their timeout.
+    pub fn poke(&self) {
+        let _guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        self.gate_cond.notify_all();
+    }
+
+    fn notify(&self) {
+        // Lock-then-notify (empty critical section) so a waiter that just
+        // re-checked the epoch cannot miss the wakeup.
+        let _guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        self.gate_cond.notify_all();
     }
 
     /// Hunts a TBQL query against a fresh snapshot, through the plan
@@ -176,7 +275,7 @@ impl IngestService {
 
     /// Current stream state.
     pub fn status(&self) -> IngestStatus {
-        let stream = self.stream.read().expect("stream lock poisoned");
+        let stream = self.stream.read().unwrap_or_else(PoisonError::into_inner);
         IngestStatus {
             sealed_shards: stream.sealed_count(),
             open_events: stream.open_len(),
@@ -190,6 +289,12 @@ impl IngestService {
     /// Plan/synthesis cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The shared plan cache (standing queries and ad-hoc jobs resolve
+    /// through the same one).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
     }
 
     /// The service configuration.
@@ -285,6 +390,72 @@ mod tests {
         assert!(idle.unchanged);
         // And the plan was compiled exactly once.
         assert_eq!(service.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn epoch_waiters_wake_on_append_and_poke() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::default());
+        let mut feed = LogFeed::by_events(&sc.raw, 500);
+        let first = feed.next().unwrap().unwrap();
+
+        // A waiter parked on the current epoch wakes when an append bumps
+        // it — the no-explicit-poll signal path.
+        let e0 = service.epoch();
+        let woke = std::thread::scope(|scope| {
+            let svc = &service;
+            let waiter =
+                scope.spawn(move || svc.wait_epoch_newer(e0, std::time::Duration::from_secs(30)));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            svc.append(&first);
+            waiter.join().unwrap()
+        });
+        assert!(woke > e0, "append must wake the epoch waiter");
+        assert_eq!(service.epoch(), service.status().epoch);
+
+        // A poke wakes the waiter without an epoch change (the shutdown
+        // path), returning the unchanged epoch well before the timeout.
+        let e1 = service.epoch();
+        let t0 = std::time::Instant::now();
+        let woke = std::thread::scope(|scope| {
+            let svc = &service;
+            let waiter =
+                scope.spawn(move || svc.wait_epoch_newer(e1, std::time::Duration::from_secs(30)));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            svc.poke();
+            waiter.join().unwrap()
+        });
+        assert_eq!(woke, e1);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn poisoned_stream_lock_is_recovered_not_propagated() {
+        let sc = scenario();
+        let service = IngestService::new(IngestConfig::default());
+        let chunks: Vec<_> = LogFeed::by_events(&sc.raw, 1_000)
+            .map(|c| c.unwrap())
+            .collect();
+        service.append(&chunks[0]);
+        let before = service.status().total_events;
+
+        // A worker panicking while holding the write lock poisons it.
+        std::thread::scope(|scope| {
+            let svc = &service;
+            let doomed = scope.spawn(move || {
+                let _guard = svc.stream.write().unwrap();
+                panic!("simulated hunt-worker crash");
+            });
+            assert!(doomed.join().is_err(), "the worker must have panicked");
+        });
+
+        // The service keeps serving: appends, snapshots, and status all
+        // recover the guard instead of propagating the poison.
+        for chunk in &chunks[1..] {
+            service.append(chunk);
+        }
+        assert!(service.status().total_events > before);
+        assert!(!service.hunt(FIG2_TBQL).unwrap().is_empty());
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub enum ServiceError {
     Synthesis(SynthesisError),
     /// Parsing, analysis, compilation, or execution failed.
     Engine(EngineError),
+    /// The worker executing the job panicked; carries the panic payload
+    /// rendered as text. The worker itself survives (panic isolation in
+    /// the pool) — only this job is lost.
+    Worker(String),
+    /// The job was rejected or abandoned because the server is shutting
+    /// down.
+    Shutdown,
 }
 
 impl fmt::Display for ServiceError {
@@ -59,6 +66,8 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Synthesis(e) => write!(f, "query synthesis: {e}"),
             ServiceError::Engine(e) => write!(f, "query execution: {e}"),
+            ServiceError::Worker(msg) => write!(f, "hunt worker panicked: {msg}"),
+            ServiceError::Shutdown => f.write_str("hunt server is shutting down"),
         }
     }
 }
@@ -77,9 +86,11 @@ impl From<EngineError> for ServiceError {
     }
 }
 
-/// The outcome of one scheduled job. Reports are returned in submission
-/// order regardless of which worker finished first.
-#[derive(Debug)]
+/// The outcome of one scheduled job. Batch reports are returned in
+/// submission order regardless of which worker finished first; `Clone`
+/// so a completion handle ([`crate::server::JobHandle`]) can hand out
+/// the result while the server retains nothing.
+#[derive(Debug, Clone)]
 pub struct JobReport {
     /// Submission index of the job in the batch.
     pub index: usize,

@@ -14,17 +14,25 @@
 //! * [`cache::PlanCache`] — compiled plans keyed by normalized query
 //!   text, plus memoized report synthesis (keyed by content hash),
 //!   shared by all workers, with LRU eviction on both maps;
-//! * [`scheduler::HuntScheduler`] — a fixed worker pool draining a job
-//!   batch against a [`ShardedStore`], merging results deterministically
-//!   (submission order);
+//! * [`pool::WorkerPool`] — detached worker threads draining one bounded
+//!   task queue: backpressure on overflow, panic isolation, graceful
+//!   drain-then-join shutdown;
+//! * [`scheduler::HuntScheduler`] — batch hunts against a
+//!   [`ShardedStore`] on a persistent worker pool, results merged
+//!   deterministically (submission order);
 //! * [`service::HuntService`] — the owning façade: store + cache +
-//!   config, constructed from a parsed log or an existing store;
+//!   scheduler, constructed from a parsed log or an existing store;
 //! * [`ingest::IngestService`] — the *live* variant: a thread-safe
 //!   front-end over a [`StreamingStore`] accepting appended log chunks
-//!   while hunts run against immutable snapshots;
+//!   while hunts run against immutable snapshots, with epoch
+//!   notification hooks for event-driven consumers;
 //! * [`follow::FollowHunt`] — standing queries over a growing store:
 //!   poll with successive snapshots, get only the newly appeared matches
-//!   merged into a running result.
+//!   (exactly-once per match identity) merged into a running result;
+//! * [`server::HuntServer`] — the long-lived serving loop over all of
+//!   the above: a persistent job queue with completion handles, and
+//!   standing queries driven by ingest events through per-subscription
+//!   channels instead of explicit polls.
 //!
 //! Execution inside each job uses
 //! [`threatraptor_engine::ShardedEngine`], whose scatter-gather keeps
@@ -39,12 +47,16 @@ pub mod cache;
 pub mod follow;
 pub mod ingest;
 pub mod job;
+pub mod pool;
 pub mod scheduler;
+pub mod server;
 pub mod service;
 
 pub use cache::{normalize_tbql, CacheStats, CachedPlan, PlanCache, ReportKey};
 pub use follow::{FollowDelta, FollowHunt};
 pub use ingest::{IngestConfig, IngestService, IngestStatus};
 pub use job::{HuntJob, JobReport, ServiceError};
+pub use pool::{SubmitError, WorkerPool};
 pub use scheduler::HuntScheduler;
+pub use server::{FollowEvent, FollowSubscription, HuntServer, JobHandle, JobId, ServerConfig};
 pub use service::{HuntService, ServiceConfig};

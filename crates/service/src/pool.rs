@@ -1,0 +1,205 @@
+//! The shared worker pool: detached threads draining one bounded task
+//! queue.
+//!
+//! The original scheduler spawned a fresh set of *scoped* threads per
+//! batch — fine for one-shot batch hunts, wrong for a long-lived server:
+//! scoped threads cannot outlive their borrow, so every submission wave
+//! paid thread start-up, and there was no queue to absorb bursts or push
+//! back on producers. This pool inverts that:
+//!
+//! * workers are **detached** `'static` threads spawned once, pulling
+//!   tasks from a shared multi-consumer channel
+//!   ([`crossbeam::channel`]) — idle workers cost nothing but a parked
+//!   thread;
+//! * the queue is **bounded**: submission blocks when full
+//!   (backpressure), so a slow pool throttles producers instead of
+//!   buffering unboundedly;
+//! * a panicking task is caught in the worker loop — the worker survives
+//!   and moves on to the next task (task-level error reporting is the
+//!   submitter's job, e.g. via [`crate::job::ServiceError::Worker`]);
+//! * [`WorkerPool::shutdown`] is graceful: the queue stops accepting new
+//!   tasks, already queued tasks drain, and every worker is joined.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A unit of pool work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (only from [`WorkerPool::try_submit`]).
+    Full,
+    /// The pool has been shut down.
+    Shutdown,
+}
+
+/// A fixed-size pool of detached worker threads behind a bounded queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// `None` once shut down; dropping the sender disconnects the queue.
+    tx: Mutex<Option<Sender<Task>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` detached threads (clamped to ≥ 1) sharing one
+    /// queue of at most `queue_capacity` pending tasks (clamped to ≥ 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = bounded::<Task>(queue_capacity.max(1));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx: Receiver<Task> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("hunt-worker-{i}"))
+                    .spawn(move || {
+                        // recv drains buffered tasks even after the
+                        // sender is dropped, then disconnects — exactly
+                        // the graceful-shutdown order we want.
+                        while let Ok(task) = rx.recv() {
+                            // A panicking task must not kill the worker:
+                            // the pool serves unrelated tenants.
+                            let _ = catch_unwind(AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a task, blocking while the queue is full (backpressure).
+    /// Fails only after [`WorkerPool::shutdown`].
+    pub fn submit(&self, task: Task) -> Result<(), SubmitError> {
+        // Clone the sender out of the lock so a blocking send doesn't
+        // hold it (shutdown must stay reachable while producers block).
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        match tx {
+            Some(tx) => tx.send(task).map_err(|_| SubmitError::Shutdown),
+            None => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Non-blocking submission: fails fast when the queue is full.
+    pub fn try_submit(&self, task: Task) -> Result<(), SubmitError> {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        match tx {
+            Some(tx) => tx.try_send(task).map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::Full,
+                TrySendError::Disconnected(_) => SubmitError::Shutdown,
+            }),
+            None => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Graceful shutdown: stops accepting tasks, lets queued tasks drain,
+    /// joins every worker. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(tx); // disconnects the queue once in-flight clones finish
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tasks_run_and_shutdown_drains_the_queue() {
+        let pool = WorkerPool::new(2, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32, "queued tasks must drain");
+        assert_eq!(
+            pool.submit(Box::new(|| {})),
+            Err(SubmitError::Shutdown),
+            "a shut-down pool must reject new tasks"
+        );
+    }
+
+    #[test]
+    fn panicking_tasks_do_not_kill_workers() {
+        let pool = WorkerPool::new(1, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(Box::new(|| panic!("task boom"))).unwrap();
+        let d = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            1,
+            "the single worker must survive the panic and run the next task"
+        );
+    }
+
+    #[test]
+    fn try_submit_reports_a_full_queue() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = crossbeam::channel::bounded::<()>(1);
+        // Occupy the worker…
+        pool.submit(Box::new(move || {
+            let _ = block_rx.recv();
+        }))
+        .unwrap();
+        // …then fill the queue; at some point try_submit must push back.
+        let mut saw_full = false;
+        for _ in 0..8 {
+            if pool.try_submit(Box::new(|| {})) == Err(SubmitError::Full) {
+                saw_full = true;
+                break;
+            }
+        }
+        block_tx.send(()).unwrap();
+        assert!(saw_full, "a bounded queue must report Full under load");
+        pool.shutdown();
+    }
+}

@@ -5,6 +5,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::follow::FollowHunt;
 use crate::job::{HuntJob, JobReport, ServiceError};
 use crate::scheduler::HuntScheduler;
+use std::sync::Arc;
 use threatraptor_audit::parser::ParsedLog;
 use threatraptor_engine::{ExecMode, HuntResult};
 use threatraptor_storage::{AuditStore, ShardedStore};
@@ -79,9 +80,12 @@ impl ServiceConfig {
 /// ```
 #[derive(Debug)]
 pub struct HuntService {
-    store: ShardedStore,
-    cache: PlanCache,
+    store: Arc<ShardedStore>,
+    cache: Arc<PlanCache>,
     config: ServiceConfig,
+    /// The persistent scheduler: its detached worker pool is shared by
+    /// every batch this service runs.
+    scheduler: HuntScheduler,
 }
 
 impl HuntService {
@@ -101,10 +105,17 @@ impl HuntService {
 
     /// Wraps an existing sharded store.
     pub fn from_sharded(store: ShardedStore, config: ServiceConfig) -> HuntService {
+        let store = Arc::new(store);
+        let cache = Arc::new(PlanCache::new());
+        let scheduler = HuntScheduler::new(Arc::clone(&store), Arc::clone(&cache))
+            .workers(config.workers)
+            .shard_threads(config.shard_threads)
+            .mode(config.mode);
         HuntService {
             store,
-            cache: PlanCache::new(),
+            cache,
             config,
+            scheduler,
         }
     }
 
@@ -123,24 +134,21 @@ impl HuntService {
         self.cache.stats()
     }
 
-    /// A scheduler view over this service's store and cache (for custom
-    /// worker counts on a per-batch basis).
-    pub fn scheduler(&self) -> HuntScheduler<'_> {
-        HuntScheduler::new(&self.store, &self.cache)
-            .workers(self.config.workers)
-            .shard_threads(self.config.shard_threads)
-            .mode(self.config.mode)
+    /// The persistent scheduler over this service's store and cache (the
+    /// worker pool spawns on the first batch and is reused afterwards).
+    pub fn scheduler(&self) -> &HuntScheduler {
+        &self.scheduler
     }
 
     /// Runs a batch of jobs on the worker pool; reports come back in
     /// submission order.
     pub fn run(&self, jobs: Vec<HuntJob>) -> Vec<JobReport> {
-        self.scheduler().run(jobs)
+        self.scheduler.run(jobs)
     }
 
     /// Hunts a single TBQL query (through the plan cache).
     pub fn hunt_tbql(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
-        self.scheduler().hunt(tbql)
+        self.scheduler.hunt(tbql)
     }
 
     /// Hunts a single OSCTI report end-to-end (through both caches).

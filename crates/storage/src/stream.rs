@@ -32,6 +32,7 @@
 use crate::cpr::{IncrementalReducer, ReductionStats};
 use crate::sharded::ShardedStore;
 use crate::store::{AuditStore, EntityTables};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use threatraptor_audit::entity::Entity;
 use threatraptor_audit::event::Event;
@@ -165,8 +166,11 @@ pub struct StreamingStore {
     reducer: IncrementalReducer,
     sealed: Vec<Arc<AuditStore>>,
     sealed_events: usize,
-    /// Monotone change counter: bumped on every append and seal.
-    epoch: u64,
+    /// Monotone change counter: bumped on every append and seal. Atomic
+    /// behind a shared handle ([`StreamingStore::epoch_handle`]) so
+    /// change detection costs one load — no store lock — even when the
+    /// store itself lives behind a lock.
+    epoch: Arc<AtomicU64>,
 }
 
 impl StreamingStore {
@@ -180,7 +184,7 @@ impl StreamingStore {
             reducer: IncrementalReducer::new(use_cpr),
             sealed: Vec::new(),
             sealed_events: 0,
-            epoch: 0,
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -215,7 +219,7 @@ impl StreamingStore {
             .all(|e| e.subject.index() < self.entities.len()
                 && e.object.index() < self.entities.len()));
         self.reducer.append(events);
-        self.epoch += 1;
+        self.epoch.fetch_add(1, Ordering::Release);
 
         let mut sealed = 0;
         while self
@@ -259,7 +263,7 @@ impl StreamingStore {
         ));
         self.sealed_events += shard.event_count();
         self.sealed.push(Arc::clone(&shard));
-        self.epoch += 1;
+        self.epoch.fetch_add(1, Ordering::Release);
         Some(shard)
     }
 
@@ -338,7 +342,15 @@ impl StreamingStore {
     /// Monotone change counter: differs between two observations iff an
     /// append or seal happened in between.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A shared handle on the epoch counter. Holders observe epoch bumps
+    /// with a single atomic load, without going through whatever lock
+    /// guards the store — the cheap change-detection primitive an
+    /// event-driven dispatcher polls between notifications.
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
     }
 
     /// Shared entity array/tables for the current entity set, reusing the
@@ -533,6 +545,20 @@ mod tests {
         if store.seal().is_some() {
             assert!(store.epoch() > before_seal);
         }
+    }
+
+    #[test]
+    fn epoch_handle_observes_changes_without_the_store() {
+        let log = scenario_log(300);
+        let mut store = StreamingStore::new(true, SealPolicy::manual());
+        let handle = store.epoch_handle();
+        let e0 = handle.load(Ordering::Acquire);
+        store.append_batch(&log.entities, &log.events[..100]);
+        // The handle sees the bump without touching the store — the
+        // change-detection path an event dispatcher uses while the store
+        // itself sits behind a lock.
+        assert!(handle.load(Ordering::Acquire) > e0);
+        assert_eq!(store.epoch(), handle.load(Ordering::Acquire));
     }
 
     #[test]

@@ -171,8 +171,12 @@ fn failing_jobs_are_isolated() {
 fn plan_cache_normalization_preserves_results() {
     let sc = ScenarioBuilder::new().seed(42).target_events(2_000).build();
     let sharded = ShardedStore::ingest(&sc.log, true, 4);
-    let cache = PlanCache::new();
-    let sched = threatraptor_service::HuntScheduler::new(&sharded, &cache).workers(2);
+    let cache = std::sync::Arc::new(PlanCache::new());
+    let sched = threatraptor_service::HuntScheduler::new(
+        std::sync::Arc::new(sharded),
+        std::sync::Arc::clone(&cache),
+    )
+    .workers(2);
 
     let original = threatraptor::FIG2_TBQL;
     let reformatted = original.split_whitespace().collect::<Vec<_>>().join("  ");
