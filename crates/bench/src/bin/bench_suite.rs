@@ -1,0 +1,142 @@
+//! The recorded bench trajectory runner.
+//!
+//! Runs the declarative engine × workload suite
+//! ([`threatraptor_bench::suite`]), with every measurement drawn from
+//! the telemetry layer's [`MetricsSnapshot`]s, and emits the versioned
+//! machine-readable record checked into the repo as `BENCH_<pr>.json`.
+//!
+//! ```text
+//! bench_suite [--smoke] [--out PATH] [--diff PREVIOUS.json]
+//! bench_suite --validate RECORD.json
+//! ```
+//!
+//! * `--smoke` — reduced scenario sizes (CI); still covers every case
+//! * `--out` — where to write the record (default `BENCH_6.json`)
+//! * `--diff` — also print a trajectory diff against a previous record;
+//!   a missing file is reported, not fatal
+//! * `--validate` — no run: parse PATH and check it against the
+//!   `threatraptor-bench/v1` schema (exit 1 on problems)
+//!
+//! [`MetricsSnapshot`]: threatraptor_obs::MetricsSnapshot
+
+use std::process::ExitCode;
+use threatraptor_bench::fmt;
+use threatraptor_bench::suite;
+use threatraptor_obs::JsonValue;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    diff: Option<String>,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: format!("BENCH_{}.json", suite::PR),
+        diff: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--diff" => args.diff = Some(it.next().ok_or("--diff needs a path")?),
+            "--validate" => args.validate = Some(it.next().ok_or("--validate needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench_suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Validation mode: no benchmark run at all.
+    if let Some(path) = &args.validate {
+        match load(path) {
+            Ok(doc) => {
+                let problems = suite::validate(&doc);
+                if problems.is_empty() {
+                    println!("{path}: valid {} record", suite::SCHEMA);
+                    return ExitCode::SUCCESS;
+                }
+                for p in &problems {
+                    eprintln!("{path}: {p}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("bench_suite: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "== bench trajectory (PR {}, {}) ==\n",
+        suite::PR,
+        if args.smoke { "smoke" } else { "full" }
+    );
+    let results = suite::run_suite(args.smoke);
+
+    // Human-readable summary of what went into the record.
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}/{}", c.engine, c.workload),
+                c.events.to_string(),
+                c.hunts.to_string(),
+                c.matches.to_string(),
+                fmt::dur(std::time::Duration::from_nanos(c.latency.p50)),
+                fmt::dur(std::time::Duration::from_nanos(c.latency.p99)),
+                fmt::dur(std::time::Duration::from_nanos(c.latency.max)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        fmt::table(
+            &["case", "events", "hunts", "matches", "p50", "p99", "max"],
+            &rows
+        )
+    );
+    println!("(per-hunt latency from each case's MetricsSnapshot histogram)\n");
+
+    let doc = suite::to_json(&results, args.smoke);
+    let problems = suite::validate(&doc);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("generated record invalid: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, doc.pretty() + "\n") {
+        eprintln!("bench_suite: writing {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("record written to {}", args.out);
+
+    if let Some(path) = &args.diff {
+        match load(path) {
+            Ok(previous) => print!("\n{}", suite::diff(&doc, &previous)),
+            // A missing predecessor is the normal first-run case.
+            Err(e) => println!("\nno previous record to diff against ({e})"),
+        }
+    }
+    ExitCode::SUCCESS
+}

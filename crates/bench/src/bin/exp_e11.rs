@@ -258,7 +258,48 @@ fn main() {
         fmt::table(&["standing query", "delivered", "batch identities"], &rows)
     );
     println!(
-        "shape check: delivered == batch match identities per query (exactly-once, nothing lost)."
+        "shape check: delivered == batch match identities per query (exactly-once, nothing lost).\n"
+    );
+
+    // -- 4. service counters (from the unified telemetry layer) ---------
+    let cache = server.cache_stats();
+    let metrics = server.metrics();
+    let queue_wait = metrics.histogram("job_queue_wait_ns", &[]);
+    println!(
+        "{}",
+        fmt::table(
+            &[
+                "cache hits",
+                "misses",
+                "evictions",
+                "queue depth",
+                "jobs done",
+                "queue wait p50",
+                "queue wait p99",
+            ],
+            &[vec![
+                cache.hits.to_string(),
+                cache.misses.to_string(),
+                cache.evictions.to_string(),
+                metrics.gauge("job_queue_depth").unwrap_or(0).to_string(),
+                metrics
+                    .counter("jobs_completed_total")
+                    .unwrap_or(0)
+                    .to_string(),
+                queue_wait
+                    .map(|h| fmt::dur(Duration::from_nanos(h.p50)))
+                    .unwrap_or_default(),
+                queue_wait
+                    .map(|h| fmt::dur(Duration::from_nanos(h.p99)))
+                    .unwrap_or_default(),
+            ]]
+        )
+    );
+    println!("(plan/synthesis cache + job queue, via HuntServer::metrics())");
+    assert_eq!(
+        metrics.gauge("job_queue_depth"),
+        Some(0),
+        "the queue must be drained at the end of the run"
     );
     for (i, row) in rows.iter().enumerate() {
         assert_eq!(

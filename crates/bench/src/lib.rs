@@ -30,7 +30,9 @@ pub mod corpus;
 pub mod fmt;
 pub mod metrics;
 pub mod reference;
+pub mod suite;
 
 pub use cases::{all_cases, AttackCase};
 pub use corpus::{corpus, CorpusReport, GoldIoc, GoldRelation};
 pub use metrics::{extraction_scores, Prf};
+pub use suite::{run_case, run_suite, CaseResult, EngineKind, Workload};

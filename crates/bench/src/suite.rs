@@ -1,0 +1,589 @@
+//! The recorded bench trajectory: a declarative suite of engine ×
+//! workload cases whose measurements come out of the telemetry layer.
+//!
+//! Earlier experiment binaries (`exp_e1`..`exp_e11`) each hand-roll
+//! their timing: `Instant::now()` pairs, ad-hoc percentile helpers,
+//! bespoke table printing. This module replaces that for trajectory
+//! tracking: every case records its per-hunt latency into a per-case
+//! [`Registry`] histogram and derives **all** reported numbers from the
+//! resulting [`MetricsSnapshot`] — the same snapshots
+//! [`threatraptor_service::HuntServer::metrics`] serves — so the bench
+//! numbers and the production metrics can never drift apart.
+//!
+//! The suite is the cross product of [`EngineKind`] (single-store,
+//! sharded scatter-gather, streaming ingest, full event-driven server)
+//! and a small set of [`Workload`]s. Results serialize to a
+//! machine-readable JSON document (`schema: threatraptor-bench/v1`)
+//! checked into the repo as `BENCH_<pr>.json`; [`diff`] renders the
+//! trajectory against a previous record.
+//!
+//! Caveat: the container this runs in is scheduled on shared cores, so
+//! absolute latencies are noisy — the recorded trajectory tracks shape
+//! (relative engine cost, percentile spread), not absolute regressions.
+
+use std::time::Instant;
+use threatraptor::{Engine, ShardedEngine};
+use threatraptor_audit::parser::ParsedLog;
+use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
+use threatraptor_audit::LogFeed;
+use threatraptor_obs::{HistogramSummary, JsonValue, MetricsSnapshot, Registry};
+use threatraptor_service::{HuntServer, IngestConfig, ServerConfig};
+use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
+
+/// The current record's schema identifier.
+pub const SCHEMA: &str = "threatraptor-bench/v1";
+/// The PR this trajectory point belongs to.
+pub const PR: u64 = 6;
+
+/// Which execution stack a case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One [`AuditStore`], the base [`Engine`].
+    Single,
+    /// A time-window [`ShardedStore`] under the scatter-gather
+    /// [`ShardedEngine`].
+    Sharded,
+    /// A [`StreamingStore`] fed chunk-by-chunk, hunted via snapshots.
+    Streaming,
+    /// The full event-driven [`HuntServer`]: job queue + standing query.
+    Server,
+}
+
+impl EngineKind {
+    /// Every engine, in suite order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Single,
+        EngineKind::Sharded,
+        EngineKind::Streaming,
+        EngineKind::Server,
+    ];
+
+    /// Stable label used in metrics and the JSON record.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Single => "single",
+            EngineKind::Sharded => "sharded",
+            EngineKind::Streaming => "streaming",
+            EngineKind::Server => "server",
+        }
+    }
+}
+
+/// One declarative workload: a simulated scenario plus the hunts to run
+/// over it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Stable name used in metrics and the JSON record.
+    pub name: &'static str,
+    /// Simulator seed (the scenario is fully deterministic given it).
+    pub seed: u64,
+    /// Approximate raw event count to generate.
+    pub target_events: usize,
+    /// TBQL queries each engine executes.
+    pub queries: &'static [&'static str],
+    /// How many times the query list is repeated (warm-cache behavior is
+    /// part of what the trajectory tracks).
+    pub repeat: usize,
+}
+
+const HUNT_QUERIES: &[&str] = &[
+    threatraptor_tbql::parser::FIG2_TBQL,
+    "proc p read file f return distinct p, f",
+    "proc p[\"%/bin/tar%\"] read file f return p, f",
+];
+
+/// The declarative suite definition. `--smoke` shrinks scenario sizes
+/// and repeats, not the case list: CI exercises every engine × workload
+/// cell.
+pub fn workloads(smoke: bool) -> Vec<Workload> {
+    let scale = if smoke { 1 } else { 6 };
+    vec![
+        Workload {
+            name: "leakage-small",
+            seed: 42,
+            target_events: 4_000 * scale,
+            queries: HUNT_QUERIES,
+            repeat: if smoke { 2 } else { 4 },
+        },
+        Workload {
+            name: "all-attacks",
+            seed: 7,
+            target_events: 8_000 * scale,
+            queries: HUNT_QUERIES,
+            repeat: if smoke { 1 } else { 3 },
+        },
+    ]
+}
+
+/// One engine × workload measurement, extracted from the case's
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// [`EngineKind::name`].
+    pub engine: &'static str,
+    /// [`Workload::name`].
+    pub workload: &'static str,
+    /// Raw events the scenario generated.
+    pub events: usize,
+    /// Hunts executed (query list × repeats).
+    pub hunts: u64,
+    /// Total matches across all hunts.
+    pub matches: u64,
+    /// Per-hunt latency (nanoseconds), from the case registry's
+    /// `bench_hunt_ns` histogram.
+    pub latency: HistogramSummary,
+    /// Selected extra counters from the case snapshot (engine-specific:
+    /// cache hits, deliveries, seals, ...), name → value.
+    pub extra: Vec<(String, f64)>,
+}
+
+fn scenario(w: &Workload) -> threatraptor_audit::sim::scenario::Scenario {
+    ScenarioBuilder::new()
+        .seed(w.seed)
+        .attacks(&AttackKind::ALL)
+        .target_events(w.target_events)
+        .build()
+}
+
+fn case_labels(engine: EngineKind, w: &Workload) -> [(&'static str, &str); 2] {
+    [("engine", engine.name()), ("workload", w.name)]
+}
+
+/// Extracts the [`CaseResult`] from a finished case's snapshot — the
+/// single funnel every engine's numbers pass through.
+fn extract(
+    engine: EngineKind,
+    w: &Workload,
+    events: usize,
+    snapshot: &MetricsSnapshot,
+    latency_metric: &str,
+    latency_labels: &[(&str, &str)],
+    extra_names: &[&str],
+) -> CaseResult {
+    let labels = case_labels(engine, w);
+    let latency = snapshot
+        .histogram(latency_metric, latency_labels)
+        .cloned()
+        .unwrap_or_default();
+    let hunts = snapshot
+        .get("bench_hunts_total", &labels)
+        .and_then(|s| match s.value {
+            threatraptor_obs::SampleValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or(latency.count);
+    let matches = snapshot
+        .get("bench_matches_total", &labels)
+        .and_then(|s| match s.value {
+            threatraptor_obs::SampleValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let extra = extra_names
+        .iter()
+        .filter_map(|name| {
+            snapshot.get(name, &[]).map(|s| {
+                let v = match &s.value {
+                    threatraptor_obs::SampleValue::Counter(v) => *v as f64,
+                    threatraptor_obs::SampleValue::Gauge(v) => *v as f64,
+                    threatraptor_obs::SampleValue::Histogram(h) => h.count as f64,
+                };
+                (name.to_string(), v)
+            })
+        })
+        .collect();
+    CaseResult {
+        engine: engine.name(),
+        workload: w.name,
+        events,
+        hunts,
+        matches,
+        latency,
+        extra,
+    }
+}
+
+/// Runs the hunts of `w` against `hunt`, recording each execution into
+/// the case registry (`bench_hunt_ns` / `bench_hunts_total` /
+/// `bench_matches_total`, labeled by engine and workload).
+fn drive_hunts<F>(registry: &Registry, engine: EngineKind, w: &Workload, mut hunt: F)
+where
+    F: FnMut(&str) -> usize,
+{
+    let labels = case_labels(engine, w);
+    let latency = registry.histogram_labeled("bench_hunt_ns", &labels);
+    let hunts = registry.counter_labeled("bench_hunts_total", &labels);
+    let matches = registry.counter_labeled("bench_matches_total", &labels);
+    for _ in 0..w.repeat {
+        for q in w.queries {
+            let t = Instant::now();
+            let found = hunt(q);
+            latency.record_duration(t.elapsed());
+            hunts.inc();
+            matches.add(found as u64);
+        }
+    }
+}
+
+fn run_single(w: &Workload, log: &ParsedLog) -> CaseResult {
+    let registry = Registry::new();
+    let store = AuditStore::ingest(log, true);
+    let engine = Engine::new(&store);
+    drive_hunts(&registry, EngineKind::Single, w, |q| {
+        engine.hunt(q).expect("valid TBQL").matches.len()
+    });
+    let labels = case_labels(EngineKind::Single, w);
+    extract(
+        EngineKind::Single,
+        w,
+        log.events.len(),
+        &registry.snapshot(),
+        "bench_hunt_ns",
+        &labels,
+        &[],
+    )
+}
+
+fn run_sharded(w: &Workload, log: &ParsedLog) -> CaseResult {
+    let registry = Registry::new();
+    let store = ShardedStore::ingest(log, true, 4);
+    let engine = ShardedEngine::new(&store);
+    drive_hunts(&registry, EngineKind::Sharded, w, |q| {
+        engine.hunt(q).expect("valid TBQL").matches.len()
+    });
+    let labels = case_labels(EngineKind::Sharded, w);
+    extract(
+        EngineKind::Sharded,
+        w,
+        log.events.len(),
+        &registry.snapshot(),
+        "bench_hunt_ns",
+        &labels,
+        &[],
+    )
+}
+
+fn run_streaming(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
+    let registry = Registry::new();
+    let mut store = StreamingStore::new(true, SealPolicy::events(2_000));
+    store.attach_metrics(&registry);
+    for chunk in LogFeed::by_events(raw, 512) {
+        store.append(&chunk.expect("well-formed log"));
+    }
+    // Hunts run against snapshots, exactly like the ingest service does.
+    let snapshot = store.snapshot();
+    let engine = ShardedEngine::new(&snapshot);
+    drive_hunts(&registry, EngineKind::Streaming, w, |q| {
+        engine.hunt(q).expect("valid TBQL").matches.len()
+    });
+    let labels = case_labels(EngineKind::Streaming, w);
+    extract(
+        EngineKind::Streaming,
+        w,
+        log.events.len(),
+        &registry.snapshot(),
+        "bench_hunt_ns",
+        &labels,
+        &[
+            "storage_appends_total",
+            "storage_seals_total",
+            "storage_stored_events",
+        ],
+    )
+}
+
+fn run_server(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
+    let server = HuntServer::new(ServerConfig::with_ingest(IngestConfig::with_policy(
+        SealPolicy::events(2_000),
+    )));
+    // A standing query rides along so the snapshot carries follow-path
+    // telemetry too.
+    let (_alerts, _) = server
+        .follow(threatraptor_tbql::parser::FIG2_TBQL)
+        .expect("valid TBQL");
+    for chunk in LogFeed::by_events(raw, 512) {
+        server.append(&chunk.expect("well-formed log"));
+    }
+    let mut matches = 0u64;
+    for _ in 0..w.repeat {
+        for q in w.queries {
+            // submit → wait: the job path stamps queue-wait, execution,
+            // and end-to-end latency into the server registry itself.
+            let result = server.hunt(q).expect("valid TBQL");
+            matches += result.matches.len() as u64;
+        }
+    }
+    assert!(server.wait_caught_up(std::time::Duration::from_secs(120)));
+    // The server's own end-to-end job latency IS the case latency: no
+    // external stopwatch.
+    let labels = case_labels(EngineKind::Server, w);
+    server
+        .registry()
+        .counter_labeled("bench_matches_total", &labels)
+        .add(matches);
+    let snapshot = server.metrics();
+    server.shutdown();
+    extract(
+        EngineKind::Server,
+        w,
+        log.events.len(),
+        &snapshot,
+        "job_latency_ns",
+        &[],
+        &[
+            "plan_cache_hits_total",
+            "plan_cache_misses_total",
+            "jobs_completed_total",
+            "follow_deliveries_total",
+            "follow_epochs_total",
+            "storage_sealed_shards",
+        ],
+    )
+}
+
+/// Runs one engine × workload cell.
+pub fn run_case(engine: EngineKind, w: &Workload) -> CaseResult {
+    let sc = scenario(w);
+    match engine {
+        EngineKind::Single => run_single(w, &sc.log),
+        EngineKind::Sharded => run_sharded(w, &sc.log),
+        EngineKind::Streaming => run_streaming(w, &sc.raw, &sc.log),
+        EngineKind::Server => run_server(w, &sc.raw, &sc.log),
+    }
+}
+
+/// Runs the whole suite, in deterministic order.
+pub fn run_suite(smoke: bool) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    for w in &workloads(smoke) {
+        for engine in EngineKind::ALL {
+            out.push(run_case(engine, w));
+        }
+    }
+    out
+}
+
+/// Serializes suite results as the versioned bench record.
+pub fn to_json(results: &[CaseResult], smoke: bool) -> JsonValue {
+    let cases = results
+        .iter()
+        .map(|c| {
+            JsonValue::Obj(vec![
+                ("engine".into(), JsonValue::Str(c.engine.into())),
+                ("workload".into(), JsonValue::Str(c.workload.into())),
+                ("events".into(), JsonValue::Num(c.events as f64)),
+                ("hunts".into(), JsonValue::Num(c.hunts as f64)),
+                ("matches".into(), JsonValue::Num(c.matches as f64)),
+                (
+                    "latency_ns".into(),
+                    JsonValue::Obj(vec![
+                        ("count".into(), JsonValue::Num(c.latency.count as f64)),
+                        ("sum".into(), JsonValue::Num(c.latency.sum as f64)),
+                        ("p50".into(), JsonValue::Num(c.latency.p50 as f64)),
+                        ("p90".into(), JsonValue::Num(c.latency.p90 as f64)),
+                        ("p99".into(), JsonValue::Num(c.latency.p99 as f64)),
+                        ("max".into(), JsonValue::Num(c.latency.max as f64)),
+                    ]),
+                ),
+                (
+                    "extra".into(),
+                    JsonValue::Obj(
+                        c.extra
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str(SCHEMA.into())),
+        ("pr".into(), JsonValue::Num(PR as f64)),
+        ("smoke".into(), JsonValue::Bool(smoke)),
+        ("cases".into(), JsonValue::Arr(cases)),
+    ])
+}
+
+/// Validates a bench record against the `threatraptor-bench/v1` shape.
+/// Returns a list of problems (empty = valid).
+pub fn validate(doc: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => problems.push(format!("unknown schema {other:?}")),
+        None => problems.push("missing \"schema\"".into()),
+    }
+    if doc.get("pr").and_then(JsonValue::as_f64).is_none() {
+        problems.push("missing numeric \"pr\"".into());
+    }
+    if doc.get("smoke").and_then(JsonValue::as_bool).is_none() {
+        problems.push("missing boolean \"smoke\"".into());
+    }
+    let Some(cases) = doc.get("cases").and_then(JsonValue::as_array) else {
+        problems.push("missing \"cases\" array".into());
+        return problems;
+    };
+    if cases.is_empty() {
+        problems.push("\"cases\" is empty".into());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        for key in ["engine", "workload"] {
+            if case.get(key).and_then(JsonValue::as_str).is_none() {
+                problems.push(format!("case {i}: missing string {key:?}"));
+            }
+        }
+        for key in ["events", "hunts", "matches"] {
+            if case.get(key).and_then(JsonValue::as_f64).is_none() {
+                problems.push(format!("case {i}: missing numeric {key:?}"));
+            }
+        }
+        match case.get("latency_ns") {
+            Some(lat) => {
+                for key in ["count", "sum", "p50", "p90", "p99", "max"] {
+                    if lat.get(key).and_then(JsonValue::as_f64).is_none() {
+                        problems.push(format!("case {i}: latency_ns missing {key:?}"));
+                    }
+                }
+                let count = lat.get("count").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                if count <= 0.0 {
+                    problems.push(format!("case {i}: latency_ns.count must be > 0"));
+                }
+            }
+            None => problems.push(format!("case {i}: missing \"latency_ns\"")),
+        }
+    }
+    problems
+}
+
+/// Human-readable trajectory diff: p50/p99 latency per case, current vs.
+/// a previous record (matched on engine + workload; unmatched cases are
+/// listed as new/dropped). `previous` may be any prior-PR record.
+pub fn diff(current: &JsonValue, previous: &JsonValue) -> String {
+    fn index(doc: &JsonValue) -> Vec<(String, &JsonValue)> {
+        doc.get("cases")
+            .and_then(JsonValue::as_array)
+            .map(|cases| {
+                cases
+                    .iter()
+                    .filter_map(|c| {
+                        let engine = c.get("engine").and_then(JsonValue::as_str)?;
+                        let workload = c.get("workload").and_then(JsonValue::as_str)?;
+                        Some((format!("{engine}/{workload}"), c))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+    fn p(case: &JsonValue, q: &str) -> f64 {
+        case.get("latency_ns")
+            .and_then(|l| l.get(q))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+    }
+    let cur = index(current);
+    let prev = index(previous);
+    let prev_pr = previous
+        .get("pr")
+        .and_then(JsonValue::as_f64)
+        .map(|v| format!("PR {v}"))
+        .unwrap_or_else(|| "previous".into());
+    let mut out = format!("trajectory vs {prev_pr} (latency ns; shape, not absolutes):\n");
+    for (key, c) in &cur {
+        match prev.iter().find(|(k, _)| k == key).map(|(_, p)| *p) {
+            Some(old) => {
+                let (c50, o50) = (p(c, "p50"), p(old, "p50"));
+                let (c99, o99) = (p(c, "p99"), p(old, "p99"));
+                let ratio = |new: f64, old: f64| {
+                    if old > 0.0 {
+                        format!("{:+.0}%", (new / old - 1.0) * 100.0)
+                    } else {
+                        "n/a".into()
+                    }
+                };
+                out.push_str(&format!(
+                    "  {key}: p50 {c50:.0} ({}) p99 {c99:.0} ({})\n",
+                    ratio(c50, o50),
+                    ratio(c99, o99)
+                ));
+            }
+            None => out.push_str(&format!("  {key}: new (no previous record)\n")),
+        }
+    }
+    for (key, _) in &prev {
+        if !cur.iter().any(|(k, _)| k == key) {
+            out.push_str(&format!("  {key}: dropped (present in {prev_pr} only)\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_definition_covers_every_engine() {
+        let w = workloads(true);
+        assert_eq!(w.len(), 2);
+        assert_eq!(EngineKind::ALL.len(), 4);
+        let names: Vec<&str> = EngineKind::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["single", "sharded", "streaming", "server"]);
+    }
+
+    #[test]
+    fn single_case_measures_through_the_registry() {
+        let w = Workload {
+            name: "tiny",
+            seed: 42,
+            target_events: 1_500,
+            queries: &["proc p read file f return p"],
+            repeat: 2,
+        };
+        let result = run_case(EngineKind::Single, &w);
+        assert_eq!(result.hunts, 2, "repeat × queries");
+        assert_eq!(result.latency.count, 2);
+        assert!(result.latency.p50 > 0, "hunts take nonzero time");
+        assert!(result.latency.p50 <= result.latency.p99);
+        assert!(result.events > 0);
+    }
+
+    #[test]
+    fn record_round_trips_and_validates() {
+        let w = Workload {
+            name: "tiny",
+            seed: 42,
+            target_events: 1_500,
+            queries: &["proc p read file f return p"],
+            repeat: 1,
+        };
+        let results = vec![
+            run_case(EngineKind::Single, &w),
+            run_case(EngineKind::Sharded, &w),
+        ];
+        let doc = to_json(&results, true);
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+        let reparsed = JsonValue::parse(&doc.pretty()).expect("valid JSON");
+        assert!(validate(&reparsed).is_empty());
+        // The diff against itself reports no new/dropped cases.
+        let report = diff(&reparsed, &reparsed);
+        assert!(report.contains("single/tiny"));
+        assert!(!report.contains("dropped"));
+        assert!(!report.contains("no previous record"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_records() {
+        let empty = JsonValue::Obj(vec![]);
+        assert!(!validate(&empty).is_empty());
+        let wrong = JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str("other/v9".into())),
+            ("pr".into(), JsonValue::Num(6.0)),
+            ("smoke".into(), JsonValue::Bool(true)),
+            ("cases".into(), JsonValue::Arr(vec![])),
+        ]);
+        let problems = validate(&wrong);
+        assert!(problems.iter().any(|p| p.contains("unknown schema")));
+        assert!(problems.iter().any(|p| p.contains("empty")));
+    }
+}

@@ -46,6 +46,7 @@
 pub use threatraptor_audit as audit;
 pub use threatraptor_engine as engine;
 pub use threatraptor_nlp as nlp;
+pub use threatraptor_obs as obs;
 pub use threatraptor_service as service;
 pub use threatraptor_storage as storage;
 pub use threatraptor_synth as synth;
@@ -56,6 +57,7 @@ pub use threatraptor_audit::parser::{LogChunk, ParseError, ParsedLog};
 pub use threatraptor_engine::{Engine, EngineError, ExecMode, HuntResult, ShardedEngine};
 pub use threatraptor_nlp::pipeline::FIG2_OSCTI_TEXT;
 pub use threatraptor_nlp::{ExtractionResult, ThreatBehaviorGraph, ThreatExtractor};
+pub use threatraptor_obs::{JsonValue, MetricsSnapshot, Registry, TraceSink};
 pub use threatraptor_service::{
     FollowDelta, FollowEvent, FollowHunt, FollowSubscription, HuntJob, HuntServer, HuntService,
     IngestConfig, IngestService, JobHandle, JobId, JobReport, ServerConfig, ServiceConfig,

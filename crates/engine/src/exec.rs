@@ -430,6 +430,7 @@ pub(crate) fn run_schedule(
         // variables.
         let mut extra: HashMap<String, Predicate> = HashMap::new();
         if mode == ExecMode::Scheduled {
+            let t_prop = Instant::now();
             if let Some(ms) = &partial {
                 for var in [&pat.subject_var, &pat.object_var] {
                     let ids: HashSet<Value> = ms
@@ -442,13 +443,20 @@ pub(crate) fn run_schedule(
                     }
                 }
             }
+            stats.propagate_elapsed += t_prop.elapsed();
         }
 
+        let t_fetch = Instant::now();
         let rows = fetch(pat, &extra);
         stats.execution_order.push(pat.id.clone());
         stats.rows_fetched.push((pat.id.clone(), rows.len()));
+        stats
+            .pattern_elapsed
+            .push((pat.id.clone(), t_fetch.elapsed()));
 
+        let t_join = Instant::now();
         partial = Some(join_rows(cq, partial, rows, pat));
+        stats.join_elapsed += t_join.elapsed();
         if partial.as_ref().is_some_and(Vec::is_empty) {
             // No match can exist; still record remaining patterns as
             // skipped with zero rows for the stats.
@@ -457,7 +465,9 @@ pub(crate) fn run_schedule(
     }
 
     let matches = partial.unwrap_or_default();
+    let t_project = Instant::now();
     let (columns, rows) = project_matches(cq, &matches, entity_attr);
+    stats.project_elapsed = t_project.elapsed();
     stats.elapsed = t0.elapsed();
     HuntResult {
         columns,

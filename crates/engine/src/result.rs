@@ -27,8 +27,41 @@ pub struct HuntStats {
     pub execution_order: Vec<String>,
     /// Rows produced by each pattern's data query, in execution order.
     pub rows_fetched: Vec<(String, usize)>,
+    /// Wall time spent in each pattern's data query (the scan), in
+    /// execution order.
+    pub pattern_elapsed: Vec<(String, Duration)>,
+    /// Wall time building cross-pattern IN-set filters (constraint
+    /// propagation; zero in independent mode).
+    pub propagate_elapsed: Duration,
+    /// Wall time joining fetched rows into the partial match set.
+    pub join_elapsed: Duration,
+    /// Wall time projecting matches into output rows.
+    pub project_elapsed: Duration,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+}
+
+impl HuntStats {
+    /// Total wall time across all pattern scans.
+    pub fn scan_elapsed(&self) -> Duration {
+        self.pattern_elapsed.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Total rows fetched across all patterns.
+    pub fn total_rows(&self) -> usize {
+        self.rows_fetched.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Records the per-stage breakdown into a [`TraceSink`] (one
+    /// sample per stage: `scan`, `propagate`, `join`, `project`).
+    ///
+    /// [`TraceSink`]: threatraptor_obs::TraceSink
+    pub fn record_stages(&self, sink: &threatraptor_obs::TraceSink) {
+        sink.record("scan", self.scan_elapsed());
+        sink.record("propagate", self.propagate_elapsed);
+        sink.record("join", self.join_elapsed);
+        sink.record("project", self.project_elapsed);
+    }
 }
 
 /// The result of executing a TBQL query.

@@ -1,0 +1,35 @@
+//! ThreatRaptor telemetry layer.
+//!
+//! The paper's headline claim is hunting *efficiency*; this crate
+//! makes that measurable. It provides, with zero external
+//! dependencies:
+//!
+//! - **Metric primitives** ([`Counter`], [`Gauge`], [`Histogram`]) —
+//!   lock-free atomic cells; histograms use 64 log2 buckets with
+//!   nearest-rank p50/p90/p99 extraction and an exact max.
+//! - **A registry** ([`Registry`], [`Scope`]) — get-or-create
+//!   registration keyed by name + sorted labels, deterministic
+//!   snapshot order, a process-global instance plus per-instance
+//!   registries for tenant isolation.
+//! - **Span tracing** ([`TraceSink`], [`Span`]) — RAII per-stage wall
+//!   clock timers for the hunt lifecycle (parse → compile → propagate
+//!   → scan → join → project → synthesize) and the serving lifecycle
+//!   (queue wait, execution, ingest, dispatch, follow push).
+//! - **Exposition** ([`MetricsSnapshot`]) — render as Prometheus-style
+//!   text or JSON; [`JsonValue`] is a minimal parser/printer the bench
+//!   trajectory records build on.
+//!
+//! Everything is `std`-only to match the repo's offline-shim
+//! constraint.
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use json::{JsonError, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, HISTOGRAM_BUCKETS};
+pub use registry::{MetricKey, Registry, Scope};
+pub use snapshot::{MetricsSnapshot, Sample, SampleValue};
+pub use trace::{Span, TraceSink};

@@ -1,0 +1,397 @@
+//! Lock-free metric primitives: counters, gauges, and log2-bucketed
+//! latency histograms with percentile extraction.
+//!
+//! All three types are cheap `Arc`-shared cells updated with relaxed
+//! atomics — a recorded sample is a handful of `fetch_add`s, never a
+//! lock. Snapshots read the same atomics, so a snapshot taken while
+//! writers are active is a consistent-enough point-in-time view (each
+//! individual cell is exact; cross-cell skew is bounded by in-flight
+//! updates).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of log2 buckets in a [`Histogram`].
+///
+/// Bucket `i` covers values whose highest set bit is `i`, i.e. the
+/// half-open range `[2^i, 2^(i+1))` (bucket 0 holds 0 and 1). With
+/// 64 buckets the histogram covers the full `u64` range, which is
+/// plenty for nanosecond latencies (bucket 34 is ~17 s).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, live
+/// subscription counts, open-window sizes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 histogram for latency-style values.
+///
+/// Recording is lock-free: one `fetch_add` into the value's log2
+/// bucket plus count/sum accumulators and a `fetch_max` for the exact
+/// maximum. Percentiles are extracted nearest-rank over the cumulative
+/// bucket counts; a reported quantile is the upper bound of the bucket
+/// containing that rank, clamped to the observed maximum, so
+/// `p50 <= p90 <= p99 <= max` always holds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log2 bucket index for a value: the position of its highest set bit
+/// (0 and 1 both land in bucket 0).
+fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`: `2^(i+1) - 1`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary with percentiles.
+    pub fn summary(&self) -> HistogramSummary {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        // Derive the total from the bucket array itself so the
+        // percentile ranks are consistent with the cumulative walk
+        // even while writers race with this snapshot.
+        let count: u64 = buckets.iter().sum();
+        let max = self.max();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Nearest-rank: the smallest bucket whose cumulative
+            // count reaches ceil(q * count).
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum: self.sum(),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// 50th percentile (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Raw per-bucket counts (log2 buckets).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> HistogramSummary {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            max: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 3);
+        assert_eq!(bucket_upper(9), 1023);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_exact_fields() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_monotonic_and_clamped() {
+        let h = Histogram::new();
+        // Skewed distribution: many small, few large.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let s = h.summary();
+        assert!(s.p50 <= s.p90, "p50={} p90={}", s.p50, s.p90);
+        assert!(s.p90 <= s.p99, "p90={} p99={}", s.p90, s.p99);
+        assert!(s.p99 <= s.max, "p99={} max={}", s.p99, s.max);
+        // p50 falls in bucket of value 10 → upper bound 15.
+        assert_eq!(s.p50, 15);
+        // max is exact.
+        assert_eq!(s.max, 1_000_000);
+    }
+
+    #[test]
+    fn single_sample_percentiles_equal_max() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.summary();
+        assert_eq!(s.p50, 777);
+        assert_eq!(s.p90, 777);
+        assert_eq!(s.p99, 777);
+        assert_eq!(s.max, 777);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_hammering_exact() {
+        let c = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_hammering_exact_counts() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic spread across several buckets.
+                        h.record((i % 10) * 100 + t as u64);
+                    }
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().unwrap();
+        }
+        let s = h.summary();
+        assert_eq!(s.count, threads as u64 * per_thread);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // Max value generated: 9*100 + 7 = 907.
+        assert_eq!(s.max, 907);
+    }
+}

@@ -1,0 +1,138 @@
+//! Hunt-stage span tracing.
+//!
+//! A [`TraceSink`] names one histogram family (e.g. `hunt_stage_ns`);
+//! each [`Span`] it opens records wall time into the
+//! `{stage="<name>"}` series when dropped, and bumps a parallel
+//! `<family>_total{stage=...}` counter. Spans are RAII so
+//! instrumented code can't forget to close them, and `record()`
+//! exists for stages whose duration is measured elsewhere (e.g. a
+//! queue wait computed from a submit timestamp).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Counter, Histogram};
+use crate::registry::Registry;
+
+/// A named family of per-stage timers over a shared registry.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    registry: Arc<Registry>,
+    family: String,
+}
+
+impl TraceSink {
+    /// Creates a sink recording into `<family>{stage=...}` histograms
+    /// (nanoseconds) and `<family>_total{stage=...}` counters.
+    pub fn new(registry: Arc<Registry>, family: &str) -> TraceSink {
+        TraceSink {
+            registry,
+            family: family.to_string(),
+        }
+    }
+
+    fn series(&self, stage: &str) -> (Arc<Histogram>, Arc<Counter>) {
+        let hist = self
+            .registry
+            .histogram_labeled(&self.family, &[("stage", stage)]);
+        let count = self
+            .registry
+            .counter_labeled(&format!("{}_total", self.family), &[("stage", stage)]);
+        (hist, count)
+    }
+
+    /// Opens an RAII span for `stage`; elapsed time is recorded on
+    /// drop.
+    pub fn span(&self, stage: &str) -> Span {
+        let (hist, count) = self.series(stage);
+        Span {
+            hist,
+            count,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an externally measured duration for `stage`.
+    pub fn record(&self, stage: &str, elapsed: Duration) {
+        let (hist, count) = self.series(stage);
+        hist.record_duration(elapsed);
+        count.inc();
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+/// An in-flight stage timer; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    count: Arc<Counter>,
+    start: Instant,
+}
+
+impl Span {
+    /// Time elapsed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+        self.count.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let registry = Arc::new(Registry::new());
+        let sink = TraceSink::new(Arc::clone(&registry), "stage_ns");
+        {
+            let _span = sink.span("parse");
+        }
+        {
+            let _span = sink.span("parse");
+        }
+        let snap = registry.snapshot();
+        let h = snap.histogram("stage_ns", &[("stage", "parse")]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(
+            snap.get("stage_ns_total", &[("stage", "parse")])
+                .map(|s| s.value.clone()),
+            Some(crate::snapshot::SampleValue::Counter(2))
+        );
+    }
+
+    #[test]
+    fn record_takes_external_durations() {
+        let registry = Arc::new(Registry::new());
+        let sink = TraceSink::new(Arc::clone(&registry), "job_ns");
+        sink.record("queue_wait", Duration::from_micros(5));
+        let snap = registry.snapshot();
+        let h = snap
+            .histogram("job_ns", &[("stage", "queue_wait")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 5_000, "expected >= 5us in ns, got {}", h.max);
+    }
+
+    #[test]
+    fn stages_are_separate_series() {
+        let registry = Arc::new(Registry::new());
+        let sink = TraceSink::new(Arc::clone(&registry), "s");
+        drop(sink.span("a"));
+        drop(sink.span("b"));
+        drop(sink.span("b"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("s", &[("stage", "a")]).unwrap().count, 1);
+        assert_eq!(snap.histogram("s", &[("stage", "b")]).unwrap().count, 2);
+    }
+}

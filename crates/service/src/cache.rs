@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use threatraptor_engine::compile::{compile, CompiledQuery};
 use threatraptor_engine::EngineError;
 use threatraptor_nlp::ThreatExtractor;
+use threatraptor_obs::{Counter, Registry, TraceSink};
 use threatraptor_synth::{synthesize, SynthesisError};
 use threatraptor_tbql::analyze::analyze;
 use threatraptor_tbql::parser::parse_query;
@@ -185,6 +186,21 @@ fn evict_lru<K: Clone + Eq + std::hash::Hash, V>(
     evicted
 }
 
+/// Registry handles for cache telemetry, attached at most once per
+/// cache (the cache is shared via `Arc`, so interior attachment avoids
+/// constructor churn at every creation site).
+#[derive(Debug)]
+struct CacheObs {
+    /// `plan_cache_hits_total`.
+    hits: Arc<Counter>,
+    /// `plan_cache_misses_total`.
+    misses: Arc<Counter>,
+    /// `plan_cache_evictions_total` (plans + syntheses).
+    evictions: Arc<Counter>,
+    /// `hunt_stage_ns{stage=parse|analyze|compile|synthesize}`.
+    trace: TraceSink,
+}
+
 /// Thread-safe plan + synthesis cache, shared by all scheduler workers.
 /// Both maps are size-capped (LRU): see [`PlanCache::with_capacities`].
 #[derive(Debug)]
@@ -202,6 +218,8 @@ pub struct PlanCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    /// Telemetry handles, attached at most once.
+    obs: OnceLock<CacheObs>,
 }
 
 impl Default for PlanCache {
@@ -229,6 +247,28 @@ impl PlanCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches cache telemetry to `registry`: `plan_cache_*` counters
+    /// plus `hunt_stage_ns{stage=parse|analyze|compile|synthesize}`
+    /// timers around the compile pipeline. Idempotent; the first
+    /// registry attached wins (the cache is shared, one owner
+    /// instruments it).
+    pub fn attach_metrics(&self, registry: &Arc<Registry>) {
+        let _ = self.obs.set(CacheObs {
+            hits: registry.counter("plan_cache_hits_total"),
+            misses: registry.counter("plan_cache_misses_total"),
+            evictions: registry.counter("plan_cache_evictions_total"),
+            trace: TraceSink::new(Arc::clone(registry), "hunt_stage_ns"),
+        });
+    }
+
+    fn observe_evictions(&self, evicted: usize) {
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.evictions.add(evicted as u64);
         }
     }
 
@@ -248,14 +288,25 @@ impl PlanCache {
         {
             slot.last_used.store(self.next_tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs.get() {
+                obs.hits.inc();
+            }
             return Ok((Arc::clone(&slot.plan), true));
         }
 
         // Compile outside any lock: compilation is pure, and two workers
         // racing on the same key just do redundant work once.
+        let trace = self.obs.get().map(|obs| &obs.trace);
+        let stage = |name: &str, trace: Option<&TraceSink>| trace.map(|t| t.span(name));
+        let span = stage("parse", trace);
         let query = parse_query(tbql_src)?;
+        drop(span);
+        let span = stage("analyze", trace);
         let analyzed = analyze(&query)?;
+        drop(span);
+        let span = stage("compile", trace);
         let compiled = compile(&analyzed)?;
+        drop(span);
         let plan = Arc::new(CachedPlan {
             tbql: print_query(&query),
             compiled,
@@ -271,8 +322,11 @@ impl PlanCache {
             slot.last_used.load(Ordering::Relaxed)
         });
         drop(plans);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.observe_evictions(evicted);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.misses.inc();
+        }
         Ok((plan, false))
     }
 
@@ -298,8 +352,11 @@ impl PlanCache {
             let evicted = evict_lru(&mut map, self.synthesis_capacity, |s| s.last_used);
             (cell, evicted)
         };
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.observe_evictions(evicted);
         cell.get_or_init(|| {
+            // The span only exists on the path that actually runs the
+            // NLP pipeline; memoized calls record nothing.
+            let _span = self.obs.get().map(|obs| obs.trace.span("synthesize"));
             let extraction = ThreatExtractor::new().extract(report);
             synthesize(&extraction.graph).map(|q| print_query(&q))
         })
@@ -436,6 +493,43 @@ mod tests {
             std::mem::size_of::<ReportKey>(),
             std::mem::size_of::<[u64; 2]>() + std::mem::size_of::<usize>()
         );
+    }
+
+    #[test]
+    fn attached_metrics_mirror_cache_stats() {
+        let registry = Arc::new(Registry::new());
+        let cache = PlanCache::with_capacities(2, 2);
+        cache.attach_metrics(&registry);
+        let q = |path: &str| format!("proc p[\"%{path}%\"] read file f return p");
+        cache.plan(&q("/bin/a")).unwrap();
+        cache.plan(&q("/bin/a")).unwrap();
+        cache.plan(&q("/bin/b")).unwrap();
+        cache.plan(&q("/bin/c")).unwrap();
+        let _ = cache.synthesize_report("Attackers read /etc/passwd with /bin/cat.");
+
+        let s = cache.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("plan_cache_hits_total"), Some(s.hits as u64));
+        assert_eq!(
+            snap.counter("plan_cache_misses_total"),
+            Some(s.misses as u64)
+        );
+        assert_eq!(
+            snap.counter("plan_cache_evictions_total"),
+            Some(s.evictions as u64)
+        );
+        assert!(s.evictions >= 1, "capacity 2 with 3 plans must evict");
+        // Compile-pipeline stages were traced on the miss path only.
+        for stage in ["parse", "analyze", "compile"] {
+            let h = snap
+                .histogram("hunt_stage_ns", &[("stage", stage)])
+                .unwrap_or_else(|| panic!("missing {stage} series"));
+            assert_eq!(h.count, s.misses as u64, "{stage} per miss");
+        }
+        let synth = snap
+            .histogram("hunt_stage_ns", &[("stage", "synthesize")])
+            .unwrap();
+        assert_eq!(synth.count, 1);
     }
 
     #[test]

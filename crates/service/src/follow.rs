@@ -41,6 +41,7 @@ use threatraptor_audit::entity::EntityId;
 use threatraptor_audit::event::Operation;
 use threatraptor_engine::result::{HuntStats, Match};
 use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
+use threatraptor_obs::{Counter, Registry};
 use threatraptor_storage::ShardedStore;
 
 /// Stable identity of one witnessing event: the CPR *run identity* —
@@ -90,6 +91,9 @@ fn match_key(m: &Match, store: &ShardedStore) -> MatchKey {
 fn merge_stats(running: &mut HuntStats, poll: &HuntStats) {
     running.execution_order = poll.execution_order.clone();
     running.elapsed += poll.elapsed;
+    running.propagate_elapsed += poll.propagate_elapsed;
+    running.join_elapsed += poll.join_elapsed;
+    running.project_elapsed += poll.project_elapsed;
     for (pat, fetched) in &poll.rows_fetched {
         if let Some((_, total)) = running.rows_fetched.iter_mut().find(|(p, _)| p == pat) {
             *total += fetched;
@@ -97,6 +101,34 @@ fn merge_stats(running: &mut HuntStats, poll: &HuntStats) {
             running.rows_fetched.push((pat.clone(), *fetched));
         }
     }
+    for (pat, elapsed) in &poll.pattern_elapsed {
+        if let Some((_, total)) = running.pattern_elapsed.iter_mut().find(|(p, _)| p == pat) {
+            *total += *elapsed;
+        } else {
+            running.pattern_elapsed.push((pat.clone(), *elapsed));
+        }
+    }
+}
+
+/// Registry handles for follow-hunt telemetry. The counters are
+/// *cumulative across the hunt's lifetime* and live in the registry,
+/// not in any delivered [`FollowDelta`] — a subscriber that crashes
+/// (or drops deltas) loses nothing: the totals remain scrapeable.
+/// When several follow hunts share one registry the counters
+/// aggregate across all of them.
+#[derive(Debug, Clone)]
+struct FollowObs {
+    /// `follow_polls_total`: polls, including free unchanged ones.
+    polls: Arc<Counter>,
+    /// `follow_executions_total`: polls that actually re-executed.
+    executions: Arc<Counter>,
+    /// `follow_rows_scanned_total`: rows fetched across all patterns
+    /// and executions.
+    rows_scanned: Arc<Counter>,
+    /// `follow_matches_total`: matches delivered (exactly-once).
+    matches: Arc<Counter>,
+    /// For `follow_pattern_rows_total{pattern=...}` series.
+    registry: Arc<Registry>,
 }
 
 /// What one poll produced.
@@ -135,6 +167,8 @@ pub struct FollowHunt {
     /// an equal mark lets the poll skip execution entirely.
     last_raw: Option<usize>,
     polls: usize,
+    /// Telemetry handles, when attached.
+    obs: Option<FollowObs>,
 }
 
 impl FollowHunt {
@@ -148,7 +182,22 @@ impl FollowHunt {
             result: None,
             last_raw: None,
             polls: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches cumulative telemetry to `registry`: `follow_*_total`
+    /// counters bumped on every poll. Unlike the per-poll numbers in
+    /// a delivered [`FollowDelta`], these totals survive a subscriber
+    /// crash — they live in the registry, not in the delivery channel.
+    pub fn attach_metrics(&mut self, registry: &Arc<Registry>) {
+        self.obs = Some(FollowObs {
+            polls: registry.counter("follow_polls_total"),
+            executions: registry.counter("follow_executions_total"),
+            rows_scanned: registry.counter("follow_rows_scanned_total"),
+            matches: registry.counter("follow_matches_total"),
+            registry: Arc::clone(registry),
+        });
     }
 
     /// The canonical TBQL text of the standing query.
@@ -172,6 +221,9 @@ impl FollowHunt {
     /// deltas without meaning).
     pub fn poll(&mut self, snapshot: &ShardedStore) -> Result<FollowDelta, ServiceError> {
         self.polls += 1;
+        if let Some(obs) = &self.obs {
+            obs.polls.inc();
+        }
         let t0 = Instant::now();
         let raw = snapshot.reduction().before;
         if self.last_raw == Some(raw) {
@@ -216,6 +268,17 @@ impl FollowHunt {
         running.matches.extend(delta_matches);
         let rows = delta_rows.clone();
         running.rows.extend(delta_rows);
+
+        if let Some(obs) = &self.obs {
+            obs.executions.inc();
+            obs.rows_scanned.add(full.stats.total_rows() as u64);
+            obs.matches.add(new_matches as u64);
+            for (pat, fetched) in &full.stats.rows_fetched {
+                obs.registry
+                    .counter_labeled("follow_pattern_rows_total", &[("pattern", pat)])
+                    .add(*fetched as u64);
+            }
+        }
 
         Ok(FollowDelta {
             new_matches,
@@ -435,6 +498,56 @@ mod tests {
         // have grown past any single execution.
         assert!(running.stats.elapsed <= summed_elapsed);
         assert!(running.stats.elapsed > Duration::ZERO);
+    }
+
+    /// Satellite (ISSUE 6): cumulative scan counters are exposed via
+    /// the registry, so dropping every delivered delta (a crashed
+    /// subscriber) loses nothing.
+    #[test]
+    fn registry_counters_survive_dropped_deltas() {
+        let sc = ScenarioBuilder::new()
+            .seed(42)
+            .attacks(&[AttackKind::DataLeakage])
+            .target_events(2_000)
+            .build();
+        let registry = Arc::new(Registry::new());
+        let mut store = StreamingStore::new(true, SealPolicy::events(300));
+        let mut hunt = follow(FIG2_TBQL);
+        hunt.attach_metrics(&registry);
+        store.append_batch(&sc.log.entities, &[]);
+
+        for batch in sc.log.events.chunks(500) {
+            store.append_batch(&[], batch);
+            // Delta dropped on the floor — totals must not be lost.
+            let _ = hunt.poll(&store.snapshot()).unwrap();
+        }
+        // One extra unchanged poll: counted as a poll, not an execution.
+        let _ = hunt.poll(&store.snapshot()).unwrap();
+
+        let snap = registry.snapshot();
+        let polls = snap.counter("follow_polls_total").unwrap();
+        let execs = snap.counter("follow_executions_total").unwrap();
+        assert_eq!(polls, hunt.polls() as u64);
+        assert_eq!(execs, polls - 1);
+        let running = hunt.result().unwrap();
+        assert_eq!(
+            snap.counter("follow_rows_scanned_total").unwrap(),
+            running.stats.total_rows() as u64
+        );
+        assert_eq!(
+            snap.counter("follow_matches_total").unwrap(),
+            running.matches.len() as u64
+        );
+        // Per-pattern series mirror the running per-pattern counters.
+        for (pat, total) in &running.stats.rows_fetched {
+            let sample = snap
+                .get("follow_pattern_rows_total", &[("pattern", pat)])
+                .unwrap_or_else(|| panic!("missing series for {pat}"));
+            assert_eq!(
+                sample.value,
+                threatraptor_obs::SampleValue::Counter(*total as u64)
+            );
+        }
     }
 
     #[test]

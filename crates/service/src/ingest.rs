@@ -41,6 +41,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
+use threatraptor_obs::{MetricsSnapshot, Registry, TraceSink};
 use threatraptor_storage::cpr::ReductionStats;
 use threatraptor_storage::{AppendOutcome, SealPolicy, ShardedStore, StreamingStore};
 
@@ -132,6 +133,16 @@ pub struct IngestService {
     /// closes the check-then-wait race in [`IngestService::wait_epoch_newer`].
     gate: Mutex<()>,
     gate_cond: Condvar,
+    /// This service's metric registry: the stream, the plan cache, and
+    /// every hunt/follow running through this service record here.
+    /// Per-instance (not the process-global registry) so co-hosted
+    /// services — per-tenant deployments — keep separate telemetry.
+    registry: Arc<Registry>,
+    /// `serve_stage_ns{stage=ingest_append|seal|snapshot_build}`.
+    serve_trace: TraceSink,
+    /// `hunt_stage_ns{stage=scan|propagate|join|project|...}` — shared
+    /// family with the cache's parse/analyze/compile/synthesize spans.
+    hunt_trace: TraceSink,
 }
 
 impl IngestService {
@@ -143,7 +154,10 @@ impl IngestService {
     /// An empty service sharing an existing plan cache (so a server's
     /// ad-hoc jobs and its standing queries compile each query once).
     pub fn with_cache(config: IngestConfig, cache: Arc<PlanCache>) -> IngestService {
-        let stream = StreamingStore::new(config.cpr, config.policy);
+        let registry = Arc::new(Registry::new());
+        let mut stream = StreamingStore::new(config.cpr, config.policy);
+        stream.attach_metrics(&registry);
+        cache.attach_metrics(&registry);
         let epoch = stream.epoch_handle();
         IngestService {
             stream: RwLock::new(stream),
@@ -152,17 +166,36 @@ impl IngestService {
             epoch,
             gate: Mutex::new(()),
             gate_cond: Condvar::new(),
+            serve_trace: TraceSink::new(Arc::clone(&registry), "serve_stage_ns"),
+            hunt_trace: TraceSink::new(Arc::clone(&registry), "hunt_stage_ns"),
+            registry,
         }
+    }
+
+    /// This service's metric registry. Attach additional components
+    /// here (e.g. a server's worker pool) so one snapshot covers the
+    /// whole instance.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every metric recorded by this
+    /// service: storage counters, cache counters, hunt/serve stage
+    /// timings, follow-hunt totals.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Appends one parsed chunk, auto-sealing under the policy, and wakes
     /// epoch waiters.
     pub fn append(&self, chunk: &LogChunk) -> AppendOutcome {
+        let span = self.serve_trace.span("ingest_append");
         let outcome = self
             .stream
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .append(chunk);
+        drop(span);
         self.notify();
         outcome
     }
@@ -170,12 +203,14 @@ impl IngestService {
     /// Manually freezes the open window's stable prefix into an immutable
     /// shard. Returns whether anything was sealed.
     pub fn seal(&self) -> bool {
+        let span = self.serve_trace.span("seal");
         let sealed = self
             .stream
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .seal()
             .is_some();
+        drop(span);
         if sealed {
             self.notify();
         }
@@ -187,12 +222,15 @@ impl IngestService {
     /// held only for the cheap parts extraction; indexing the open
     /// window happens after it is released.
     pub fn snapshot(&self) -> ShardedStore {
+        let span = self.serve_trace.span("snapshot_build");
         let parts = self
             .stream
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .snapshot_parts();
-        parts.build()
+        let store = parts.build();
+        drop(span);
+        store
     }
 
     /// Current stream epoch — one atomic load, no lock. Differs between
@@ -251,9 +289,11 @@ impl IngestService {
     pub fn hunt(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
         let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
         let snapshot = self.snapshot();
-        ShardedEngine::with_threads(&snapshot, self.config.shard_threads)
+        let result = ShardedEngine::with_threads(&snapshot, self.config.shard_threads)
             .execute(&plan.compiled, self.config.mode)
-            .map_err(ServiceError::Engine)
+            .map_err(ServiceError::Engine)?;
+        result.stats.record_stages(&self.hunt_trace);
+        Ok(result)
     }
 
     /// Opens a follow-mode hunt: the query is compiled once (through the
@@ -263,6 +303,7 @@ impl IngestService {
     pub fn hunt_follow(&self, tbql: &str) -> Result<(FollowHunt, FollowDelta), ServiceError> {
         let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
         let mut hunt = FollowHunt::new(plan, self.config.mode, self.config.shard_threads);
+        hunt.attach_metrics(&self.registry);
         let delta = hunt.poll(&self.snapshot())?;
         Ok((hunt, delta))
     }

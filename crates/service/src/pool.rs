@@ -22,8 +22,9 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use threatraptor_obs::{Counter, Gauge, Registry};
 
 /// A unit of pool work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -37,6 +38,19 @@ pub enum SubmitError {
     Shutdown,
 }
 
+/// Registry handles for pool telemetry, shared by every worker thread.
+#[derive(Debug, Clone)]
+struct PoolObs {
+    /// `job_queue_depth`: tasks enqueued but not yet picked up.
+    queue_depth: Arc<Gauge>,
+    /// `pool_tasks_completed_total`: tasks a worker finished (panicking
+    /// tasks count — the worker survived and completed the dispatch).
+    completed: Arc<Counter>,
+    /// `pool_rejected_total`: submissions refused (queue full or pool
+    /// shut down).
+    rejected: Arc<Counter>,
+}
+
 /// A fixed-size pool of detached worker threads behind a bounded queue.
 #[derive(Debug)]
 pub struct WorkerPool {
@@ -44,17 +58,37 @@ pub struct WorkerPool {
     tx: Mutex<Option<Sender<Task>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     workers: usize,
+    /// Telemetry handles, when built via [`WorkerPool::with_metrics`].
+    obs: Option<PoolObs>,
 }
 
 impl WorkerPool {
     /// Spawns `workers` detached threads (clamped to ≥ 1) sharing one
     /// queue of at most `queue_capacity` pending tasks (clamped to ≥ 1).
     pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        Self::build(workers, queue_capacity, None)
+    }
+
+    /// [`WorkerPool::new`] with pool telemetry registered on `registry`:
+    /// a `job_queue_depth` gauge plus `pool_tasks_completed_total` and
+    /// `pool_rejected_total` counters. Attached at construction because
+    /// the worker threads capture their handles at spawn time.
+    pub fn with_metrics(workers: usize, queue_capacity: usize, registry: &Registry) -> WorkerPool {
+        let obs = PoolObs {
+            queue_depth: registry.gauge("job_queue_depth"),
+            completed: registry.counter("pool_tasks_completed_total"),
+            rejected: registry.counter("pool_rejected_total"),
+        };
+        Self::build(workers, queue_capacity, Some(obs))
+    }
+
+    fn build(workers: usize, queue_capacity: usize, obs: Option<PoolObs>) -> WorkerPool {
         let workers = workers.max(1);
         let (tx, rx) = bounded::<Task>(queue_capacity.max(1));
         let handles = (0..workers)
             .map(|i| {
                 let rx: Receiver<Task> = rx.clone();
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("hunt-worker-{i}"))
                     .spawn(move || {
@@ -62,9 +96,15 @@ impl WorkerPool {
                         // sender is dropped, then disconnects — exactly
                         // the graceful-shutdown order we want.
                         while let Ok(task) = rx.recv() {
+                            if let Some(obs) = &obs {
+                                obs.queue_depth.dec();
+                            }
                             // A panicking task must not kill the worker:
                             // the pool serves unrelated tenants.
                             let _ = catch_unwind(AssertUnwindSafe(task));
+                            if let Some(obs) = &obs {
+                                obs.completed.inc();
+                            }
                         }
                     })
                     .expect("spawning a worker thread")
@@ -74,6 +114,7 @@ impl WorkerPool {
             tx: Mutex::new(Some(tx)),
             handles: Mutex::new(handles),
             workers,
+            obs,
         }
     }
 
@@ -92,10 +133,30 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
-        match tx {
-            Some(tx) => tx.send(task).map_err(|_| SubmitError::Shutdown),
+        let outcome = match tx {
+            Some(tx) => {
+                // Count the task as queued before the (possibly
+                // blocking) send so the gauge covers backpressured
+                // producers too; rolled back on failure.
+                if let Some(obs) = &self.obs {
+                    obs.queue_depth.inc();
+                }
+                let sent = tx.send(task).map_err(|_| SubmitError::Shutdown);
+                if sent.is_err() {
+                    if let Some(obs) = &self.obs {
+                        obs.queue_depth.dec();
+                    }
+                }
+                sent
+            }
             None => Err(SubmitError::Shutdown),
+        };
+        if outcome.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.rejected.inc();
+            }
         }
+        outcome
     }
 
     /// Non-blocking submission: fails fast when the queue is full.
@@ -105,13 +166,30 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
-        match tx {
-            Some(tx) => tx.try_send(task).map_err(|e| match e {
-                TrySendError::Full(_) => SubmitError::Full,
-                TrySendError::Disconnected(_) => SubmitError::Shutdown,
-            }),
+        let outcome = match tx {
+            Some(tx) => {
+                if let Some(obs) = &self.obs {
+                    obs.queue_depth.inc();
+                }
+                let sent = tx.try_send(task).map_err(|e| match e {
+                    TrySendError::Full(_) => SubmitError::Full,
+                    TrySendError::Disconnected(_) => SubmitError::Shutdown,
+                });
+                if sent.is_err() {
+                    if let Some(obs) = &self.obs {
+                        obs.queue_depth.dec();
+                    }
+                }
+                sent
+            }
             None => Err(SubmitError::Shutdown),
+        };
+        if outcome.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.rejected.inc();
+            }
         }
+        outcome
     }
 
     /// Graceful shutdown: stops accepting tasks, lets queued tasks drain,
@@ -178,6 +256,44 @@ mod tests {
             done.load(Ordering::SeqCst),
             1,
             "the single worker must survive the panic and run the next task"
+        );
+    }
+
+    #[test]
+    fn metrics_track_queue_depth_and_completions() {
+        let registry = Registry::new();
+        let pool = WorkerPool::with_metrics(1, 2, &registry);
+        let (block_tx, block_rx) = crossbeam::channel::bounded::<()>(1);
+        // Occupy the worker so queued tasks pile up measurably.
+        pool.submit(Box::new(move || {
+            let _ = block_rx.recv();
+        }))
+        .unwrap();
+        pool.submit(Box::new(|| {})).unwrap();
+        // A rejected try_submit must not leave a phantom queue entry.
+        let mut rejected = 0;
+        while pool.try_submit(Box::new(|| {})) == Err(SubmitError::Full) {
+            rejected += 1;
+            if rejected >= 1 {
+                break;
+            }
+        }
+        let depth = registry.gauge("job_queue_depth").get();
+        assert!(
+            (1..=2).contains(&depth),
+            "blocked worker → 1-2 queued tasks, saw {depth}"
+        );
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(pool.submit(Box::new(|| {})), Err(SubmitError::Shutdown));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("job_queue_depth"), Some(0), "drained");
+        let completed = snap.counter("pool_tasks_completed_total").unwrap();
+        assert!(completed >= 2, "both real tasks completed");
+        assert_eq!(
+            snap.counter("pool_rejected_total"),
+            Some(rejected as u64 + 1),
+            "the Full rejections plus the post-shutdown probe"
         );
     }
 

@@ -42,6 +42,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_engine::HuntResult;
+use threatraptor_obs::{Counter, Histogram, MetricsSnapshot, Registry, TraceSink};
 use threatraptor_storage::{AppendOutcome, ShardedStore};
 
 /// Construction parameters for a [`HuntServer`].
@@ -291,6 +292,40 @@ impl SnapshotCache {
     }
 }
 
+/// Registry handles for the job path, cloned into each submission
+/// closure.
+#[derive(Debug, Clone)]
+struct JobObs {
+    /// `jobs_submitted_total` / `jobs_completed_total` /
+    /// `jobs_rejected_total`.
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    /// `job_queue_wait_ns`: submit → worker pickup.
+    queue_wait_ns: Arc<Histogram>,
+    /// `job_exec_ns`: worker execution (resolution + hunt).
+    exec_ns: Arc<Histogram>,
+    /// `job_latency_ns`: submit → completion (wait + execution).
+    latency_ns: Arc<Histogram>,
+    /// `hunt_stage_ns{stage=scan|propagate|join|project}` for job
+    /// executions (the cache adds parse/analyze/compile/synthesize).
+    hunt_trace: TraceSink,
+}
+
+impl JobObs {
+    fn new(registry: &Arc<Registry>) -> JobObs {
+        JobObs {
+            submitted: registry.counter("jobs_submitted_total"),
+            completed: registry.counter("jobs_completed_total"),
+            rejected: registry.counter("jobs_rejected_total"),
+            queue_wait_ns: registry.histogram("job_queue_wait_ns"),
+            exec_ns: registry.histogram("job_exec_ns"),
+            latency_ns: registry.histogram("job_latency_ns"),
+            hunt_trace: TraceSink::new(Arc::clone(registry), "hunt_stage_ns"),
+        }
+    }
+}
+
 /// The long-lived, event-driven hunt server. See the module docs.
 ///
 /// ```
@@ -336,6 +371,8 @@ pub struct HuntServer {
     next_job: AtomicU64,
     next_follow: AtomicU64,
     config: ServerConfig,
+    /// Job-path telemetry over the ingest service's registry.
+    job_obs: JobObs,
 }
 
 impl HuntServer {
@@ -357,9 +394,14 @@ impl HuntServer {
                 .spawn(move || dispatch_loop(&ingest, &follows, &shutdown, &processed, &snapshots))
                 .expect("spawning the dispatcher thread")
         };
+        let job_obs = JobObs::new(ingest.registry());
         HuntServer {
+            pool: WorkerPool::with_metrics(
+                config.workers,
+                config.queue_capacity,
+                ingest.registry(),
+            ),
             ingest,
-            pool: WorkerPool::new(config.workers, config.queue_capacity),
             follows,
             shutdown,
             processed,
@@ -368,6 +410,7 @@ impl HuntServer {
             next_job: AtomicU64::new(0),
             next_follow: AtomicU64::new(0),
             config,
+            job_obs,
         }
     }
 
@@ -411,6 +454,25 @@ impl HuntServer {
         self.ingest.cache_stats()
     }
 
+    /// The server-wide metrics registry (also reachable through
+    /// [`HuntServer::ingest`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.ingest.registry()
+    }
+
+    /// A point-in-time snapshot of every server metric: storage gauges,
+    /// plan-cache counters, hunt-stage and serving-stage latency
+    /// histograms, job-queue telemetry, and follow-delivery counters.
+    /// Render it with [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.ingest
+            .registry()
+            .gauge("follow_subscriptions")
+            .set(self.follow_count() as i64);
+        self.ingest.metrics()
+    }
+
     /// Enqueues an ad-hoc hunt job. Blocks while the bounded queue is
     /// full (backpressure). The job executes against a current-epoch
     /// snapshot resolved when a worker picks it up (shared across a
@@ -423,14 +485,18 @@ impl HuntServer {
             id,
             state: Arc::clone(&state),
         };
+        self.job_obs.submitted.inc();
+        let submitted_at = Instant::now();
         let fallback = (job.clone(), Arc::clone(&state));
         let ingest = Arc::clone(&self.ingest);
         let snapshots = Arc::clone(&self.snapshots);
+        let obs = self.job_obs.clone();
         let (shard_threads, mode) = (self.config.ingest.shard_threads, self.config.ingest.mode);
         let accepted = !self.shutdown.load(Ordering::Acquire)
             && self
                 .pool
                 .submit(Box::new(move || {
+                    obs.queue_wait_ns.record_duration(submitted_at.elapsed());
                     let snapshot = snapshots.get(&ingest);
                     let report = execute_job(
                         &snapshot,
@@ -440,10 +506,20 @@ impl HuntServer {
                         id.0 as usize,
                         &job,
                     );
+                    obs.exec_ns.record_duration(report.elapsed);
+                    if let Ok(result) = &report.outcome {
+                        result.stats.record_stages(&obs.hunt_trace);
+                    }
+                    // Record *before* completing the handle: a caller
+                    // snapshotting metrics right after wait() must see
+                    // this job's latency.
+                    obs.latency_ns.record_duration(submitted_at.elapsed());
+                    obs.completed.inc();
                     state.complete(report);
                 }))
                 .is_ok();
         if !accepted {
+            self.job_obs.rejected.inc();
             let (job, state) = fallback;
             state.complete(JobReport {
                 index: id.0 as usize,
@@ -482,6 +558,7 @@ impl HuntServer {
             self.config.ingest.mode,
             self.config.ingest.shard_threads,
         );
+        hunt.attach_metrics(self.ingest.registry());
         let id = self.next_follow.fetch_add(1, Ordering::Relaxed);
         // Unbounded on purpose: the dispatcher must never block on a slow
         // subscriber (deltas are small — rows of the new matches).
@@ -602,6 +679,13 @@ fn dispatch_loop(
     processed: &AtomicU64,
     snapshots: &SnapshotCache,
 ) {
+    // Dispatcher telemetry lives on the ingest service's registry, like
+    // every other server metric.
+    let registry = ingest.registry();
+    let epochs = registry.counter("follow_epochs_total");
+    let deliveries = registry.counter("follow_deliveries_total");
+    let delivery_ns = registry.histogram("follow_delivery_ns");
+    let serve_trace = TraceSink::new(Arc::clone(registry), "serve_stage_ns");
     // Start from the epoch captured at *construction*, not from a fresh
     // read on this thread: appends can land before this thread's first
     // instruction, and a fresh read would silently mark them processed.
@@ -616,6 +700,7 @@ fn dispatch_loop(
         if current == last {
             continue;
         }
+        epochs.inc();
         let mut entries = follows.lock().unwrap_or_else(PoisonError::into_inner);
         if entries.is_empty() {
             // Nothing subscribed: acknowledge the epoch without paying
@@ -625,29 +710,40 @@ fn dispatch_loop(
             processed.store(current, Ordering::Release);
             continue;
         }
+        let dispatch_span = serve_trace.span("epoch_dispatch");
         // One snapshot per epoch, shared by every standing query — and
         // with the ad-hoc job workers, through the same cache.
         let snapshot = snapshots.get(ingest);
-        entries.retain_mut(|entry| match entry.hunt.poll(&snapshot) {
-            // Deliver only non-empty deltas; a send failure means the
-            // subscriber dropped its receiver — unregister the query.
-            Ok(delta) => {
-                delta.unchanged
-                    || delta.is_empty()
-                    || entry
-                        .tx
-                        .send(FollowEvent {
-                            epoch: current,
-                            delta,
-                        })
-                        .is_ok()
+        entries.retain_mut(|entry| {
+            let started = Instant::now();
+            match entry.hunt.poll(&snapshot) {
+                // Deliver only non-empty deltas; a send failure means the
+                // subscriber dropped its receiver — unregister the query.
+                Ok(delta) => {
+                    delta.unchanged
+                        || delta.is_empty()
+                        || entry
+                            .tx
+                            .send(FollowEvent {
+                                epoch: current,
+                                delta,
+                            })
+                            .inspect(|()| {
+                                // Delivery latency: epoch observation →
+                                // delta on the subscriber's channel.
+                                delivery_ns.record_duration(started.elapsed());
+                                deliveries.inc();
+                            })
+                            .is_ok()
+                }
+                // The plan compiled at registration; an execution error
+                // here is unrecoverable for this query. Dropping the
+                // entry disconnects the subscriber, which is the signal.
+                Err(_) => false,
             }
-            // The plan compiled at registration; an execution error here
-            // is unrecoverable for this query. Dropping the entry
-            // disconnects the subscriber, which is the signal.
-            Err(_) => false,
         });
         drop(entries);
+        drop(dispatch_span);
         last = current;
         processed.store(current, Ordering::Release);
     }

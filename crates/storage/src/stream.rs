@@ -37,6 +37,7 @@ use std::sync::Arc;
 use threatraptor_audit::entity::Entity;
 use threatraptor_audit::event::Event;
 use threatraptor_audit::parser::LogChunk;
+use threatraptor_obs::{Counter, Gauge, Registry};
 
 /// When to freeze the open window into an immutable shard. Both limits
 /// are optional; with neither set, sealing is manual only.
@@ -98,6 +99,27 @@ pub struct AppendOutcome {
     pub new_entities: usize,
     /// Shards sealed by this call (auto-sealing under the policy).
     pub sealed: usize,
+}
+
+/// Registry handles for stream-level telemetry; attached once via
+/// [`StreamingStore::attach_metrics`] so the hot append path pays one
+/// `Option` check plus a few relaxed atomics, never a registry lookup.
+#[derive(Debug, Clone)]
+struct StreamObs {
+    /// `storage_appends_total`: append calls.
+    appends: Arc<Counter>,
+    /// `storage_raw_events_total`: raw events fed in, pre-CPR.
+    raw_events: Arc<Counter>,
+    /// `storage_seals_total`: shards frozen.
+    seals: Arc<Counter>,
+    /// `storage_open_events`: current open-window size (reduced).
+    open_events: Arc<Gauge>,
+    /// `storage_sealed_shards`: current sealed shard count.
+    sealed_shards: Arc<Gauge>,
+    /// `storage_stored_events`: total stored events (post-CPR).
+    stored_events: Arc<Gauge>,
+    /// `storage_entities`: entities registered so far.
+    entities: Arc<Gauge>,
 }
 
 /// Cached shared entity state, rebuilt only when entities have grown.
@@ -171,6 +193,8 @@ pub struct StreamingStore {
     /// change detection costs one load — no store lock — even when the
     /// store itself lives behind a lock.
     epoch: Arc<AtomicU64>,
+    /// Telemetry handles, when attached.
+    obs: Option<StreamObs>,
 }
 
 impl StreamingStore {
@@ -185,6 +209,35 @@ impl StreamingStore {
             sealed: Vec::new(),
             sealed_events: 0,
             epoch: Arc::new(AtomicU64::new(0)),
+            obs: None,
+        }
+    }
+
+    /// Attaches stream telemetry to `registry`: `storage_*` counters
+    /// and gauges updated on every append and seal. Gauges are synced
+    /// to the store's current state immediately.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let obs = StreamObs {
+            appends: registry.counter("storage_appends_total"),
+            raw_events: registry.counter("storage_raw_events_total"),
+            seals: registry.counter("storage_seals_total"),
+            open_events: registry.gauge("storage_open_events"),
+            sealed_shards: registry.gauge("storage_sealed_shards"),
+            stored_events: registry.gauge("storage_stored_events"),
+            entities: registry.gauge("storage_entities"),
+        };
+        self.obs = Some(obs);
+        self.sync_gauges();
+    }
+
+    /// Updates the state gauges to match the store. Cheap (four
+    /// relaxed stores); no-op when telemetry is not attached.
+    fn sync_gauges(&self) {
+        if let Some(obs) = &self.obs {
+            obs.open_events.set(self.reducer.open_len() as i64);
+            obs.sealed_shards.set(self.sealed.len() as i64);
+            obs.stored_events.set(self.event_count() as i64);
+            obs.entities.set(self.entities.len() as i64);
         }
     }
 
@@ -233,6 +286,11 @@ impl StreamingStore {
             }
             sealed += 1;
         }
+        if let Some(obs) = &self.obs {
+            obs.appends.inc();
+            obs.raw_events.add(events.len() as u64);
+        }
+        self.sync_gauges();
         AppendOutcome {
             appended: events.len(),
             new_entities: new_entities.len(),
@@ -264,6 +322,10 @@ impl StreamingStore {
         self.sealed_events += shard.event_count();
         self.sealed.push(Arc::clone(&shard));
         self.epoch.fetch_add(1, Ordering::Release);
+        if let Some(obs) = &self.obs {
+            obs.seals.inc();
+        }
+        self.sync_gauges();
         Some(shard)
     }
 
@@ -575,6 +637,44 @@ mod tests {
                 snapshot.entity_table(crate::store::TABLE_PROCESS) as *const _
             ));
         }
+    }
+
+    #[test]
+    fn attached_metrics_track_appends_and_seals() {
+        let log = scenario_log(2_000);
+        let registry = Registry::new();
+        let mut store = StreamingStore::new(true, SealPolicy::events(200));
+        store.attach_metrics(&registry);
+        replay(&log, &mut store, 100);
+
+        let snap = registry.snapshot();
+        // One entity-registration append plus one per event chunk.
+        let chunks = log.events.chunks(100).len() as u64;
+        assert_eq!(snap.counter("storage_appends_total"), Some(1 + chunks));
+        assert_eq!(
+            snap.counter("storage_raw_events_total"),
+            Some(log.events.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("storage_seals_total"),
+            Some(store.sealed_count() as u64)
+        );
+        assert_eq!(
+            snap.gauge("storage_open_events"),
+            Some(store.open_len() as i64)
+        );
+        assert_eq!(
+            snap.gauge("storage_sealed_shards"),
+            Some(store.sealed_count() as i64)
+        );
+        assert_eq!(
+            snap.gauge("storage_stored_events"),
+            Some(store.event_count() as i64)
+        );
+        assert_eq!(
+            snap.gauge("storage_entities"),
+            Some(store.entities().len() as i64)
+        );
     }
 
     #[test]
