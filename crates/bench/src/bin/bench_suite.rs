@@ -11,7 +11,8 @@
 //! ```
 //!
 //! * `--smoke` — reduced scenario sizes (CI); still covers every case
-//! * `--out` — where to write the record (default `BENCH_6.json`)
+//! * `--out` — where to write the record (default `BENCH_<pr>.json`
+//!   for the current [`suite::PR`])
 //! * `--diff` — also print a trajectory diff against a previous record;
 //!   a missing file is reported, not fatal
 //! * `--validate` — no run: parse PATH and check it against the
@@ -105,17 +106,21 @@ fn main() -> ExitCode {
                 fmt::dur(std::time::Duration::from_nanos(c.latency.p50)),
                 fmt::dur(std::time::Duration::from_nanos(c.latency.p99)),
                 fmt::dur(std::time::Duration::from_nanos(c.latency.max)),
+                c.profile
+                    .first()
+                    .map(|(k, _)| k.clone())
+                    .unwrap_or_default(),
             ]
         })
         .collect();
     println!(
         "{}",
         fmt::table(
-            &["case", "events", "hunts", "matches", "p50", "p99", "max"],
+            &["case", "events", "hunts", "matches", "p50", "p99", "max", "top span"],
             &rows
         )
     );
-    println!("(per-hunt latency from each case's MetricsSnapshot histogram)\n");
+    println!("(per-hunt latency + top-span attribution from each case's MetricsSnapshot)\n");
 
     let doc = suite::to_json(&results, args.smoke);
     let problems = suite::validate(&doc);

@@ -125,71 +125,75 @@ fn main() {
         subs.push(sub);
     }
 
-    let (latencies, job_latencies, delivered, ingest_elapsed) = std::thread::scope(|scope| {
-        // One consumer per subscription: receive-only, no polling.
-        let consumers: Vec<_> = subs
-            .iter()
-            .map(|sub| {
-                let append_log = Arc::clone(&append_log);
-                scope.spawn(move || {
-                    let mut lat = Vec::new();
-                    let mut matches = 0usize;
-                    while let Ok(event) = sub.recv() {
-                        let now = Instant::now();
-                        matches += event.delta.new_matches;
-                        let log = append_log.lock().unwrap();
-                        if let Some(t) = availability(&log, event.epoch) {
-                            lat.push(now.duration_since(t));
+    let (latencies, job_latencies, delivered, ingest_elapsed, metrics) =
+        std::thread::scope(|scope| {
+            // One consumer per subscription: receive-only, no polling.
+            let consumers: Vec<_> = subs
+                .iter()
+                .map(|sub| {
+                    let append_log = Arc::clone(&append_log);
+                    scope.spawn(move || {
+                        let mut lat = Vec::new();
+                        let mut matches = 0usize;
+                        while let Ok(event) = sub.recv() {
+                            let now = Instant::now();
+                            matches += event.delta.new_matches;
+                            let log = append_log.lock().unwrap();
+                            if let Some(t) = availability(&log, event.epoch) {
+                                lat.push(now.duration_since(t));
+                            }
                         }
-                    }
-                    (lat, matches)
+                        (lat, matches)
+                    })
                 })
-            })
-            .collect();
+                .collect();
 
-        // The feeder: sustained appends, with ad-hoc jobs injected at a
-        // fixed cadence. Each job gets a waiter thread so submit→complete
-        // latency is stamped the moment the handle resolves, not when the
-        // feed happens to drain it.
-        let every = (chunks.len() / ad_hoc).max(1);
-        let mut job_waiters = Vec::new();
-        let t0 = Instant::now();
-        for (i, part) in chunks.iter().enumerate() {
-            append_log
-                .lock()
-                .unwrap()
-                .push((server.ingest().epoch() + 1, Instant::now()));
-            server.append(part);
-            if i % every == 0 && job_waiters.len() < ad_hoc {
-                let handle = server.submit(HuntJob::tbql(standing[i % standing.len()]));
-                let submitted = Instant::now();
-                job_waiters.push(scope.spawn(move || {
-                    let report = handle.wait();
-                    assert!(report.outcome.is_ok(), "ad-hoc job under load");
-                    submitted.elapsed()
-                }));
+            // The feeder: sustained appends, with ad-hoc jobs injected at a
+            // fixed cadence. Each job gets a waiter thread so submit→complete
+            // latency is stamped the moment the handle resolves, not when the
+            // feed happens to drain it.
+            let every = (chunks.len() / ad_hoc).max(1);
+            let mut job_waiters = Vec::new();
+            let t0 = Instant::now();
+            for (i, part) in chunks.iter().enumerate() {
+                append_log
+                    .lock()
+                    .unwrap()
+                    .push((server.ingest().epoch() + 1, Instant::now()));
+                server.append(part);
+                if i % every == 0 && job_waiters.len() < ad_hoc {
+                    let handle = server.submit(HuntJob::tbql(standing[i % standing.len()]));
+                    let submitted = Instant::now();
+                    job_waiters.push(scope.spawn(move || {
+                        let report = handle.wait();
+                        assert!(report.outcome.is_ok(), "ad-hoc job under load");
+                        submitted.elapsed()
+                    }));
+                }
             }
-        }
-        let ingest_elapsed = t0.elapsed();
-        let job_latencies: Vec<Duration> = job_waiters
-            .into_iter()
-            .map(|waiter| waiter.join().expect("job waiter thread"))
-            .collect();
+            let ingest_elapsed = t0.elapsed();
+            let job_latencies: Vec<Duration> = job_waiters
+                .into_iter()
+                .map(|waiter| waiter.join().expect("job waiter thread"))
+                .collect();
 
-        assert!(
-            server.wait_caught_up(Duration::from_secs(120)),
-            "the dispatcher must drain the stream"
-        );
-        server.shutdown(); // disconnects subscriptions; consumers finish
-        let mut latencies = Vec::new();
-        let mut delivered = Vec::new();
-        for consumer in consumers {
-            let (lat, matches) = consumer.join().expect("consumer thread");
-            latencies.extend(lat);
-            delivered.push(matches);
-        }
-        (latencies, job_latencies, delivered, ingest_elapsed)
-    });
+            assert!(
+                server.wait_caught_up(Duration::from_secs(120)),
+                "the dispatcher must drain the stream"
+            );
+            // Snapshot the metrics *before* shutdown: the standing-query
+            // gauge reflects live subscriptions, which shutdown clears.
+            let metrics = server.metrics();
+            server.shutdown(); // disconnects subscriptions; consumers finish
+            let mut latencies = Vec::new();
+            let mut delivered = Vec::new();
+            for consumer in consumers {
+                let (lat, matches) = consumer.join().expect("consumer thread");
+                latencies.extend(lat);
+                delivered.push(matches);
+            }
+            (latencies, job_latencies, delivered, ingest_elapsed, metrics)
+        });
 
     // -- 1. delivery latency --------------------------------------------
     let mut sorted = latencies.clone();
@@ -260,10 +264,15 @@ fn main() {
     println!(
         "shape check: delivered == batch match identities per query (exactly-once, nothing lost).\n"
     );
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row[1], row[2],
+            "query {i}: delivered must equal batch match identities"
+        );
+    }
 
     // -- 4. service counters (from the unified telemetry layer) ---------
     let cache = server.cache_stats();
-    let metrics = server.metrics();
     let queue_wait = metrics.histogram("job_queue_wait_ns", &[]);
     println!(
         "{}",
@@ -274,6 +283,8 @@ fn main() {
                 "evictions",
                 "queue depth",
                 "jobs done",
+                "standing subs",
+                "epoch lag",
                 "queue wait p50",
                 "queue wait p99",
             ],
@@ -285,6 +296,14 @@ fn main() {
                 metrics
                     .counter("jobs_completed_total")
                     .unwrap_or(0)
+                    .to_string(),
+                metrics
+                    .gauge("follow_subscriptions")
+                    .unwrap_or(0)
+                    .to_string(),
+                metrics
+                    .gauge("dispatcher_epoch_lag")
+                    .unwrap_or(-1)
                     .to_string(),
                 queue_wait
                     .map(|h| fmt::dur(Duration::from_nanos(h.p50)))
@@ -301,10 +320,40 @@ fn main() {
         Some(0),
         "the queue must be drained at the end of the run"
     );
-    for (i, row) in rows.iter().enumerate() {
-        assert_eq!(
-            row[1], row[2],
-            "query {i}: delivered must equal batch match identities"
-        );
-    }
+    assert_eq!(
+        metrics.gauge("follow_subscriptions"),
+        Some(standing.len() as i64),
+        "every standing query was live when the snapshot was taken"
+    );
+    assert_eq!(
+        metrics.gauge("dispatcher_epoch_lag"),
+        Some(0),
+        "a caught-up dispatcher has zero epoch lag"
+    );
+
+    // -- 5. slow-hunt log -----------------------------------------------
+    let slow = server.slow_hunts();
+    let rows: Vec<Vec<String>> = slow
+        .iter()
+        .take(5)
+        .map(|p| {
+            vec![
+                p.job_id.to_string(),
+                p.trace_id.to_string(),
+                p.status.to_string(),
+                fmt::dur(p.queue_wait),
+                fmt::dur(p.exec),
+                fmt::dur(p.latency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        fmt::table(
+            &["job", "trace", "status", "queue wait", "exec", "latency"],
+            &rows
+        )
+    );
+    println!("(worst hunts by end-to-end latency, via HuntServer::slow_hunts())");
+    assert!(!slow.is_empty(), "ad-hoc jobs must leave profiles behind");
 }

@@ -21,19 +21,22 @@
 //! absolute latencies are noisy — the recorded trajectory tracks shape
 //! (relative engine cost, percentile spread), not absolute regressions.
 
+use std::sync::Arc;
 use std::time::Instant;
-use threatraptor::{Engine, ShardedEngine};
+use threatraptor::{Engine, HuntResult, ShardedEngine};
 use threatraptor_audit::parser::ParsedLog;
 use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
 use threatraptor_audit::LogFeed;
-use threatraptor_obs::{HistogramSummary, JsonValue, MetricsSnapshot, Registry};
+use threatraptor_obs::{
+    HistogramSummary, JsonValue, MetricsSnapshot, Registry, SampleValue, TraceSink,
+};
 use threatraptor_service::{HuntServer, IngestConfig, ServerConfig};
 use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
 
 /// The current record's schema identifier.
 pub const SCHEMA: &str = "threatraptor-bench/v1";
 /// The PR this trajectory point belongs to.
-pub const PR: u64 = 6;
+pub const PR: u64 = 7;
 
 /// Which execution stack a case drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +138,38 @@ pub struct CaseResult {
     /// Selected extra counters from the case snapshot (engine-specific:
     /// cache hits, deliveries, seals, ...), name → value.
     pub extra: Vec<(String, f64)>,
+    /// Top-span attribution: the stage-latency series with the largest
+    /// total time (`<family>/<stage>` → summed nanoseconds), worst
+    /// first — where this case actually spent its hunts.
+    pub profile: Vec<(String, u64)>,
+}
+
+/// How many top spans a case profile retains.
+const PROFILE_TOP: usize = 5;
+
+/// Extracts the top-span attribution from a case snapshot: every
+/// `hunt_stage_ns` / `serve_stage_ns` series ranked by summed time.
+fn profile_summary(snapshot: &MetricsSnapshot) -> Vec<(String, u64)> {
+    let mut spans: Vec<(String, u64)> = snapshot
+        .samples
+        .iter()
+        .filter(|s| s.name == "hunt_stage_ns" || s.name == "serve_stage_ns")
+        .filter_map(|s| match &s.value {
+            SampleValue::Histogram(h) => {
+                let stage = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "stage")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("?");
+                Some((format!("{}/{stage}", s.name), h.sum))
+            }
+            _ => None,
+        })
+        .collect();
+    spans.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    spans.truncate(PROFILE_TOP);
+    spans
 }
 
 fn scenario(w: &Workload) -> threatraptor_audit::sim::scenario::Scenario {
@@ -200,37 +235,42 @@ fn extract(
         matches,
         latency,
         extra,
+        profile: profile_summary(snapshot),
     }
 }
 
 /// Runs the hunts of `w` against `hunt`, recording each execution into
 /// the case registry (`bench_hunt_ns` / `bench_hunts_total` /
-/// `bench_matches_total`, labeled by engine and workload).
-fn drive_hunts<F>(registry: &Registry, engine: EngineKind, w: &Workload, mut hunt: F)
+/// `bench_matches_total`, labeled by engine and workload) plus a
+/// per-stage breakdown into `hunt_stage_ns` — the source of the case's
+/// top-span profile.
+fn drive_hunts<F>(registry: &Arc<Registry>, engine: EngineKind, w: &Workload, mut hunt: F)
 where
-    F: FnMut(&str) -> usize,
+    F: FnMut(&str) -> HuntResult,
 {
     let labels = case_labels(engine, w);
     let latency = registry.histogram_labeled("bench_hunt_ns", &labels);
     let hunts = registry.counter_labeled("bench_hunts_total", &labels);
     let matches = registry.counter_labeled("bench_matches_total", &labels);
+    let stages = TraceSink::new(Arc::clone(registry), "hunt_stage_ns");
     for _ in 0..w.repeat {
         for q in w.queries {
             let t = Instant::now();
-            let found = hunt(q);
+            let result = hunt(q);
             latency.record_duration(t.elapsed());
             hunts.inc();
-            matches.add(found as u64);
+            matches.add(result.matches.len() as u64);
+            result.stats.record_stages(&stages);
         }
     }
 }
 
 fn run_single(w: &Workload, log: &ParsedLog) -> CaseResult {
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let store = AuditStore::ingest(log, true);
     let engine = Engine::new(&store);
     drive_hunts(&registry, EngineKind::Single, w, |q| {
-        engine.hunt(q).expect("valid TBQL").matches.len()
+        engine.hunt(q).expect("valid TBQL")
     });
     let labels = case_labels(EngineKind::Single, w);
     extract(
@@ -245,11 +285,11 @@ fn run_single(w: &Workload, log: &ParsedLog) -> CaseResult {
 }
 
 fn run_sharded(w: &Workload, log: &ParsedLog) -> CaseResult {
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let store = ShardedStore::ingest(log, true, 4);
-    let engine = ShardedEngine::new(&store);
+    let engine = ShardedEngine::new(&store).with_registry(&registry);
     drive_hunts(&registry, EngineKind::Sharded, w, |q| {
-        engine.hunt(q).expect("valid TBQL").matches.len()
+        engine.hunt(q).expect("valid TBQL")
     });
     let labels = case_labels(EngineKind::Sharded, w);
     extract(
@@ -264,7 +304,7 @@ fn run_sharded(w: &Workload, log: &ParsedLog) -> CaseResult {
 }
 
 fn run_streaming(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let mut store = StreamingStore::new(true, SealPolicy::events(2_000));
     store.attach_metrics(&registry);
     for chunk in LogFeed::by_events(raw, 512) {
@@ -274,7 +314,7 @@ fn run_streaming(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
     let snapshot = store.snapshot();
     let engine = ShardedEngine::new(&snapshot);
     drive_hunts(&registry, EngineKind::Streaming, w, |q| {
-        engine.hunt(q).expect("valid TBQL").matches.len()
+        engine.hunt(q).expect("valid TBQL")
     });
     let labels = case_labels(EngineKind::Streaming, w);
     extract(
@@ -329,7 +369,7 @@ fn run_server(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
         log.events.len(),
         &snapshot,
         "job_latency_ns",
-        &[],
+        &[("status", "ok")],
         &[
             "plan_cache_hits_total",
             "plan_cache_misses_total",
@@ -394,6 +434,15 @@ pub fn to_json(results: &[CaseResult], smoke: bool) -> JsonValue {
                             .collect(),
                     ),
                 ),
+                (
+                    "profile".into(),
+                    JsonValue::Obj(
+                        c.profile
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
             ])
         })
         .collect();
@@ -451,6 +500,22 @@ pub fn validate(doc: &JsonValue) -> Vec<String> {
                 }
             }
             None => problems.push(format!("case {i}: missing \"latency_ns\"")),
+        }
+        // Since v7 records, every case carries its top-span profile:
+        // an object of `<family>/<stage>` → summed nanoseconds.
+        match case.get("profile") {
+            Some(JsonValue::Obj(spans)) => {
+                if spans.is_empty() {
+                    problems.push(format!("case {i}: \"profile\" has no spans"));
+                }
+                for (k, v) in spans {
+                    if v.as_f64().is_none() {
+                        problems.push(format!("case {i}: profile span {k:?} not numeric"));
+                    }
+                }
+            }
+            Some(_) => problems.push(format!("case {i}: \"profile\" must be an object")),
+            None => problems.push(format!("case {i}: missing \"profile\"")),
         }
     }
     problems
@@ -546,6 +611,13 @@ mod tests {
         assert!(result.latency.p50 > 0, "hunts take nonzero time");
         assert!(result.latency.p50 <= result.latency.p99);
         assert!(result.events > 0);
+        // Top-span attribution rides every case, worst span first.
+        assert!(!result.profile.is_empty(), "case profile populated");
+        assert!(result
+            .profile
+            .iter()
+            .all(|(k, _)| k.starts_with("hunt_stage_ns/")));
+        assert!(result.profile.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

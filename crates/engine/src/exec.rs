@@ -3,7 +3,7 @@
 
 use crate::compile::{compile, CompiledPattern, CompiledQuery, CompiledShape};
 use crate::error::EngineError;
-use crate::result::{HuntResult, HuntStats, Match};
+use crate::result::{HuntResult, HuntStats, JoinStats, Match};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use threatraptor_audit::entity::EntityId;
@@ -101,12 +101,20 @@ impl<'s> Engine<'s> {
 
     /// Executes a compiled query.
     pub fn execute(&self, cq: &CompiledQuery, mode: ExecMode) -> Result<HuntResult, EngineError> {
-        Ok(run_schedule(
+        let mut result = run_schedule(
             cq,
             mode,
             &mut |pat, extra| self.run_pattern(cq, pat, extra, mode),
             &|id, attr| self.store.entity(id).attr(attr),
-        ))
+        );
+        // Single-store execution is one pseudo-shard.
+        result.stats.shard_rows = result
+            .stats
+            .rows_fetched
+            .iter()
+            .map(|(id, n)| (id.clone(), vec![*n]))
+            .collect();
+        Ok(result)
     }
 
     /// Runs one pattern's data query.
@@ -429,6 +437,7 @@ pub(crate) fn run_schedule(
         // already-executed patterns become IN-set filters on shared
         // variables.
         let mut extra: HashMap<String, Predicate> = HashMap::new();
+        let mut propagated: Vec<(String, usize)> = Vec::new();
         if mode == ExecMode::Scheduled {
             let t_prop = Instant::now();
             if let Some(ms) = &partial {
@@ -439,6 +448,7 @@ pub(crate) fn run_schedule(
                         .map(|e| Value::from(e.0))
                         .collect();
                     if !ids.is_empty() {
+                        propagated.push((var.clone(), ids.len()));
                         extra.insert(var.clone(), Predicate::InSet("id".into(), ids));
                     }
                 }
@@ -450,12 +460,24 @@ pub(crate) fn run_schedule(
         let rows = fetch(pat, &extra);
         stats.execution_order.push(pat.id.clone());
         stats.rows_fetched.push((pat.id.clone(), rows.len()));
+        stats.propagated.push((pat.id.clone(), propagated));
         stats
             .pattern_elapsed
             .push((pat.id.clone(), t_fetch.elapsed()));
 
         let t_join = Instant::now();
+        let candidates = match &partial {
+            Some(ms) => ms.len() * rows.len(),
+            None => rows.len(),
+        };
         partial = Some(join_rows(cq, partial, rows, pat));
+        stats.join_stats.push((
+            pat.id.clone(),
+            JoinStats {
+                candidates,
+                outputs: partial.as_ref().map_or(0, Vec::len),
+            },
+        ));
         stats.join_elapsed += t_join.elapsed();
         if partial.as_ref().is_some_and(Vec::is_empty) {
             // No match can exist; still record remaining patterns as

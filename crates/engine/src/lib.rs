@@ -29,16 +29,22 @@
 //!   [`threatraptor_storage::sharded::ShardedStore`], with exact parity
 //!   to single-store execution;
 //! * [`result`] — hunt results, per-pattern matches, and evaluation
-//!   against ground truth.
+//!   against ground truth;
+//! * [`explain`] — `EXPLAIN` / `EXPLAIN ANALYZE` reports: the compiled
+//!   plan (schedule, filters, predicted fan-out) plus measured actuals
+//!   (per-pattern × per-shard rows scanned, propagation prune sizes,
+//!   join selectivity, per-stage wall time).
 
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod result;
 pub mod score;
 pub mod sharded;
 
 pub use error::EngineError;
 pub use exec::{Engine, ExecMode};
-pub use result::{HuntResult, HuntStats, Match};
+pub use explain::{ExplainActuals, ExplainEntry, ExplainReport, PatternActuals};
+pub use result::{HuntResult, HuntStats, JoinStats, Match};
 pub use sharded::ShardedEngine;

@@ -20,6 +20,27 @@ pub struct Match {
     pub times: HashMap<String, (u64, u64)>,
 }
 
+/// Candidate/output row counts of one pattern's join step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Row pairs considered: `|partial| × |fetched|` (just `|fetched|`
+    /// for the first pattern, which seeds the partial set).
+    pub candidates: usize,
+    /// Partial matches surviving the join.
+    pub outputs: usize,
+}
+
+impl JoinStats {
+    /// Output/candidate ratio in `[0, 1]`; zero candidates yield 0.
+    pub fn selectivity(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.outputs as f64 / self.candidates as f64
+        }
+    }
+}
+
 /// Execution statistics.
 #[derive(Debug, Clone, Default)]
 pub struct HuntStats {
@@ -27,6 +48,16 @@ pub struct HuntStats {
     pub execution_order: Vec<String>,
     /// Rows produced by each pattern's data query, in execution order.
     pub rows_fetched: Vec<(String, usize)>,
+    /// Rows scanned per shard for each pattern, in execution order.
+    /// Single-store executions report one pseudo-shard per pattern.
+    pub shard_rows: Vec<(String, Vec<usize>)>,
+    /// Constraint-propagation pruning per pattern, in execution order:
+    /// for each variable that received a propagated IN-set filter, the
+    /// number of already-bound entity ids pushed down (empty when no
+    /// propagation applied — first pattern, or independent mode).
+    pub propagated: Vec<(String, Vec<(String, usize)>)>,
+    /// Join candidate/output counts per pattern, in execution order.
+    pub join_stats: Vec<(String, JoinStats)>,
     /// Wall time spent in each pattern's data query (the scan), in
     /// execution order.
     pub pattern_elapsed: Vec<(String, Duration)>,

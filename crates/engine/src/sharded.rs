@@ -34,6 +34,7 @@ use crate::exec::{expand_paths, project_matches, run_schedule, Engine, ExecMode,
 use crate::result::{HuntResult, Match};
 use std::collections::{HashMap, HashSet};
 use threatraptor_audit::entity::EntityId;
+use threatraptor_obs::Registry;
 use threatraptor_storage::relational::{Predicate, Value};
 use threatraptor_storage::sharded::ShardedStore;
 use threatraptor_storage::store::TABLE_EVENT;
@@ -47,6 +48,14 @@ pub struct ShardedEngine<'s> {
     store: &'s ShardedStore,
     /// Worker threads for per-pattern shard fan-out (1 = sequential).
     threads: usize,
+    /// Optional metric sink: when attached, every execution bumps
+    /// `engine_rows_scanned_total{pattern=...,shard=...}` counters from
+    /// the same per-shard row counts that land in
+    /// [`HuntStats::shard_rows`] — so EXPLAIN ANALYZE totals and the
+    /// exported counters agree by construction.
+    ///
+    /// [`HuntStats::shard_rows`]: crate::result::HuntStats::shard_rows
+    registry: Option<&'s Registry>,
 }
 
 impl<'s> ShardedEngine<'s> {
@@ -65,7 +74,14 @@ impl<'s> ShardedEngine<'s> {
         ShardedEngine {
             store,
             threads: threads.max(1),
+            registry: None,
         }
+    }
+
+    /// Attaches a metric registry for per-execution row-scan counters.
+    pub fn with_registry(mut self, registry: &'s Registry) -> ShardedEngine<'s> {
+        self.registry = Some(registry);
+        self
     }
 
     /// The underlying sharded store.
@@ -103,12 +119,35 @@ impl<'s> ShardedEngine<'s> {
 
     /// Executes a compiled query — the entry point the plan cache feeds.
     pub fn execute(&self, cq: &CompiledQuery, mode: ExecMode) -> Result<HuntResult, EngineError> {
-        Ok(run_schedule(
+        // Per-shard row counts, collected as each pattern's data query
+        // fans out (execution order). RefCell: the fetch closure is
+        // `FnMut` and the collector outlives it.
+        let shard_rows: std::cell::RefCell<Vec<(String, Vec<usize>)>> =
+            std::cell::RefCell::new(Vec::new());
+        let mut result = run_schedule(
             cq,
             mode,
-            &mut |pat, extra| self.fetch_pattern(cq, pat, extra, mode),
+            &mut |pat, extra| {
+                let (rows, per_shard) = self.fetch_pattern(cq, pat, extra, mode);
+                shard_rows.borrow_mut().push((pat.id.clone(), per_shard));
+                rows
+            },
             &|id, attr| self.store.entity(id).attr(attr),
-        ))
+        );
+        result.stats.shard_rows = shard_rows.into_inner();
+        if let Some(registry) = self.registry {
+            for (pattern, shards) in &result.stats.shard_rows {
+                for (shard, rows) in shards.iter().enumerate() {
+                    registry
+                        .counter_labeled(
+                            "engine_rows_scanned_total",
+                            &[("pattern", pattern), ("shard", &shard.to_string())],
+                        )
+                        .add(*rows as u64);
+                }
+            }
+        }
+        Ok(result)
     }
 
     /// Projects a set of matches through this store, exactly as
@@ -148,17 +187,43 @@ impl<'s> ShardedEngine<'s> {
 
     /// Runs one pattern's data query across all shards; the returned rows
     /// carry *global* event positions, sorted for a deterministic join.
+    /// Also returns the per-shard row counts (index = shard) feeding the
+    /// execution profile.
     fn fetch_pattern(
         &self,
         cq: &CompiledQuery,
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
         mode: ExecMode,
-    ) -> Vec<PatternRow> {
+    ) -> (Vec<PatternRow>, Vec<usize>) {
         match pat.shape {
             CompiledShape::Event { .. } => self.scatter_event_pattern(cq, pat, extra, mode),
-            CompiledShape::Path { .. } => self.path_over_shards(cq, pat, extra),
+            CompiledShape::Path { .. } => {
+                let rows = self.path_over_shards(cq, pat, extra);
+                // Paths expand globally; attribute each row to the shard
+                // holding its first hop so profile totals still add up.
+                let mut per_shard = vec![0usize; self.store.shard_count()];
+                for r in &rows {
+                    if let Some(&pos) = r.events.first() {
+                        per_shard[self.shard_of(pos)] += 1;
+                    }
+                }
+                (rows, per_shard)
+            }
         }
+    }
+
+    /// The shard holding global event position `pos`.
+    fn shard_of(&self, pos: usize) -> usize {
+        let mut shard = 0;
+        for i in 0..self.store.shard_count() {
+            if self.store.offset(i) <= pos {
+                shard = i;
+            } else {
+                break;
+            }
+        }
+        shard
     }
 
     /// Event-pattern scatter: each shard evaluates the pattern over its
@@ -177,7 +242,7 @@ impl<'s> ShardedEngine<'s> {
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
         mode: ExecMode,
-    ) -> Vec<PatternRow> {
+    ) -> (Vec<PatternRow>, Vec<usize>) {
         let mut extra = extra.clone();
         for var in [&pat.subject_var, &pat.object_var] {
             let ids: HashSet<Value> = self
@@ -208,14 +273,15 @@ impl<'s> ShardedEngine<'s> {
         let mut per_shard: Vec<Vec<PatternRow>> =
             threatraptor_storage::sharded::fan_out(n, self.threads, run_shard);
 
+        let counts: Vec<usize> = per_shard.iter().map(Vec::len).collect();
         // Shards are contiguous slices in time order and each shard's rows
         // are already sorted by first event position, so concatenating in
         // shard order reproduces the single-store row order exactly.
-        let mut out = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        let mut out = Vec::with_capacity(counts.iter().sum());
         for rows in &mut per_shard {
             out.append(rows);
         }
-        out
+        (out, counts)
     }
 
     /// Path-pattern execution over all shards: hop-by-hop frontier

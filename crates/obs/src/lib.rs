@@ -15,6 +15,10 @@
 //!   clock timers for the hunt lifecycle (parse → compile → propagate
 //!   → scan → join → project → synthesize) and the serving lifecycle
 //!   (queue wait, execution, ingest, dispatch, follow push).
+//! - **Trace trees** ([`TraceTree`], [`SpanNode`]) — hierarchical
+//!   per-execution profiles (parent/child spans, per-span attributes)
+//!   exportable as Chrome `trace_event` JSON for `about:tracing` and
+//!   Perfetto.
 //! - **Exposition** ([`MetricsSnapshot`]) — render as Prometheus-style
 //!   text or JSON; [`JsonValue`] is a minimal parser/printer the bench
 //!   trajectory records build on.
@@ -27,9 +31,11 @@ pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
+pub mod tree;
 
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, HISTOGRAM_BUCKETS};
 pub use registry::{MetricKey, Registry, Scope};
 pub use snapshot::{MetricsSnapshot, Sample, SampleValue};
 pub use trace::{Span, TraceSink};
+pub use tree::{AttrValue, SpanNode, TraceId, TraceTree, ROOT_SPAN};

@@ -34,12 +34,34 @@ pub struct MetricsSnapshot {
     pub samples: Vec<Sample>,
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and newline become `\\`, `\"`, and `\n`.
+///
+/// Label values here can carry arbitrary user text (follow-hunt
+/// pattern labels come straight from TBQL sources), so escaping is
+/// what keeps the exposition parseable and round-trippable.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Renders `labels`, optionally with an extra pair appended, as a
 /// `{k="v",...}` block (empty string when there are no labels).
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -254,6 +276,67 @@ stage_ns_max{stage=\"parse\"} 4000
         );
         assert!(text.contains("stage_total{stage=\"join\"} 1"));
         assert!(text.contains("stage_total{stage=\"parse\"} 1"));
+    }
+
+    /// Inverse of `escape_label_value`, implementing the Prometheus
+    /// text-format unescaping rules for the round-trip check.
+    fn unescape_label_value(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_golden() {
+        let r = Registry::new();
+        let hostile = "say \"hi\"\\now\nplease";
+        r.counter_labeled("follow_pattern_rows_total", &[("pattern", hostile)])
+            .add(7);
+        let text = r.snapshot().to_prometheus();
+        let expected = "\
+# TYPE follow_pattern_rows_total counter
+follow_pattern_rows_total{pattern=\"say \\\"hi\\\"\\\\now\\nplease\"} 7
+";
+        assert_eq!(text, expected);
+        // The exposition must stay one-sample-per-line: a raw newline
+        // in a label value would split the sample across lines.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        for original in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "multi\nline",
+            "all \"of\\them\"\nat once",
+            "trailing backslash\\",
+        ] {
+            let escaped = escape_label_value(original);
+            assert!(!escaped.contains('\n'), "escaped form has raw newline");
+            assert_eq!(
+                unescape_label_value(&escaped),
+                original,
+                "escape/unescape must round-trip {original:?}"
+            );
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl TraceSink {
             hist,
             count,
             start: Instant::now(),
+            cancelled: false,
         }
     }
 
@@ -71,6 +72,7 @@ pub struct Span {
     hist: Arc<Histogram>,
     count: Arc<Counter>,
     start: Instant,
+    cancelled: bool,
 }
 
 impl Span {
@@ -78,10 +80,23 @@ impl Span {
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
+
+    /// Discards the span without recording anything.
+    ///
+    /// For outcome-aware instrumentation: a stage that fails (parse
+    /// error, panic) cancels its span so the failure does not pollute
+    /// the success-latency series, and the caller records the elapsed
+    /// time elsewhere (e.g. an error-labeled histogram).
+    pub fn cancel(mut self) {
+        self.cancelled = true;
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.cancelled {
+            return;
+        }
         self.hist.record_duration(self.start.elapsed());
         self.count.inc();
     }
@@ -122,6 +137,22 @@ mod tests {
             .unwrap();
         assert_eq!(h.count, 1);
         assert!(h.max >= 5_000, "expected >= 5us in ns, got {}", h.max);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let registry = Arc::new(Registry::new());
+        let sink = TraceSink::new(Arc::clone(&registry), "stage_ns");
+        drop(sink.span("parse"));
+        sink.span("parse").cancel();
+        let snap = registry.snapshot();
+        let h = snap.histogram("stage_ns", &[("stage", "parse")]).unwrap();
+        assert_eq!(h.count, 1, "cancelled span must not count");
+        assert_eq!(
+            snap.get("stage_ns_total", &[("stage", "parse")])
+                .map(|s| s.value.clone()),
+            Some(crate::snapshot::SampleValue::Counter(1))
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use threatraptor_engine::compile::{compile, CompiledQuery};
 use threatraptor_engine::EngineError;
 use threatraptor_nlp::ThreatExtractor;
-use threatraptor_obs::{Counter, Registry, TraceSink};
+use threatraptor_obs::{Counter, Registry, Span, TraceSink};
 use threatraptor_synth::{synthesize, SynthesisError};
 use threatraptor_tbql::analyze::analyze;
 use threatraptor_tbql::parser::parse_query;
@@ -298,15 +298,20 @@ impl PlanCache {
         // racing on the same key just do redundant work once.
         let trace = self.obs.get().map(|obs| &obs.trace);
         let stage = |name: &str, trace: Option<&TraceSink>| trace.map(|t| t.span(name));
-        let span = stage("parse", trace);
-        let query = parse_query(tbql_src)?;
-        drop(span);
-        let span = stage("analyze", trace);
-        let analyzed = analyze(&query)?;
-        drop(span);
-        let span = stage("compile", trace);
-        let compiled = compile(&analyzed)?;
-        drop(span);
+        // A failing stage cancels its span: error paths must not
+        // pollute the stage-latency histograms (a parse error's
+        // near-zero "parse time" would drag p50 down).
+        fn timed<T, E>(span: Option<Span>, result: Result<T, E>) -> Result<T, E> {
+            if result.is_err() {
+                if let Some(s) = span {
+                    s.cancel();
+                }
+            }
+            result
+        }
+        let query = timed(stage("parse", trace), parse_query(tbql_src))?;
+        let analyzed = timed(stage("analyze", trace), analyze(&query))?;
+        let compiled = timed(stage("compile", trace), compile(&analyzed))?;
         let plan = Arc::new(CachedPlan {
             tbql: print_query(&query),
             compiled,
@@ -506,6 +511,9 @@ mod tests {
         cache.plan(&q("/bin/b")).unwrap();
         cache.plan(&q("/bin/c")).unwrap();
         let _ = cache.synthesize_report("Attackers read /etc/passwd with /bin/cat.");
+        // A failing compile pipeline cancels its stage span: the parse
+        // series below must count only the successful misses.
+        assert!(cache.plan("syntactically broken").is_err());
 
         let s = cache.stats();
         let snap = registry.snapshot();

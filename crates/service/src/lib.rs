@@ -32,7 +32,10 @@
 //! * [`server::HuntServer`] — the long-lived serving loop over all of
 //!   the above: a persistent job queue with completion handles, and
 //!   standing queries driven by ingest events through per-subscription
-//!   channels instead of explicit polls.
+//!   channels instead of explicit polls;
+//! * [`profile::HuntProfile`] — per-job execution profiles (trace tree
+//!   plus headline timings), retained worst-N by latency in the
+//!   server's slow-hunt log.
 //!
 //! Execution inside each job uses
 //! [`threatraptor_engine::ShardedEngine`], whose scatter-gather keeps
@@ -48,6 +51,7 @@ pub mod follow;
 pub mod ingest;
 pub mod job;
 pub mod pool;
+pub mod profile;
 pub mod scheduler;
 pub mod server;
 pub mod service;
@@ -57,6 +61,7 @@ pub use follow::{FollowDelta, FollowHunt};
 pub use ingest::{IngestConfig, IngestService, IngestStatus};
 pub use job::{HuntJob, JobReport, ServiceError};
 pub use pool::{SubmitError, WorkerPool};
+pub use profile::HuntProfile;
 pub use scheduler::HuntScheduler;
 pub use server::{FollowEvent, FollowSubscription, HuntServer, JobHandle, JobId, ServerConfig};
 pub use service::{HuntService, ServiceConfig};

@@ -33,6 +33,7 @@ use crate::follow::{FollowDelta, FollowHunt};
 use crate::ingest::{IngestConfig, IngestService, IngestStatus};
 use crate::job::{HuntJob, JobReport, ServiceError};
 use crate::pool::WorkerPool;
+use crate::profile::{HuntProfile, SlowHuntLog};
 use crate::scheduler::execute_job;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::fmt;
@@ -41,8 +42,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
-use threatraptor_engine::HuntResult;
-use threatraptor_obs::{Counter, Histogram, MetricsSnapshot, Registry, TraceSink};
+use threatraptor_engine::{HuntResult, HuntStats};
+use threatraptor_obs::{
+    Counter, Histogram, MetricsSnapshot, Registry, TraceId, TraceSink, TraceTree, ROOT_SPAN,
+};
 use threatraptor_storage::{AppendOutcome, ShardedStore};
 
 /// Construction parameters for a [`HuntServer`].
@@ -56,6 +59,9 @@ pub struct ServerConfig {
     /// Bound on queued (accepted, not yet executing) ad-hoc jobs;
     /// submission blocks — backpressure — once reached.
     pub queue_capacity: usize,
+    /// How many per-job execution profiles the slow-hunt log retains
+    /// (the worst-N by end-to-end latency).
+    pub slow_hunt_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +73,7 @@ impl Default for ServerConfig {
             ingest: IngestConfig::default(),
             workers: cores,
             queue_capacity: (2 * cores).max(8),
+            slow_hunt_capacity: 32,
         }
     }
 }
@@ -89,6 +96,12 @@ impl ServerConfig {
     /// Sets the job-queue bound (clamped to ≥ 1).
     pub fn queue_capacity(mut self, capacity: usize) -> ServerConfig {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the slow-hunt log retention (clamped to ≥ 1).
+    pub fn slow_hunt_capacity(mut self, capacity: usize) -> ServerConfig {
+        self.slow_hunt_capacity = capacity.max(1);
         self
     }
 }
@@ -132,6 +145,7 @@ impl JobState {
 #[derive(Debug)]
 pub struct JobHandle {
     id: JobId,
+    trace_id: TraceId,
     state: Arc<JobState>,
 }
 
@@ -139,6 +153,12 @@ impl JobHandle {
     /// The job's server-unique id.
     pub fn id(&self) -> JobId {
         self.id
+    }
+
+    /// The trace id propagated through submit → queue → worker; the
+    /// same id keys the job's [`HuntProfile`] in the slow-hunt log.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
     }
 
     /// Blocks until the job completes and returns its report.
@@ -305,8 +325,13 @@ struct JobObs {
     queue_wait_ns: Arc<Histogram>,
     /// `job_exec_ns`: worker execution (resolution + hunt).
     exec_ns: Arc<Histogram>,
-    /// `job_latency_ns`: submit → completion (wait + execution).
-    latency_ns: Arc<Histogram>,
+    /// `job_latency_ns{status=...}`: submit → completion (wait +
+    /// execution), labeled by outcome so panicked or rejected jobs
+    /// never pollute the success-latency series.
+    latency_ok: Arc<Histogram>,
+    latency_error: Arc<Histogram>,
+    latency_panicked: Arc<Histogram>,
+    latency_rejected: Arc<Histogram>,
     /// `hunt_stage_ns{stage=scan|propagate|join|project}` for job
     /// executions (the cache adds parse/analyze/compile/synthesize).
     hunt_trace: TraceSink,
@@ -314,15 +339,69 @@ struct JobObs {
 
 impl JobObs {
     fn new(registry: &Arc<Registry>) -> JobObs {
+        let latency = |status| registry.histogram_labeled("job_latency_ns", &[("status", status)]);
         JobObs {
             submitted: registry.counter("jobs_submitted_total"),
             completed: registry.counter("jobs_completed_total"),
             rejected: registry.counter("jobs_rejected_total"),
             queue_wait_ns: registry.histogram("job_queue_wait_ns"),
             exec_ns: registry.histogram("job_exec_ns"),
-            latency_ns: registry.histogram("job_latency_ns"),
+            latency_ok: latency("ok"),
+            latency_error: latency("error"),
+            latency_panicked: latency("panicked"),
+            latency_rejected: latency("rejected"),
             hunt_trace: TraceSink::new(Arc::clone(registry), "hunt_stage_ns"),
         }
+    }
+
+    /// The latency series for an outcome label.
+    fn latency(&self, status: &str) -> &Arc<Histogram> {
+        match status {
+            "ok" => &self.latency_ok,
+            "panicked" => &self.latency_panicked,
+            "rejected" => &self.latency_rejected,
+            _ => &self.latency_error,
+        }
+    }
+}
+
+/// Outcome label of a completed job, the `status` value of its
+/// latency series and profile.
+fn outcome_status(outcome: &Result<HuntResult, ServiceError>) -> &'static str {
+    match outcome {
+        Ok(_) => "ok",
+        Err(ServiceError::Worker(_)) => "panicked",
+        Err(ServiceError::Shutdown) => "rejected",
+        Err(_) => "error",
+    }
+}
+
+/// Lays per-stage child spans under the exec span of a job trace:
+/// one `scan:<pattern>` span per pattern (with rows-scanned and
+/// shard-count attributes) followed by propagate/join/project. The
+/// stats carry durations, not absolute times, so the spans are placed
+/// back-to-back from the exec span's start — their *widths* are the
+/// measured stage times; any exec time they don't cover (snapshot
+/// resolution, plan-cache lookup) shows as the uncovered tail.
+fn record_stage_spans(trace: &mut TraceTree, exec: usize, stats: &HuntStats) {
+    let mut cursor = trace.span_start(exec);
+    for (pattern, elapsed) in &stats.pattern_elapsed {
+        let span = trace.add_span(exec, &format!("scan:{pattern}"), cursor, cursor + *elapsed);
+        if let Some((_, rows)) = stats.rows_fetched.iter().find(|(id, _)| id == pattern) {
+            trace.set_attr(span, "rows", *rows as i64);
+        }
+        if let Some((_, shards)) = stats.shard_rows.iter().find(|(id, _)| id == pattern) {
+            trace.set_attr(span, "shards", shards.len() as i64);
+        }
+        cursor += *elapsed;
+    }
+    for (name, elapsed) in [
+        ("propagate", stats.propagate_elapsed),
+        ("join", stats.join_elapsed),
+        ("project", stats.project_elapsed),
+    ] {
+        trace.add_span(exec, name, cursor, cursor + elapsed);
+        cursor += elapsed;
     }
 }
 
@@ -373,6 +452,8 @@ pub struct HuntServer {
     config: ServerConfig,
     /// Job-path telemetry over the ingest service's registry.
     job_obs: JobObs,
+    /// Worst-N per-job execution profiles by end-to-end latency.
+    slow_log: Arc<SlowHuntLog>,
 }
 
 impl HuntServer {
@@ -411,6 +492,7 @@ impl HuntServer {
             next_follow: AtomicU64::new(0),
             config,
             job_obs,
+            slow_log: Arc::new(SlowHuntLog::new(config.slow_hunt_capacity)),
         }
     }
 
@@ -466,11 +548,31 @@ impl HuntServer {
     /// Render it with [`MetricsSnapshot::to_prometheus`] or
     /// [`MetricsSnapshot::to_json`].
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.ingest
-            .registry()
+        let registry = self.ingest.registry();
+        registry
             .gauge("follow_subscriptions")
             .set(self.follow_count() as i64);
+        // How far the follow dispatcher trails the stream: ingested
+        // epochs minus the last epoch fanned out (0 when caught up).
+        let lag = self
+            .ingest
+            .epoch()
+            .saturating_sub(self.processed.load(Ordering::Acquire));
+        registry.gauge("dispatcher_epoch_lag").set(lag as i64);
         self.ingest.metrics()
+    }
+
+    /// The retained worst-N execution profiles, slowest first.
+    pub fn slow_hunts(&self) -> Vec<Arc<HuntProfile>> {
+        self.slow_log.slow_hunts()
+    }
+
+    /// The retained profile of a job, if it is (still) among the
+    /// worst-N by latency. The job must have completed (profiles are
+    /// recorded before the handle resolves, so a profile is visible as
+    /// soon as [`JobHandle::wait`] returns).
+    pub fn profile(&self, id: JobId) -> Option<Arc<HuntProfile>> {
+        self.slow_log.profile(id)
     }
 
     /// Enqueues an ad-hoc hunt job. Blocks while the bounded queue is
@@ -480,9 +582,11 @@ impl HuntServer {
     /// handle completes immediately with [`ServiceError::Shutdown`].
     pub fn submit(&self, job: HuntJob) -> JobHandle {
         let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let trace_id = TraceId::next();
         let state = Arc::new(JobState::default());
         let handle = JobHandle {
             id,
+            trace_id,
             state: Arc::clone(&state),
         };
         self.job_obs.submitted.inc();
@@ -490,13 +594,21 @@ impl HuntServer {
         let fallback = (job.clone(), Arc::clone(&state));
         let ingest = Arc::clone(&self.ingest);
         let snapshots = Arc::clone(&self.snapshots);
+        let slow_log = Arc::clone(&self.slow_log);
         let obs = self.job_obs.clone();
         let (shard_threads, mode) = (self.config.ingest.shard_threads, self.config.ingest.mode);
         let accepted = !self.shutdown.load(Ordering::Acquire)
             && self
                 .pool
                 .submit(Box::new(move || {
-                    obs.queue_wait_ns.record_duration(submitted_at.elapsed());
+                    // The trace's root span is backdated to submission,
+                    // so the queue wait is part of the profile.
+                    let mut trace = TraceTree::started_at(trace_id, "job", submitted_at);
+                    trace.set_attr(ROOT_SPAN, "job_id", id.0 as i64);
+                    let wait = submitted_at.elapsed();
+                    obs.queue_wait_ns.record_duration(wait);
+                    trace.add_span(ROOT_SPAN, "queue_wait", Duration::ZERO, wait);
+                    let exec_span = trace.begin("exec", ROOT_SPAN);
                     let snapshot = snapshots.get(&ingest);
                     let report = execute_job(
                         &snapshot,
@@ -507,19 +619,46 @@ impl HuntServer {
                         &job,
                     );
                     obs.exec_ns.record_duration(report.elapsed);
+                    trace.set_attr(exec_span, "cache_hit", report.cache_hit);
+                    let mut matches = 0;
                     if let Ok(result) = &report.outcome {
+                        matches = result.matches.len();
                         result.stats.record_stages(&obs.hunt_trace);
+                        record_stage_spans(&mut trace, exec_span, &result.stats);
+                        trace.set_attr(exec_span, "matches", matches);
                     }
+                    trace.end(exec_span);
+                    let status = outcome_status(&report.outcome);
+                    trace.set_attr(ROOT_SPAN, "status", status);
+                    let latency = submitted_at.elapsed();
+                    trace.finish();
+                    slow_log.record(HuntProfile {
+                        job_id: id,
+                        trace_id,
+                        tbql: report.tbql.clone(),
+                        status,
+                        cache_hit: report.cache_hit,
+                        matches,
+                        queue_wait: wait,
+                        exec: report.elapsed,
+                        latency,
+                        trace,
+                    });
                     // Record *before* completing the handle: a caller
-                    // snapshotting metrics right after wait() must see
-                    // this job's latency.
-                    obs.latency_ns.record_duration(submitted_at.elapsed());
+                    // snapshotting metrics (or reading the slow-hunt
+                    // log) right after wait() must see this job.
+                    obs.latency(status).record_duration(latency);
                     obs.completed.inc();
                     state.complete(report);
                 }))
                 .is_ok();
         if !accepted {
+            // Rejected jobs never executed — they get a latency sample
+            // in the `rejected` series but no slow-hunt profile.
             self.job_obs.rejected.inc();
+            self.job_obs
+                .latency("rejected")
+                .record_duration(submitted_at.elapsed());
             let (job, state) = fallback;
             state.complete(JobReport {
                 index: id.0 as usize,
@@ -944,6 +1083,136 @@ mod tests {
             .unwrap();
         assert_eq!(running.matches.len(), batch.matches.len());
         assert!(server.follow_result(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn profiles_propagate_trace_context_end_to_end() {
+        let sc = scenario();
+        let server = server();
+        for chunk in LogFeed::by_events(&sc.raw, 1_000) {
+            server.append(&chunk.unwrap());
+        }
+        let handle = server.submit(HuntJob::tbql(FIG2_TBQL));
+        let report = handle.wait();
+        assert!(report.outcome.is_ok());
+        // The profile is visible as soon as wait() returns, keyed by
+        // the job id, carrying the handle's trace id.
+        let profile = server.profile(handle.id()).expect("profile retained");
+        assert_eq!(profile.trace_id, handle.trace_id());
+        assert_eq!(profile.status, "ok");
+        assert!(profile.matches > 0);
+        assert!(profile.tbql.is_some(), "resolved TBQL rides the profile");
+        // The trace tree has queue_wait and exec under the root, and
+        // per-pattern scan spans under exec.
+        let names: Vec<&str> = profile
+            .trace
+            .children(threatraptor_obs::ROOT_SPAN)
+            .into_iter()
+            .map(|i| profile.trace.nodes()[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["queue_wait", "exec"]);
+        let exec = profile
+            .trace
+            .nodes()
+            .iter()
+            .position(|n| n.name == "exec")
+            .unwrap();
+        let stage_names: Vec<&str> = profile
+            .trace
+            .children(exec)
+            .into_iter()
+            .map(|i| profile.trace.nodes()[i].name.as_str())
+            .collect();
+        assert!(stage_names.iter().any(|n| n.starts_with("scan:")));
+        for stage in ["propagate", "join", "project"] {
+            assert!(stage_names.contains(&stage), "missing {stage}");
+        }
+        // Latency bounds the parts and is what slow_hunts ranks by.
+        assert!(profile.latency >= profile.queue_wait);
+        assert!(profile.latency >= profile.exec);
+        // The chrome export of a real profile is parseable JSON.
+        let chrome = profile.trace.to_chrome_trace().compact();
+        assert!(threatraptor_obs::JsonValue::parse(&chrome).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_hunt_log_retains_worst_n_under_concurrent_submissions() {
+        let sc = scenario();
+        let server = HuntServer::new(
+            ServerConfig::with_ingest(IngestConfig::with_policy(SealPolicy::events(500)))
+                .workers(4)
+                .slow_hunt_capacity(5),
+        );
+        for chunk in LogFeed::by_events(&sc.raw, 1_000) {
+            server.append(&chunk.unwrap());
+        }
+        let handles: Vec<JobHandle> = (0..24)
+            .map(|_| server.submit(HuntJob::tbql(FIG2_TBQL)))
+            .collect();
+        for handle in &handles {
+            handle.wait();
+        }
+        let slow = server.slow_hunts();
+        assert_eq!(slow.len(), 5, "exactly worst-N retained");
+        // Slowest first, strictly ordered by latency.
+        assert!(slow.windows(2).all(|w| w[0].latency >= w[1].latency));
+        // The retained five are exactly the five largest latencies the
+        // 24 jobs produced (no profile lost, none duplicated).
+        let ids: std::collections::BTreeSet<u64> = slow.iter().map(|p| p.job_id.0).collect();
+        assert_eq!(ids.len(), 5);
+        for p in &slow {
+            assert_eq!(server.profile(p.job_id).unwrap().trace_id, p.trace_id);
+        }
+        server.shutdown();
+        // Rejected submissions never land in the slow log.
+        let rejected = server.submit(HuntJob::tbql(FIG2_TBQL));
+        assert!(rejected.wait().outcome.is_err());
+        assert!(server.profile(rejected.id()).is_none());
+        assert_eq!(server.slow_hunts().len(), 5);
+    }
+
+    #[test]
+    fn job_latency_is_labeled_by_outcome() {
+        let sc = scenario();
+        let server = server();
+        for chunk in LogFeed::by_events(&sc.raw, 1_000) {
+            server.append(&chunk.unwrap());
+        }
+        server.hunt(FIG2_TBQL).unwrap();
+        let err = server.hunt("this is not TBQL");
+        assert!(err.is_err());
+        let snapshot = server.metrics();
+        let count = |snap: &MetricsSnapshot, status: &str| {
+            snap.histogram("job_latency_ns", &[("status", status)])
+                .map(|h| h.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(count(&snapshot, "ok"), 1);
+        assert_eq!(count(&snapshot, "error"), 1);
+        assert_eq!(count(&snapshot, "rejected"), 0);
+        server.shutdown();
+        server.submit(HuntJob::tbql(FIG2_TBQL)).wait();
+        assert_eq!(count(&server.metrics(), "rejected"), 1);
+    }
+
+    #[test]
+    fn dispatcher_epoch_lag_gauge_reports_caught_up() {
+        let sc = scenario();
+        let server = server();
+        let (_alerts, _) = server.follow(FIG2_TBQL).unwrap();
+        for chunk in LogFeed::by_events(&sc.raw, 1_000) {
+            server.append(&chunk.unwrap());
+        }
+        assert!(server.wait_caught_up(Duration::from_secs(60)));
+        let snapshot = server.metrics();
+        assert_eq!(
+            snapshot.gauge("dispatcher_epoch_lag"),
+            Some(0),
+            "caught-up dispatcher has zero lag"
+        );
+        assert_eq!(snapshot.gauge("follow_subscriptions"), Some(1));
+        server.shutdown();
     }
 
     #[test]

@@ -8,40 +8,48 @@
 use crate::ast::*;
 use std::fmt::Write as _;
 
+/// Prints one pattern in canonical TBQL form (no trailing newline) —
+/// the per-pattern source line the engine's EXPLAIN schedule shows.
+pub fn print_pattern(pat: &Pattern) -> String {
+    let mut out = String::new();
+    match pat {
+        Pattern::Event(e) => {
+            print_entity(&mut out, &e.subject);
+            out.push(' ');
+            out.push_str(&e.ops.join(" || "));
+            out.push(' ');
+            print_entity(&mut out, &e.object);
+            if let Some(id) = &e.id {
+                write!(out, " as {id}").unwrap();
+            }
+            if let Some(w) = &e.window {
+                write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
+            }
+        }
+        Pattern::Path(p) => {
+            print_entity(&mut out, &p.subject);
+            out.push_str(" ~>");
+            if let (Some(min), Some(max)) = (p.min_hops, p.max_hops) {
+                write!(out, "({min}~{max})").unwrap();
+            }
+            write!(out, "[{}] ", p.last_op).unwrap();
+            print_entity(&mut out, &p.object);
+            if let Some(id) = &p.id {
+                write!(out, " as {id}").unwrap();
+            }
+            if let Some(w) = &p.window {
+                write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
+            }
+        }
+    }
+    out
+}
+
 /// Prints a query in canonical TBQL form.
 pub fn print_query(q: &Query) -> String {
     let mut out = String::new();
     for pat in &q.patterns {
-        match pat {
-            Pattern::Event(e) => {
-                print_entity(&mut out, &e.subject);
-                out.push(' ');
-                out.push_str(&e.ops.join(" || "));
-                out.push(' ');
-                print_entity(&mut out, &e.object);
-                if let Some(id) = &e.id {
-                    write!(out, " as {id}").unwrap();
-                }
-                if let Some(w) = &e.window {
-                    write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
-                }
-            }
-            Pattern::Path(p) => {
-                print_entity(&mut out, &p.subject);
-                out.push_str(" ~>");
-                if let (Some(min), Some(max)) = (p.min_hops, p.max_hops) {
-                    write!(out, "({min}~{max})").unwrap();
-                }
-                write!(out, "[{}] ", p.last_op).unwrap();
-                print_entity(&mut out, &p.object);
-                if let Some(id) = &p.id {
-                    write!(out, " as {id}").unwrap();
-                }
-                if let Some(w) = &p.window {
-                    write!(out, " window [{}, {}]", w.lo, w.hi).unwrap();
-                }
-            }
-        }
+        out.push_str(&print_pattern(pat));
         out.push('\n');
     }
     if !q.temporal.is_empty() {
@@ -178,6 +186,15 @@ mod tests {
         assert!(printed.contains(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1"#));
         assert!(printed.contains("with evt1 before evt2"));
         assert!(printed.contains("return distinct p1, f1"));
+    }
+
+    #[test]
+    fn pattern_lines_match_query_printing() {
+        let q = parse_query(FIG2_TBQL).unwrap();
+        let printed = print_query(&q);
+        for (i, pat) in q.patterns.iter().enumerate() {
+            assert_eq!(printed.lines().nth(i).unwrap(), print_pattern(pat));
+        }
     }
 
     #[test]

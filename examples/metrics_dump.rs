@@ -68,7 +68,7 @@ fn main() {
     }
     assert!(
         snapshot
-            .histogram("job_latency_ns", &[])
+            .histogram("job_latency_ns", &[("status", "ok")])
             .is_some_and(|h| h.count > 0),
         "job latency histogram must be populated"
     );

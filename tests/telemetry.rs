@@ -71,8 +71,14 @@ fn one_server_run_populates_every_lifecycle_family() {
     assert!(submitted > 0, "jobs were submitted");
     assert_eq!(submitted, completed, "every accepted job completed");
     assert_eq!(snapshot.counter("jobs_rejected_total"), Some(0));
-    for hist in ["job_queue_wait_ns", "job_exec_ns", "job_latency_ns"] {
-        let h = snapshot.histogram(hist, &[]).expect(hist);
+    // Latency is labeled by outcome; every job here succeeded.
+    let latency_labels: &[(&str, &str)] = &[("status", "ok")];
+    for (hist, labels) in [
+        ("job_queue_wait_ns", &[] as &[(&str, &str)]),
+        ("job_exec_ns", &[]),
+        ("job_latency_ns", latency_labels),
+    ] {
+        let h = snapshot.histogram(hist, labels).expect(hist);
         assert_eq!(h.count, submitted, "{hist}: one sample per job");
         assert!(h.max > 0, "{hist}: non-zero latency recorded");
         assert!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max, "{hist}");
@@ -80,7 +86,9 @@ fn one_server_run_populates_every_lifecycle_family() {
     // Queue-wait + execution can never exceed end-to-end latency in sum.
     let wait = snapshot.histogram("job_queue_wait_ns", &[]).unwrap();
     let exec = snapshot.histogram("job_exec_ns", &[]).unwrap();
-    let total = snapshot.histogram("job_latency_ns", &[]).unwrap();
+    let total = snapshot
+        .histogram("job_latency_ns", latency_labels)
+        .unwrap();
     assert!(
         wait.sum + exec.sum <= total.sum,
         "wait ({}) + exec ({}) must bound latency ({}) from below",
