@@ -103,6 +103,8 @@ fn main() -> ExitCode {
                 c.events.to_string(),
                 c.hunts.to_string(),
                 c.matches.to_string(),
+                c.rejected.to_string(),
+                c.rows_pruned.to_string(),
                 fmt::dur(std::time::Duration::from_nanos(c.latency.p50)),
                 fmt::dur(std::time::Duration::from_nanos(c.latency.p99)),
                 fmt::dur(std::time::Duration::from_nanos(c.latency.max)),
@@ -116,11 +118,15 @@ fn main() -> ExitCode {
     println!(
         "{}",
         fmt::table(
-            &["case", "events", "hunts", "matches", "p50", "p99", "max", "top span"],
+            &[
+                "case", "events", "hunts", "matches", "rejected", "pruned", "p50", "p99", "max",
+                "top span"
+            ],
             &rows
         )
     );
-    println!("(per-hunt latency + top-span attribution from each case's MetricsSnapshot)\n");
+    println!("(per-hunt latency + top-span attribution from each case's MetricsSnapshot;");
+    println!(" \"rejected\" = infeasible corpus refused at compile time, \"pruned\" = rows cut by DBM bounds)\n");
 
     let doc = suite::to_json(&results, args.smoke);
     let problems = suite::validate(&doc);

@@ -18,12 +18,12 @@
 //!
 //! `--smoke` runs a reduced configuration for CI.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use threatraptor::prelude::*;
 use threatraptor_audit::LogFeed;
-use threatraptor_bench::fmt;
-use threatraptor_service::{HuntServer, ServerConfig};
+use threatraptor_bench::{fmt, suite};
+use threatraptor_service::{HuntServer, ServerConfig, ServiceError};
 
 /// Distinct match identities in a result: bindings plus each witness's
 /// CPR run identity (entity pair, op, run start). This — not the raw
@@ -125,6 +125,23 @@ fn main() {
         subs.push(sub);
     }
 
+    // Feasibility guardrail: the infeasible corpus is refused at compile
+    // time on both entry points, and resubmits hit the cache's rejection
+    // memo (no recompilation). Rejection is a pure property of the query
+    // text, so this runs before any ingest.
+    for q in suite::INFEASIBLE_QUERIES {
+        for entry in 0..2 {
+            let refused = match entry {
+                0 => matches!(server.hunt(q), Err(ServiceError::Infeasible(_))),
+                _ => server.follow(q).is_err(),
+            };
+            assert!(refused, "infeasible query must be rejected: {q}");
+        }
+    }
+    let cache = server.cache_stats();
+    assert_eq!(cache.rejections, suite::INFEASIBLE_QUERIES.len());
+    assert_eq!(cache.rejection_hits, suite::INFEASIBLE_QUERIES.len());
+
     let (latencies, job_latencies, delivered, ingest_elapsed, metrics) =
         std::thread::scope(|scope| {
             // One consumer per subscription: receive-only, no polling.
@@ -138,7 +155,7 @@ fn main() {
                         while let Ok(event) = sub.recv() {
                             let now = Instant::now();
                             matches += event.delta.new_matches;
-                            let log = append_log.lock().unwrap();
+                            let log = append_log.lock().unwrap_or_else(PoisonError::into_inner);
                             if let Some(t) = availability(&log, event.epoch) {
                                 lat.push(now.duration_since(t));
                             }
@@ -158,7 +175,7 @@ fn main() {
             for (i, part) in chunks.iter().enumerate() {
                 append_log
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(PoisonError::into_inner)
                     .push((server.ingest().epoch() + 1, Instant::now()));
                 server.append(part);
                 if i % every == 0 && job_waiters.len() < ad_hoc {
@@ -280,6 +297,8 @@ fn main() {
             &[
                 "cache hits",
                 "misses",
+                "rejections",
+                "rejection hits",
                 "evictions",
                 "queue depth",
                 "jobs done",
@@ -291,6 +310,8 @@ fn main() {
             &[vec![
                 cache.hits.to_string(),
                 cache.misses.to_string(),
+                cache.rejections.to_string(),
+                cache.rejection_hits.to_string(),
                 cache.evictions.to_string(),
                 metrics.gauge("job_queue_depth").unwrap_or(0).to_string(),
                 metrics

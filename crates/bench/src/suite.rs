@@ -23,20 +23,20 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use threatraptor::{Engine, HuntResult, ShardedEngine};
+use threatraptor::{Engine, EngineError, HuntResult, ShardedEngine};
 use threatraptor_audit::parser::ParsedLog;
 use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
 use threatraptor_audit::LogFeed;
 use threatraptor_obs::{
     HistogramSummary, JsonValue, MetricsSnapshot, Registry, SampleValue, TraceSink,
 };
-use threatraptor_service::{HuntServer, IngestConfig, ServerConfig};
+use threatraptor_service::{HuntServer, IngestConfig, ServerConfig, ServiceError};
 use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
 
 /// The current record's schema identifier.
 pub const SCHEMA: &str = "threatraptor-bench/v1";
 /// The PR this trajectory point belongs to.
-pub const PR: u64 = 7;
+pub const PR: u64 = 8;
 
 /// Which execution stack a case drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +93,32 @@ const HUNT_QUERIES: &[&str] = &[
     threatraptor_tbql::parser::FIG2_TBQL,
     "proc p read file f return distinct p, f",
     "proc p[\"%/bin/tar%\"] read file f return p, f",
+    // `before` + e2's window give the DBM closure a tighter upper bound
+    // for e1 than its (absent) window, so this hunt exercises the
+    // feasible-range scan clamp — the suite's "pruned" column.
+    "proc p read file f as e1 \
+     proc p write file g as e2 window [0, 200000000] \
+     with e1 before e2 return p, f, g",
+];
+
+/// The infeasible corpus: queries the static analyzer must reject at
+/// compile time, before any row is scanned. Every engine case drives
+/// these and records the refusals — the suite's lint/feasibility
+/// column.
+pub const INFEASIBLE_QUERIES: &[&str] = &[
+    // Cyclic `before` ordering (E001).
+    "proc p read file f as e1 proc p write file g as e2 \
+     with e1 before e2, e2 before e1 return p",
+    // Empty window (E001).
+    "proc p read file f as e1 window [900, 100] return p, f",
+    // Window + ordering conflict (E001): e2 must both end inside
+    // [0, 100] and start after an event that ends at or after 200.
+    "proc p read file f as e1 window [200, 300] \
+     proc p write file g as e2 window [0, 100] \
+     with e1 before e2 return p, f, g",
+    // Contradictory filters on one variable (E002).
+    "proc p[\"/bin/tar\"] read file f as e1 \
+     proc p[\"/bin/gzip\"] write file g as e2 return p, f, g",
 ];
 
 /// The declarative suite definition. `--smoke` shrinks scenario sizes
@@ -135,6 +161,14 @@ pub struct CaseResult {
     /// Per-hunt latency (nanoseconds), from the case registry's
     /// `bench_hunt_ns` histogram.
     pub latency: HistogramSummary,
+    /// Infeasible-corpus queries the static analyzer refused at compile
+    /// time (from `bench_rejected_total`; every engine must refuse the
+    /// whole corpus, so this equals [`INFEASIBLE_QUERIES`]'s length).
+    pub rejected: u64,
+    /// Rows excluded by DBM feasible-range clamping across all hunts
+    /// (summed over `engine_rows_pruned_total{pattern}`; zero for
+    /// engines that don't wire a registry into the scan path).
+    pub rows_pruned: u64,
     /// Selected extra counters from the case snapshot (engine-specific:
     /// cache hits, deliveries, seals, ...), name → value.
     pub extra: Vec<(String, f64)>,
@@ -227,6 +261,22 @@ fn extract(
             })
         })
         .collect();
+    let rejected = snapshot
+        .get("bench_rejected_total", &labels)
+        .and_then(|s| match s.value {
+            threatraptor_obs::SampleValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let rows_pruned = snapshot
+        .samples
+        .iter()
+        .filter(|s| s.name == "engine_rows_pruned_total")
+        .map(|s| match s.value {
+            SampleValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum();
     CaseResult {
         engine: engine.name(),
         workload: w.name,
@@ -234,6 +284,8 @@ fn extract(
         hunts,
         matches,
         latency,
+        rejected,
+        rows_pruned,
         extra,
         profile: profile_summary(snapshot),
     }
@@ -265,12 +317,29 @@ where
     }
 }
 
+/// Drives the infeasible corpus at an engine, asserting every query is
+/// refused at compile time and recording the refusals into
+/// `bench_rejected_total` — the feasibility guardrail every case runs.
+fn drive_rejections<F>(registry: &Arc<Registry>, engine: EngineKind, w: &Workload, mut rejected: F)
+where
+    F: FnMut(&str) -> bool,
+{
+    let counter = registry.counter_labeled("bench_rejected_total", &case_labels(engine, w));
+    for q in INFEASIBLE_QUERIES {
+        assert!(rejected(q), "static analysis must reject: {q}");
+        counter.inc();
+    }
+}
+
 fn run_single(w: &Workload, log: &ParsedLog) -> CaseResult {
     let registry = Arc::new(Registry::new());
     let store = AuditStore::ingest(log, true);
     let engine = Engine::new(&store);
     drive_hunts(&registry, EngineKind::Single, w, |q| {
         engine.hunt(q).expect("valid TBQL")
+    });
+    drive_rejections(&registry, EngineKind::Single, w, |q| {
+        matches!(engine.hunt(q), Err(EngineError::Infeasible(_)))
     });
     let labels = case_labels(EngineKind::Single, w);
     extract(
@@ -290,6 +359,9 @@ fn run_sharded(w: &Workload, log: &ParsedLog) -> CaseResult {
     let engine = ShardedEngine::new(&store).with_registry(&registry);
     drive_hunts(&registry, EngineKind::Sharded, w, |q| {
         engine.hunt(q).expect("valid TBQL")
+    });
+    drive_rejections(&registry, EngineKind::Sharded, w, |q| {
+        matches!(engine.hunt(q), Err(EngineError::Infeasible(_)))
     });
     let labels = case_labels(EngineKind::Sharded, w);
     extract(
@@ -315,6 +387,9 @@ fn run_streaming(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
     let engine = ShardedEngine::new(&snapshot);
     drive_hunts(&registry, EngineKind::Streaming, w, |q| {
         engine.hunt(q).expect("valid TBQL")
+    });
+    drive_rejections(&registry, EngineKind::Streaming, w, |q| {
+        matches!(engine.hunt(q), Err(EngineError::Infeasible(_)))
     });
     let labels = case_labels(EngineKind::Streaming, w);
     extract(
@@ -354,6 +429,9 @@ fn run_server(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
         }
     }
     assert!(server.wait_caught_up(std::time::Duration::from_secs(120)));
+    drive_rejections(server.registry(), EngineKind::Server, w, |q| {
+        matches!(server.hunt(q), Err(ServiceError::Infeasible(_)))
+    });
     // The server's own end-to-end job latency IS the case latency: no
     // external stopwatch.
     let labels = case_labels(EngineKind::Server, w);
@@ -414,6 +492,8 @@ pub fn to_json(results: &[CaseResult], smoke: bool) -> JsonValue {
                 ("events".into(), JsonValue::Num(c.events as f64)),
                 ("hunts".into(), JsonValue::Num(c.hunts as f64)),
                 ("matches".into(), JsonValue::Num(c.matches as f64)),
+                ("rejected".into(), JsonValue::Num(c.rejected as f64)),
+                ("rows_pruned".into(), JsonValue::Num(c.rows_pruned as f64)),
                 (
                     "latency_ns".into(),
                     JsonValue::Obj(vec![
@@ -483,6 +563,14 @@ pub fn validate(doc: &JsonValue) -> Vec<String> {
             }
         }
         for key in ["events", "hunts", "matches"] {
+            if case.get(key).and_then(JsonValue::as_f64).is_none() {
+                problems.push(format!("case {i}: missing numeric {key:?}"));
+            }
+        }
+        // Since v8 records, every case carries the static-analysis
+        // columns: infeasible queries rejected and rows pruned by the
+        // DBM feasible-range clamp.
+        for key in ["rejected", "rows_pruned"] {
             if case.get(key).and_then(JsonValue::as_f64).is_none() {
                 problems.push(format!("case {i}: missing numeric {key:?}"));
             }
@@ -611,6 +699,8 @@ mod tests {
         assert!(result.latency.p50 > 0, "hunts take nonzero time");
         assert!(result.latency.p50 <= result.latency.p99);
         assert!(result.events > 0);
+        // The feasibility guardrail drove the whole infeasible corpus.
+        assert_eq!(result.rejected, INFEASIBLE_QUERIES.len() as u64);
         // Top-span attribution rides every case, worst span first.
         assert!(!result.profile.is_empty(), "case profile populated");
         assert!(result

@@ -15,6 +15,7 @@ use threatraptor_storage::relational::{
 use threatraptor_storage::store::{self, AuditStore};
 use threatraptor_tbql::analyze::AnalyzedQuery;
 use threatraptor_tbql::ast::{CmpOp, EntityType, Expr, Lit, Pattern, TimeWindow};
+use threatraptor_tbql::lint::{lint, LintReport};
 
 /// A compiled pattern ready for execution.
 #[derive(Debug, Clone)]
@@ -33,6 +34,13 @@ pub struct CompiledPattern {
     pub shape: CompiledShape,
     /// Optional time window.
     pub window: Option<TimeWindow>,
+    /// DBM-tightened feasible time range, present only when strictly
+    /// tighter than `window`: any row in a complete match satisfies
+    /// `start ≥ lo && end ≤ hi`, so scans clamp to it ([`ShardedEngine`]
+    /// counts rows it excludes as pruned).
+    ///
+    /// [`ShardedEngine`]: crate::ShardedEngine
+    pub bounds: Option<TimeWindow>,
     /// Pruning score (higher executes earlier).
     pub score: i64,
 }
@@ -108,8 +116,26 @@ pub fn table_for(ty: EntityType) -> &'static str {
     }
 }
 
-/// Compiles an analyzed query.
+/// Compiles an analyzed query. Runs the lint pass first: error-level
+/// diagnostics (temporal infeasibility, contradictory filters) reject
+/// the query as [`EngineError::Infeasible`] before any store is touched.
 pub fn compile(aq: &AnalyzedQuery) -> Result<CompiledQuery, EngineError> {
+    compile_with_lint(aq).map(|(cq, _)| cq)
+}
+
+/// [`compile`] variant that also returns the lint report (warnings plus
+/// the temporal analysis), for callers that cache or display it.
+pub fn compile_with_lint(aq: &AnalyzedQuery) -> Result<(CompiledQuery, LintReport), EngineError> {
+    let report = lint(aq);
+    if report.has_errors() {
+        return Err(EngineError::Infeasible(report.errors().cloned().collect()));
+    }
+    let cq = compile_feasible(aq, &report)?;
+    Ok((cq, report))
+}
+
+/// Builds the plan for a query the lint pass accepted.
+fn compile_feasible(aq: &AnalyzedQuery, report: &LintReport) -> Result<CompiledQuery, EngineError> {
     let mut var_predicates = HashMap::new();
     let mut var_tables = HashMap::new();
     for (var, info) in &aq.entities {
@@ -149,6 +175,12 @@ pub fn compile(aq: &AnalyzedQuery) -> Result<CompiledQuery, EngineError> {
             window,
             max_len,
         );
+        // Keep the DBM bounds only when strictly tighter than the
+        // pattern's own window (which the scan already enforces).
+        let bounds = report.temporal.bounds.get(i).and_then(|b| {
+            let (wlo, whi) = window.map(|w| (w.lo, w.hi)).unwrap_or((0, u64::MAX));
+            (b.lo > wlo || b.hi < whi).then_some(TimeWindow { lo: b.lo, hi: b.hi })
+        });
         patterns.push(CompiledPattern {
             id,
             decl_index: i,
@@ -157,6 +189,7 @@ pub fn compile(aq: &AnalyzedQuery) -> Result<CompiledQuery, EngineError> {
             object_table,
             shape,
             window,
+            bounds,
             score,
         });
     }
@@ -438,6 +471,54 @@ mod tests {
         let cq = compiled("proc p read || write file f as e1 return p");
         let cypher = cq.to_cypher(&cq.patterns[0]);
         assert!(cypher.contains("[e:READ|WRITE]"), "{cypher}");
+    }
+
+    #[test]
+    fn infeasible_queries_rejected_at_compile() {
+        let aq = analyze(
+            &parse_query(
+                "proc p read file f as e1 proc p write file g as e2 \
+                 with e1 before e2, e2 before e1 return p, f, g",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = compile(&aq).unwrap_err();
+        let EngineError::Infeasible(diags) = err else {
+            panic!("expected Infeasible, got {err:?}");
+        };
+        assert_eq!(diags[0].code, "E001");
+    }
+
+    #[test]
+    fn dbm_bounds_attach_only_when_tighter_than_window() {
+        let cq = compiled(
+            "proc p read file f as e1 window [100, 200] \
+             proc p write file g as e2 \
+             with e1 before e2 \
+             return p, f, g",
+        );
+        let by_id = |id: &str| cq.patterns.iter().find(|p| p.id == id).unwrap();
+        // e1's bounds equal its window — nothing to clamp beyond the scan
+        // filters already applied.
+        assert_eq!(by_id("e1").bounds, None);
+        // e2 has no window but inherits `start ≥ 101` from the ordering.
+        assert_eq!(
+            by_id("e2").bounds,
+            Some(TimeWindow {
+                lo: 101,
+                hi: u64::MAX
+            })
+        );
+    }
+
+    #[test]
+    fn compile_with_lint_keeps_warnings() {
+        let aq = analyze(&parse_query("proc p read file f as e1 return p").unwrap()).unwrap();
+        let (cq, report) = compile_with_lint(&aq).unwrap();
+        assert!(cq.patterns[0].bounds.is_none());
+        assert!(!report.has_errors());
+        assert_eq!(report.warnings().count(), 1); // `f` unconstrained
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl<'s> Engine<'s> {
     }
 
     /// Parses, analyzes, compiles, and executes TBQL source with the
-    /// scheduled strategy.
+    /// scheduled strategy. Queries the lint pass proves can never match
+    /// (temporal infeasibility, contradictory filters) are rejected at
+    /// the compile step with [`EngineError::Infeasible`] before any
+    /// rows are scanned.
     pub fn hunt(&self, tbql: &str) -> Result<HuntResult, EngineError> {
         self.hunt_mode(tbql, ExecMode::Scheduled)
     }

@@ -51,6 +51,13 @@ pub struct HuntStats {
     /// Rows scanned per shard for each pattern, in execution order.
     /// Single-store executions report one pseudo-shard per pattern.
     pub shard_rows: Vec<(String, Vec<usize>)>,
+    /// Rows excluded per pattern by the DBM-derived feasible-range
+    /// clamp, in execution order. Empty when no pattern carries
+    /// tightened bounds (or on single-store execution, which does not
+    /// clamp). The `engine_rows_pruned_total{pattern}` metric is bumped
+    /// from these same counts, so EXPLAIN ANALYZE actuals and the metric
+    /// agree by construction.
+    pub rows_pruned: Vec<(String, usize)>,
     /// Constraint-propagation pruning per pattern, in execution order:
     /// for each variable that received a propagated IN-set filter, the
     /// number of already-bound entity ids pushed down (empty when no
@@ -81,6 +88,11 @@ impl HuntStats {
     /// Total rows fetched across all patterns.
     pub fn total_rows(&self) -> usize {
         self.rows_fetched.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total rows excluded by the DBM feasible-range clamp.
+    pub fn total_rows_pruned(&self) -> usize {
+        self.rows_pruned.iter().map(|(_, n)| n).sum()
     }
 
     /// Records the per-stage breakdown into a [`TraceSink`] (one

@@ -6,7 +6,10 @@
 //! tenants, and re-runs). The cache keys compiled plans by *normalized*
 //! query text so formatting variants of the same query share one plan,
 //! and separately memoizes OSCTI-report synthesis (report text → TBQL),
-//! which dominates report-job latency.
+//! which dominates report-job latency. Static-analysis *rejections*
+//! (queries the lint pass proves can never match) are memoized in the
+//! same map: a rejected query resubmitted under a retry loop is refused
+//! straight from cache instead of being recompiled every time.
 //!
 //! Both maps are **size-capped with LRU eviction** — a long-lived
 //! multi-tenant service sees an unbounded stream of distinct queries and
@@ -24,12 +27,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
-use threatraptor_engine::compile::{compile, CompiledQuery};
+use threatraptor_engine::compile::{compile_with_lint, CompiledQuery};
 use threatraptor_engine::EngineError;
 use threatraptor_nlp::ThreatExtractor;
 use threatraptor_obs::{Counter, Registry, Span, TraceSink};
 use threatraptor_synth::{synthesize, SynthesisError};
 use threatraptor_tbql::analyze::analyze;
+use threatraptor_tbql::lint::LintReport;
 use threatraptor_tbql::parser::parse_query;
 use threatraptor_tbql::printer::print_query;
 
@@ -118,9 +122,17 @@ pub struct CacheStats {
     pub misses: usize,
     /// Distinct plans currently cached.
     pub plans: usize,
+    /// Distinct *rejections* currently cached: queries the static
+    /// analyzer proved can never match, memoized so resubmits are
+    /// refused without recompiling.
+    pub rejections: usize,
+    /// Probes served by a cached rejection (counted separately from
+    /// plan hits/misses — no compilation happened and no plan was
+    /// served).
+    pub rejection_hits: usize,
     /// Distinct report syntheses currently cached.
     pub reports: usize,
-    /// Entries evicted so far (plans + syntheses).
+    /// Entries evicted so far (plans + rejections + syntheses).
     pub evictions: usize,
 }
 
@@ -143,13 +155,28 @@ pub struct CachedPlan {
     pub tbql: String,
     /// The compiled query, ready for any executor.
     pub compiled: CompiledQuery,
+    /// Static-analysis findings for the query (warnings only — a plan
+    /// with error-level diagnostics is never compiled; it is cached as
+    /// a rejection instead).
+    pub lint: LintReport,
+}
+
+/// What the cache memoized for a normalized query text: a compiled
+/// plan, or the static-analysis rejection that stopped compilation.
+/// Rejections are cached because they are as much a pure function of
+/// the query text as plans are — resubmitting an infeasible query
+/// (common under retry loops) should not re-run the compile pipeline.
+#[derive(Debug)]
+enum PlanEntry {
+    Ready(Arc<CachedPlan>),
+    Rejected(EngineError),
 }
 
 /// A plan map entry: the plan plus its recency stamp (atomic so hits
 /// under the read lock can refresh it without write contention).
 #[derive(Debug)]
 struct PlanSlot {
-    plan: Arc<CachedPlan>,
+    entry: PlanEntry,
     last_used: AtomicU64,
 }
 
@@ -197,6 +224,10 @@ struct CacheObs {
     misses: Arc<Counter>,
     /// `plan_cache_evictions_total` (plans + syntheses).
     evictions: Arc<Counter>,
+    /// `plan_cache_rejections_total` (infeasible queries memoized).
+    rejections: Arc<Counter>,
+    /// `plan_cache_rejection_hits_total` (probes refused from cache).
+    rejection_hits: Arc<Counter>,
     /// `hunt_stage_ns{stage=parse|analyze|compile|synthesize}`.
     trace: TraceSink,
 }
@@ -217,6 +248,7 @@ pub struct PlanCache {
     tick: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    rejection_hits: AtomicUsize,
     evictions: AtomicUsize,
     /// Telemetry handles, attached at most once.
     obs: OnceLock<CacheObs>,
@@ -246,6 +278,7 @@ impl PlanCache {
             tick: AtomicU64::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            rejection_hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
             obs: OnceLock::new(),
         }
@@ -261,6 +294,8 @@ impl PlanCache {
             hits: registry.counter("plan_cache_hits_total"),
             misses: registry.counter("plan_cache_misses_total"),
             evictions: registry.counter("plan_cache_evictions_total"),
+            rejections: registry.counter("plan_cache_rejections_total"),
+            rejection_hits: registry.counter("plan_cache_rejection_hits_total"),
             trace: TraceSink::new(Arc::clone(registry), "hunt_stage_ns"),
         });
     }
@@ -278,6 +313,12 @@ impl PlanCache {
 
     /// Returns the compiled plan for `tbql_src`, compiling at most once
     /// per normalized query text. The boolean is `true` on a cache hit.
+    ///
+    /// Queries the static analyzer rejects (error-level lint
+    /// diagnostics) are memoized too: the first submit runs the compile
+    /// pipeline and caches the [`EngineError::Infeasible`] outcome;
+    /// resubmits of the same normalized text are refused from cache —
+    /// counted as rejection hits, not plan hits — without recompiling.
     pub fn plan(&self, tbql_src: &str) -> Result<(Arc<CachedPlan>, bool), EngineError> {
         let key = normalize_tbql(tbql_src);
         if let Some(slot) = self
@@ -287,11 +328,22 @@ impl PlanCache {
             .get(&key)
         {
             slot.last_used.store(self.next_tick(), Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Some(obs) = self.obs.get() {
-                obs.hits.inc();
+            match &slot.entry {
+                PlanEntry::Ready(plan) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = self.obs.get() {
+                        obs.hits.inc();
+                    }
+                    return Ok((Arc::clone(plan), true));
+                }
+                PlanEntry::Rejected(err) => {
+                    self.rejection_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = self.obs.get() {
+                        obs.rejection_hits.inc();
+                    }
+                    return Err(err.clone());
+                }
             }
-            return Ok((Arc::clone(&slot.plan), true));
         }
 
         // Compile outside any lock: compilation is pure, and two workers
@@ -311,18 +363,47 @@ impl PlanCache {
         }
         let query = timed(stage("parse", trace), parse_query(tbql_src))?;
         let analyzed = timed(stage("analyze", trace), analyze(&query))?;
-        let compiled = timed(stage("compile", trace), compile(&analyzed))?;
+        let (compiled, lint) = match timed(stage("compile", trace), compile_with_lint(&analyzed)) {
+            Ok(v) => v,
+            Err(err @ EngineError::Infeasible(_)) => {
+                // Infeasibility is a pure property of the query text:
+                // cache the rejection so resubmits skip the pipeline.
+                let tick = self.next_tick();
+                let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
+                plans.entry(key).or_insert_with(|| PlanSlot {
+                    entry: PlanEntry::Rejected(err.clone()),
+                    last_used: AtomicU64::new(tick),
+                });
+                let evicted = evict_lru(&mut plans, self.plan_capacity, |slot| {
+                    slot.last_used.load(Ordering::Relaxed)
+                });
+                drop(plans);
+                self.observe_evictions(evicted);
+                if let Some(obs) = self.obs.get() {
+                    obs.rejections.inc();
+                }
+                return Err(err);
+            }
+            Err(err) => return Err(err),
+        };
         let plan = Arc::new(CachedPlan {
             tbql: print_query(&query),
             compiled,
+            lint,
         });
         let tick = self.next_tick();
         let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         let entry = plans.entry(key).or_insert_with(|| PlanSlot {
-            plan: Arc::clone(&plan),
+            entry: PlanEntry::Ready(Arc::clone(&plan)),
             last_used: AtomicU64::new(tick),
         });
-        let plan = Arc::clone(&entry.plan);
+        let plan = match &entry.entry {
+            PlanEntry::Ready(p) => Arc::clone(p),
+            // A racing worker cannot have cached a rejection for a key we
+            // just compiled successfully (both outcomes are pure functions
+            // of the text), but serve our own plan rather than panic.
+            PlanEntry::Rejected(_) => plan,
+        };
         let evicted = evict_lru(&mut plans, self.plan_capacity, |slot| {
             slot.last_used.load(Ordering::Relaxed)
         });
@@ -370,14 +451,20 @@ impl PlanCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let (plans, rejections) = {
+            let map = self.plans.read().unwrap_or_else(PoisonError::into_inner);
+            let rejections = map
+                .values()
+                .filter(|s| matches!(s.entry, PlanEntry::Rejected(_)))
+                .count();
+            (map.len() - rejections, rejections)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            plans: self
-                .plans
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len(),
+            plans,
+            rejections,
+            rejection_hits: self.rejection_hits.load(Ordering::Relaxed),
             reports: self
                 .syntheses
                 .lock()
@@ -434,7 +521,57 @@ mod tests {
     fn bad_queries_error_and_are_not_cached() {
         let cache = PlanCache::new();
         assert!(cache.plan("syntactically broken").is_err());
-        assert_eq!(cache.stats().plans, 0);
+        let s = cache.stats();
+        assert_eq!((s.plans, s.rejections), (0, 0));
+    }
+
+    #[test]
+    fn infeasible_queries_cached_as_rejections() {
+        let cache = PlanCache::new();
+        let registry = Arc::new(threatraptor_obs::Registry::new());
+        cache.attach_metrics(&registry);
+        // Cyclic `before` ordering: E001, rejected at compile time.
+        let bad = "proc p read file f as e1 proc p write file g as e2 \
+                   with e1 before e2, e2 before e1 return p";
+        let first = cache.plan(bad).unwrap_err();
+        assert!(matches!(first, EngineError::Infeasible(_)), "{first}");
+        let s = cache.stats();
+        assert_eq!((s.plans, s.rejections, s.rejection_hits), (0, 1, 0));
+
+        // A formatting variant of the same query is refused from cache.
+        let again = cache
+            .plan(&format!("  {}  ", bad.replace(' ', "\t")))
+            .unwrap_err();
+        assert_eq!(first, again, "cached rejection must be identical");
+        let s = cache.stats();
+        assert_eq!(s.rejection_hits, 1);
+        // Rejection traffic never pollutes the plan hit/miss counters.
+        assert_eq!((s.hits, s.misses), (0, 0));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("plan_cache_rejections_total"), Some(1));
+        assert_eq!(snap.counter("plan_cache_rejection_hits_total"), Some(1));
+        // The compile stage span was cancelled on the rejection path:
+        // the series may exist (registered at span creation) but holds
+        // no samples.
+        let compile_samples = snap
+            .histogram("hunt_stage_ns", &[("stage", "compile")])
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert_eq!(compile_samples, 0);
+    }
+
+    #[test]
+    fn cached_plans_carry_lint_warnings() {
+        let cache = PlanCache::new();
+        // `f` is mentioned once, unfiltered, and not returned: W001.
+        let (plan, _) = cache.plan("proc p read file f return p").unwrap();
+        assert!(!plan.lint.has_errors());
+        assert!(
+            plan.lint.diagnostics.iter().any(|d| d.code == "W001"),
+            "{:?}",
+            plan.lint.diagnostics
+        );
     }
 
     #[test]

@@ -236,7 +236,7 @@ impl FollowHunt {
         let engine = ShardedEngine::with_threads(snapshot, self.shard_threads);
         let full = engine
             .execute(&self.plan.compiled, self.mode)
-            .map_err(ServiceError::Engine)?;
+            .map_err(ServiceError::from)?;
         self.last_raw = Some(raw);
 
         // Extract the delta: matches no earlier poll has seen.

@@ -287,11 +287,11 @@ impl IngestService {
     /// Hunts a TBQL query against a fresh snapshot, through the plan
     /// cache.
     pub fn hunt(&self, tbql: &str) -> Result<HuntResult, ServiceError> {
-        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::from)?;
         let snapshot = self.snapshot();
         let result = ShardedEngine::with_threads(&snapshot, self.config.shard_threads)
             .execute(&plan.compiled, self.config.mode)
-            .map_err(ServiceError::Engine)?;
+            .map_err(ServiceError::from)?;
         result.stats.record_stages(&self.hunt_trace);
         Ok(result)
     }
@@ -301,7 +301,7 @@ impl IngestService {
     /// subsequent [`IngestService::poll`] re-evaluates it against a fresh
     /// snapshot and yields only the newly appeared matches.
     pub fn hunt_follow(&self, tbql: &str) -> Result<(FollowHunt, FollowDelta), ServiceError> {
-        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::from)?;
         let mut hunt = FollowHunt::new(plan, self.config.mode, self.config.shard_threads);
         hunt.attach_metrics(&self.registry);
         let delta = hunt.poll(&self.snapshot())?;

@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 use threatraptor_engine::{EngineError, HuntResult};
 use threatraptor_synth::SynthesisError;
+use threatraptor_tbql::lint::Diagnostic;
 
 /// One unit of work for the scheduler: hunt either a ready-made TBQL
 /// query or a raw OSCTI report (which is first run through extraction and
@@ -50,6 +51,10 @@ impl HuntJob {
 pub enum ServiceError {
     /// The report yielded no synthesizable behavior.
     Synthesis(SynthesisError),
+    /// The static analyzer proved the query can never match (error-level
+    /// lint diagnostics: temporal infeasibility, contradictory filters).
+    /// Rejected at compile time, before any rows are scanned.
+    Infeasible(Vec<Diagnostic>),
     /// Parsing, analysis, compilation, or execution failed.
     Engine(EngineError),
     /// The worker executing the job panicked; carries the panic payload
@@ -65,6 +70,16 @@ impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::Synthesis(e) => write!(f, "query synthesis: {e}"),
+            ServiceError::Infeasible(diags) => {
+                write!(f, "query rejected by static analysis: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
             ServiceError::Engine(e) => write!(f, "query execution: {e}"),
             ServiceError::Worker(msg) => write!(f, "hunt worker panicked: {msg}"),
             ServiceError::Shutdown => f.write_str("hunt server is shutting down"),
@@ -82,7 +97,10 @@ impl From<SynthesisError> for ServiceError {
 
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
-        ServiceError::Engine(e)
+        match e {
+            EngineError::Infeasible(diags) => ServiceError::Infeasible(diags),
+            other => ServiceError::Engine(other),
+        }
     }
 }
 
@@ -125,5 +143,25 @@ mod tests {
     fn error_display() {
         let e = ServiceError::from(SynthesisError::EmptyGraph);
         assert!(e.to_string().contains("synthesis"));
+    }
+
+    #[test]
+    fn infeasible_engine_errors_map_to_infeasible() {
+        use threatraptor_tbql::error::Span;
+        use threatraptor_tbql::lint::Severity;
+        let diag = Diagnostic {
+            code: "E001",
+            severity: Severity::Error,
+            span: Span::new(0, 4),
+            message: "window is empty".into(),
+        };
+        let e = ServiceError::from(EngineError::Infeasible(vec![diag]));
+        assert!(matches!(e, ServiceError::Infeasible(_)));
+        let text = e.to_string();
+        assert!(text.contains("static analysis"), "{text}");
+        assert!(text.contains("E001"), "{text}");
+        // Non-infeasible engine errors keep the Engine wrapper.
+        let e = ServiceError::from(EngineError::Execution("boom".into()));
+        assert!(matches!(e, ServiceError::Engine(_)));
     }
 }

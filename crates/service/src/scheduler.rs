@@ -81,12 +81,12 @@ fn resolve_and_execute(
     };
     let (plan, cache_hit) = match cache.plan(&tbql_src) {
         Ok(v) => v,
-        Err(e) => return (Some(tbql_src), false, Err(ServiceError::Engine(e))),
+        Err(e) => return (Some(tbql_src), false, Err(ServiceError::from(e))),
     };
     let engine = ShardedEngine::with_threads(store, shard_threads);
     let outcome = engine
         .execute(&plan.compiled, mode)
-        .map_err(ServiceError::Engine);
+        .map_err(ServiceError::from);
     (Some(plan.tbql.clone()), cache_hit, outcome)
 }
 

@@ -371,7 +371,7 @@ fn outcome_status(outcome: &Result<HuntResult, ServiceError>) -> &'static str {
     match outcome {
         Ok(_) => "ok",
         Err(ServiceError::Worker(_)) => "panicked",
-        Err(ServiceError::Shutdown) => "rejected",
+        Err(ServiceError::Shutdown) | Err(ServiceError::Infeasible(_)) => "rejected",
         Err(_) => "error",
     }
 }
@@ -686,11 +686,7 @@ impl HuntServer {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServiceError::Shutdown);
         }
-        let (plan, _) = self
-            .ingest
-            .cache()
-            .plan(tbql)
-            .map_err(ServiceError::Engine)?;
+        let (plan, _) = self.ingest.cache().plan(tbql).map_err(ServiceError::from)?;
         let tbql = plan.tbql.clone();
         let mut hunt = FollowHunt::new(
             plan,
@@ -1046,6 +1042,50 @@ mod tests {
             Err(ServiceError::Shutdown)
         ));
         // Idempotent.
+        server.shutdown();
+    }
+
+    /// Infeasible queries are refused at compile time — before any rows
+    /// are scanned — on every entry point: queued submit, direct hunt,
+    /// and standing (follow-mode) registration. Resubmits are served
+    /// from the plan cache's rejection memo.
+    #[test]
+    fn infeasible_hunts_rejected_for_oneshot_and_follow() {
+        let sc = scenario();
+        let server = server();
+        for chunk in LogFeed::by_events(&sc.raw, 1_000) {
+            server.append(&chunk.unwrap());
+        }
+        // Cyclic `before` ordering: E001 under the DBM feasibility check.
+        let bad = "proc p read file f as e1 proc p write file g as e2 \
+                   with e1 before e2, e2 before e1 return p";
+        let report = server.submit(HuntJob::tbql(bad)).wait();
+        assert!(
+            matches!(report.outcome, Err(ServiceError::Infeasible(_))),
+            "{:?}",
+            report.outcome
+        );
+        let err = server.hunt(bad).unwrap_err();
+        let ServiceError::Infeasible(diags) = &err else {
+            panic!("expected Infeasible, got {err}");
+        };
+        assert!(diags.iter().all(|d| d.code == "E001"), "{diags:?}");
+        let err = server.follow(bad).unwrap_err();
+        assert!(matches!(err, ServiceError::Infeasible(_)));
+        assert_eq!(server.follow_count(), 0, "no standing query registered");
+
+        // Both job paths (queued submit and direct hunt) label the
+        // outcome "rejected" — like shutdown refusals — and later probes
+        // hit the cached rejection.
+        let snap = server.metrics();
+        let rejected = snap
+            .histogram("job_latency_ns", &[("status", "rejected")])
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert_eq!(rejected, 2);
+        let stats = server.cache_stats();
+        assert_eq!(stats.rejections, 1, "one rejection memoized");
+        assert!(stats.rejection_hits >= 2, "hunt + follow hit the memo");
         server.shutdown();
     }
 

@@ -167,7 +167,7 @@ impl HuntService {
     /// the matches that newly appeared. (Polling it again with this
     /// service's own store is free: the store does not grow.)
     pub fn hunt_follow(&self, tbql: &str) -> Result<FollowHunt, ServiceError> {
-        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::Engine)?;
+        let (plan, _) = self.cache.plan(tbql).map_err(ServiceError::from)?;
         let mut follow = FollowHunt::new(plan, self.config.mode, self.config.shard_threads);
         follow.poll(&self.store)?;
         Ok(follow)

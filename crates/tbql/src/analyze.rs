@@ -4,7 +4,10 @@
 //! names are filled in, entity-ID reuse is resolved into one typed entity
 //! table (the engine later turns shared entities into attribute
 //! relationships between patterns), and temporal constraints are
-//! normalized and checked for contradictions.
+//! normalized to `before` pairs. Feasibility of the temporal system
+//! (ordering cycles, empty or conflicting windows) is checked by the
+//! [`dbm`](crate::dbm) closure in the [`lint`](crate::lint) pass, which
+//! runs as part of plan compilation.
 
 use crate::ast::*;
 use crate::error::{Span, TbqlError};
@@ -256,8 +259,8 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery, TbqlError> {
         }
     }
 
-    // 4. Temporal constraints: normalize to before-pairs, check refs and
-    //    cycles.
+    // 4. Temporal constraints: normalize to before-pairs and check
+    //    references. Cycle/feasibility checking is the lint pass's DBM.
     let mut before: Vec<(String, String)> = Vec::new();
     for tc in &query.temporal {
         for side in [&tc.left, &tc.right] {
@@ -280,7 +283,6 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery, TbqlError> {
         };
         before.push(pair);
     }
-    check_acyclic(&before, query)?;
 
     // 5. Return clause.
     let mut returns = Vec::new();
@@ -392,46 +394,6 @@ fn normalize_expr(expr: &Expr, ty: EntityType, span: Span) -> Result<Expr, TbqlE
                 .collect::<Result<_, _>>()?,
         )),
     }
-}
-
-/// Topological check over the before-graph.
-fn check_acyclic(before: &[(String, String)], query: &Query) -> Result<(), TbqlError> {
-    let mut nodes: HashSet<&str> = HashSet::new();
-    for (a, b) in before {
-        nodes.insert(a);
-        nodes.insert(b);
-    }
-    // Kahn's algorithm.
-    let mut indeg: HashMap<&str, usize> = nodes.iter().map(|&n| (n, 0)).collect();
-    for (_, b) in before {
-        *indeg.get_mut(b.as_str()).expect("inserted") += 1;
-    }
-    let mut queue: Vec<&str> = indeg
-        .iter()
-        .filter(|(_, &d)| d == 0)
-        .map(|(&n, _)| n)
-        .collect();
-    let mut visited = 0usize;
-    while let Some(n) = queue.pop() {
-        visited += 1;
-        for (a, b) in before {
-            if a == n {
-                let d = indeg.get_mut(b.as_str()).expect("inserted");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push(b);
-                }
-            }
-        }
-    }
-    if visited != nodes.len() {
-        let span = query.temporal.last().map(|t| t.span).unwrap_or_default();
-        return Err(TbqlError::new(
-            span,
-            "temporal constraints are contradictory (cycle in `before` ordering)",
-        ));
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -548,11 +510,12 @@ mod tests {
         assert!(err.message.contains("unknown pattern"));
         let err = analyze_err("proc p read file f as e1 with e1 before e1 return p");
         assert!(err.message.contains("cannot precede itself"));
-        let err = analyze_err(
+        // Ordering cycles pass analysis; the lint pass's DBM rejects
+        // them with a stable diagnostic code (see `lint::tests`).
+        analyzed(
             "proc p read file f as e1 proc p write file g as e2 \
              with e1 before e2, e2 before e1 return p",
         );
-        assert!(err.message.contains("contradictory"));
     }
 
     #[test]

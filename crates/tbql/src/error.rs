@@ -46,25 +46,31 @@ impl TbqlError {
 
     /// Renders the error with a source excerpt and caret line.
     pub fn render(&self, source: &str) -> String {
-        // Find the line containing the span start.
-        let start = self.span.start.min(source.len());
-        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let line_end = source[start..]
-            .find('\n')
-            .map(|i| start + i)
-            .unwrap_or(source.len());
-        let line_no = source[..start].matches('\n').count() + 1;
-        let col = start - line_start;
-        let line = &source[line_start..line_end];
-        let caret_len = (self.span.end.min(line_end).saturating_sub(start)).max(1);
-        format!(
-            "error: {}\n  --> line {line_no}, column {}\n   | {line}\n   | {}{}",
-            self.message,
-            col + 1,
-            " ".repeat(col),
-            "^".repeat(caret_len),
-        )
+        render_with_source("error", &self.message, self.span, source)
     }
+}
+
+/// Renders `label: message` plus the source line the span points at and
+/// a caret underline. Shared by [`TbqlError::render`] and the lint
+/// pass's diagnostic rendering.
+pub(crate) fn render_with_source(label: &str, message: &str, span: Span, source: &str) -> String {
+    // Find the line containing the span start.
+    let start = span.start.min(source.len());
+    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[start..]
+        .find('\n')
+        .map(|i| start + i)
+        .unwrap_or(source.len());
+    let line_no = source[..start].matches('\n').count() + 1;
+    let col = start - line_start;
+    let line = &source[line_start..line_end];
+    let caret_len = (span.end.min(line_end).saturating_sub(start)).max(1);
+    format!(
+        "{label}: {message}\n  --> line {line_no}, column {}\n   | {line}\n   | {}{}",
+        col + 1,
+        " ".repeat(col),
+        "^".repeat(caret_len),
+    )
 }
 
 impl fmt::Display for TbqlError {

@@ -22,17 +22,27 @@
 //!
 //! The original implementation used ANTLR 4; this is a hand-written lexer
 //! + recursive-descent parser with spanned diagnostics.
+//!
+//! On top of parsing and semantic analysis sits a static-analysis layer:
+//! a difference-bound matrix over pattern timestamps ([`dbm`]) answers
+//! temporal feasibility and yields tightened per-pattern time bounds, and
+//! a lint pass ([`lint`]) turns that plus filter/usage analysis into
+//! structured diagnostics with stable codes.
 
 pub mod analyze;
 pub mod ast;
 pub mod builder;
+pub mod dbm;
 pub mod error;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod printer;
 
 pub use analyze::{analyze, AnalyzedQuery, EntityInfo};
 pub use ast::*;
+pub use dbm::{analyze_temporal, Dbm, PatternBounds, TemporalAnalysis};
 pub use error::{Span, TbqlError};
+pub use lint::{lint, Diagnostic, LintReport, Severity};
 pub use parser::parse_query;
-pub use printer::print_query;
+pub use printer::{print_query, strip_spans};

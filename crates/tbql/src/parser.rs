@@ -198,7 +198,10 @@ impl Parser {
             self.expect(Tok::Comma)?;
             let hi = self.int("window end")?;
             let span = self.expect(Tok::RBracket)?;
-            if lo < 0 || hi < lo {
+            // Negative bounds are a domain error here; an *empty* window
+            // (lo > hi) parses fine and is rejected by the lint pass's
+            // DBM with a stable diagnostic code (E001).
+            if lo < 0 || hi < 0 {
                 return Err(TbqlError::new(span, format!("invalid window [{lo}, {hi}]")));
             }
             Ok(Some(TimeWindow {
@@ -490,7 +493,10 @@ mod tests {
             panic!()
         };
         assert_eq!(e.window, Some(TimeWindow { lo: 100, hi: 2000 }));
-        assert!(parse_query("proc p read file f window [50, 10] return p").is_err());
+        // Negative bounds are parse errors; empty (reversed) windows
+        // parse and are rejected later by the lint pass.
+        assert!(parse_query("proc p read file f window [-5, 10] return p").is_err());
+        assert!(parse_query("proc p read file f window [50, 10] return p").is_ok());
     }
 
     #[test]

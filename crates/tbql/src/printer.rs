@@ -86,6 +86,33 @@ pub fn print_query(q: &Query) -> String {
     out
 }
 
+/// Zeroes every source span in the query so two ASTs from different
+/// source texts (e.g. original vs. printed-and-reparsed) compare
+/// structurally. Used by the printer round-trip tests and property
+/// tests.
+pub fn strip_spans(q: &mut Query) {
+    for p in &mut q.patterns {
+        match p {
+            Pattern::Event(e) => {
+                e.span = Default::default();
+                e.subject.span = Default::default();
+                e.object.span = Default::default();
+            }
+            Pattern::Path(p) => {
+                p.span = Default::default();
+                p.subject.span = Default::default();
+                p.object.span = Default::default();
+            }
+        }
+    }
+    for t in &mut q.temporal {
+        t.span = Default::default();
+    }
+    for r in &mut q.ret.items {
+        r.span = Default::default();
+    }
+}
+
 fn print_entity(out: &mut String, e: &EntityRef) {
     if let Some(ty) = e.ty {
         out.push_str(ty.keyword());
@@ -147,26 +174,7 @@ mod tests {
 
     /// Strips spans so round-tripped ASTs compare structurally.
     fn strip(q: &mut Query) {
-        for p in &mut q.patterns {
-            match p {
-                Pattern::Event(e) => {
-                    e.span = Default::default();
-                    e.subject.span = Default::default();
-                    e.object.span = Default::default();
-                }
-                Pattern::Path(p) => {
-                    p.span = Default::default();
-                    p.subject.span = Default::default();
-                    p.object.span = Default::default();
-                }
-            }
-        }
-        for t in &mut q.temporal {
-            t.span = Default::default();
-        }
-        for r in &mut q.ret.items {
-            r.span = Default::default();
-        }
+        strip_spans(q);
     }
 
     #[test]

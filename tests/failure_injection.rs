@@ -57,10 +57,12 @@ fn malformed_tbql_is_rejected_with_spans() {
             "proc p read file f as e1 with e1 before e1 return p",
             "precede itself",
         ),
+        // Cyclic ordering is caught by the DBM feasibility pass with a
+        // stable diagnostic code rather than a bespoke analyzer message.
         (
             "proc p read file f as e1 proc p write file g as e2 \
              with e1 before e2, e2 before e1 return p",
-            "contradictory",
+            "error[E001]",
         ),
         ("file f read file g return f", "must be a proc"),
         ("proc p connect file f return p", "targets ip"),

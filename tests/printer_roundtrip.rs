@@ -1,0 +1,86 @@
+//! Printer round-trip property: parsing a query, canonical-printing it,
+//! and re-parsing the printed text must yield the same AST (modulo
+//! source spans) and the same semantic signature. This is what lets the
+//! plan cache key formatting variants of one query to one plan, and the
+//! EXPLAIN output echo a query that still parses.
+
+use proptest::prelude::*;
+use threatraptor_tbql::analyze::analyze;
+use threatraptor_tbql::parser::{parse_query, FIG2_TBQL};
+use threatraptor_tbql::printer::{print_query, strip_spans};
+
+/// A strategy over well-formed TBQL source covering event and path
+/// patterns, multi-op alternation, entity filters, windows, temporal
+/// chains, and both projection modes.
+fn arb_tbql() -> impl Strategy<Value = String> {
+    let exe = prop::sample::select(vec!["%/bin/tar%", "%curl%", "%bash%"]);
+    let file = prop::sample::select(vec!["%/etc/passwd%", "%.log%", "%/tmp/%"]);
+    let op = prop::sample::select(vec!["read", "write", "read || write", "execute"]);
+    let rel = prop::sample::select(vec!["before", "after"]);
+    let window = prop::sample::select(vec![
+        "",
+        " window [0, 1000000]",
+        " window [500, 2000000000]",
+    ]);
+    (
+        exe,
+        file,
+        op,
+        rel,
+        window,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(exe, file, op, rel, window, two, path, distinct)| {
+            let head = if path {
+                format!("proc p[\"{exe}\"] ~>(1~3)[write] file f[\"{file}\"] as e1{window}")
+            } else {
+                format!("proc p[\"{exe}\"] {op} file f[\"{file}\"] as e1{window}")
+            };
+            let distinct = if distinct { "distinct " } else { "" };
+            if two {
+                format!(
+                    "{head}\n\
+                     proc p open || close file g as e2\n\
+                     with e1 {rel} e2\n\
+                     return {distinct}p, f, g"
+                )
+            } else {
+                format!("{head}\nreturn {distinct}p, f")
+            }
+        })
+}
+
+/// Round-trips one source text and asserts AST and signature stability.
+fn assert_roundtrip(src: &str) {
+    let first = parse_query(src).expect("generated query must parse");
+    let printed = print_query(&first);
+    let second = parse_query(&printed)
+        .unwrap_or_else(|e| panic!("printed form must re-parse: {e}\n{printed}"));
+    let mut a = first.clone();
+    let mut b = second.clone();
+    strip_spans(&mut a);
+    strip_spans(&mut b);
+    assert_eq!(a, b, "AST must survive print → parse\n{printed}");
+    // Printing is idempotent once canonical.
+    assert_eq!(printed, print_query(&second));
+    // And the semantic signature is untouched.
+    let sig_a = analyze(&first).unwrap().canonical_signature();
+    let sig_b = analyze(&second).unwrap().canonical_signature();
+    assert_eq!(sig_a, sig_b);
+}
+
+#[test]
+fn fig2_roundtrips() {
+    assert_roundtrip(FIG2_TBQL);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printed_queries_reparse_identically(src in arb_tbql()) {
+        assert_roundtrip(&src);
+    }
+}
