@@ -21,9 +21,10 @@
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use threatraptor::prelude::*;
+use threatraptor::Registry;
 use threatraptor_audit::LogFeed;
 use threatraptor_bench::{fmt, suite};
-use threatraptor_service::{HuntServer, ServerConfig, ServiceError};
+use threatraptor_service::{HuntServer, PlanCache, ServerConfig, ServiceError};
 
 /// Distinct match identities in a result: bindings plus each witness's
 /// CPR run identity (entity pair, op, run start). This — not the raw
@@ -377,4 +378,90 @@ fn main() {
     );
     println!("(worst hunts by end-to-end latency, via HuntServer::slow_hunts())");
     assert!(!slow.is_empty(), "ad-hoc jobs must leave profiles behind");
+
+    // -- 6. incremental follow: delta vs. full re-execution -------------
+    // One standing query polled over a growing streaming store, through
+    // the incremental path (retained partials, fresh-range scans) and a
+    // full-re-execution oracle. Rows-per-poll and poll latency are
+    // bucketed by store size: the oracle's grow with the store, the
+    // delta path's track the chunk.
+    let follow_chunk = 500;
+    // Unfiltered on purpose: every poll's scan cost is visible, so the
+    // flat-vs-linear separation is about the evaluation strategy, not
+    // entity-filter selectivity.
+    let follow_query = "proc p read file f return p, f";
+    let cache = PlanCache::new();
+    let mut hunts: Vec<(&str, FollowHunt, Arc<Registry>)> = [("delta", false), ("full", true)]
+        .into_iter()
+        .map(|(name, force_full)| {
+            let (plan, _) = cache.plan(follow_query).expect("valid TBQL");
+            let mut hunt = FollowHunt::new(plan, ExecMode::Scheduled, 1);
+            if force_full {
+                hunt = hunt.with_full_reexecution();
+            }
+            let registry = Arc::new(Registry::new());
+            hunt.attach_metrics(&registry);
+            (name, hunt, registry)
+        })
+        .collect();
+    let mut store = StreamingStore::new(true, SealPolicy::events(2_000));
+    store.append_batch(&scenario.log.entities, &[]);
+    // Per poll: (store events, rows scanned, latency) per mode.
+    let mut samples: Vec<Vec<(usize, u64, Duration)>> = vec![Vec::new(); hunts.len()];
+    for batch in scenario.log.events.chunks(follow_chunk) {
+        store.append_batch(&[], batch);
+        let poll_snapshot = store.snapshot();
+        for (i, (_, hunt, registry)) in hunts.iter_mut().enumerate() {
+            let rows = registry.counter("follow_rows_scanned_total");
+            let before = rows.get();
+            let t = Instant::now();
+            hunt.poll(&poll_snapshot).expect("valid follow poll");
+            samples[i].push((
+                poll_snapshot.event_count(),
+                rows.get() - before,
+                t.elapsed(),
+            ));
+        }
+    }
+    let buckets = 4;
+    let per = samples[0].len().div_ceil(buckets);
+    let mut rows = Vec::new();
+    for b in 0..buckets {
+        let range = b * per..((b + 1) * per).min(samples[0].len());
+        if range.is_empty() {
+            continue;
+        }
+        let mut row = vec![samples[0][range.end - 1].0.to_string()];
+        for mode in &samples {
+            let slice = &mode[range.clone()];
+            let mean_rows =
+                slice.iter().map(|(_, r, _)| *r).sum::<u64>() as f64 / slice.len() as f64;
+            let mut lat: Vec<Duration> = slice.iter().map(|(_, _, l)| *l).collect();
+            lat.sort();
+            row.push(format!("{mean_rows:.0}"));
+            row.push(fmt::dur(percentile(&lat, 99.0)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "\n{}",
+        fmt::table(
+            &[
+                "store events",
+                "delta rows/poll",
+                "delta poll p99",
+                "full rows/poll",
+                "full poll p99",
+            ],
+            &rows
+        )
+    );
+    println!("(incremental follow path vs. full re-execution oracle, same query, same stream)");
+    let (_, _, delta_registry) = &hunts[0];
+    let delta_snapshot = delta_registry.snapshot();
+    assert_eq!(
+        delta_snapshot.counter("follow_delta_polls_total"),
+        Some(samples[0].len() as u64),
+        "every incremental poll must take the delta path"
+    );
 }

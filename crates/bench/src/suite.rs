@@ -23,20 +23,22 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use threatraptor::{Engine, EngineError, HuntResult, ShardedEngine};
+use threatraptor::{Engine, EngineError, ExecMode, HuntResult, ShardedEngine};
 use threatraptor_audit::parser::ParsedLog;
 use threatraptor_audit::sim::scenario::{AttackKind, ScenarioBuilder};
 use threatraptor_audit::LogFeed;
 use threatraptor_obs::{
     HistogramSummary, JsonValue, MetricsSnapshot, Registry, SampleValue, TraceSink,
 };
-use threatraptor_service::{HuntServer, IngestConfig, ServerConfig, ServiceError};
+use threatraptor_service::{
+    FollowHunt, HuntServer, IngestConfig, PlanCache, ServerConfig, ServiceError,
+};
 use threatraptor_storage::{AuditStore, SealPolicy, ShardedStore, StreamingStore};
 
 /// The current record's schema identifier.
 pub const SCHEMA: &str = "threatraptor-bench/v1";
 /// The PR this trajectory point belongs to.
-pub const PR: u64 = 8;
+pub const PR: u64 = 9;
 
 /// Which execution stack a case drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -459,6 +461,163 @@ fn run_server(w: &Workload, raw: &str, log: &ParsedLog) -> CaseResult {
     )
 }
 
+/// The standing-query corpus: event-only hunts the incremental follow
+/// path can carry. (Path queries fall back to full re-execution; that
+/// behavior is pinned by `tests/follow_parity.rs`, not benchmarked.)
+const STANDING_QUERIES: &[&str] = &[
+    threatraptor_tbql::parser::FIG2_TBQL,
+    "proc p read file f return distinct p, f",
+    "proc p[\"%/bin/tar%\"] read file f return p, f",
+];
+
+/// Events appended between standing-query poll rounds. Small relative
+/// to the workload's total so the sealed history grows well over 10×
+/// across the run — the regime where flat-vs-linear separates.
+const STANDING_CHUNK: usize = 500;
+
+/// The `standing-queries` workload. Both follow cases share it so the
+/// delta and oracle numbers are directly comparable.
+fn standing_workload(smoke: bool) -> Workload {
+    Workload {
+        name: "standing-queries",
+        seed: 11,
+        target_events: if smoke { 6_000 } else { 30_000 },
+        queries: STANDING_QUERIES,
+        repeat: 1,
+    }
+}
+
+/// Drives N concurrent standing queries under sustained chunked ingest,
+/// polling every follow hunt after each appended chunk. `force_full`
+/// selects the full-re-execution oracle (case `follow-full`) over the
+/// incremental path (case `follow-delta`); the pair is the suite's
+/// flat-vs-linear evidence. Per-poll latency comes from `bench_hunt_ns`
+/// and per-poll scanned rows from diffing `follow_rows_scanned_total`
+/// between rounds — both out of the case [`MetricsSnapshot`], like every
+/// other case. The early/late mean scanned-rows-per-round land in
+/// `extra` (`poll_rows_early` / `poll_rows_late`): flat for the delta
+/// case, growing with the store for the oracle.
+fn run_standing(w: &Workload, force_full: bool) -> CaseResult {
+    let engine = if force_full {
+        "follow-full"
+    } else {
+        "follow-delta"
+    };
+    let labels = [("engine", engine), ("workload", w.name)];
+    let sc = scenario(w);
+    let registry = Arc::new(Registry::new());
+    let mut store = StreamingStore::new(true, SealPolicy::events(1_000));
+    store.attach_metrics(&registry);
+    store.append_batch(&sc.log.entities, &[]);
+
+    let cache = PlanCache::new();
+    let mut hunts: Vec<FollowHunt> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let (plan, _) = cache.plan(q).expect("valid TBQL");
+            let mut hunt = FollowHunt::new(plan, ExecMode::Scheduled, 1);
+            if force_full {
+                hunt = hunt.with_full_reexecution();
+            }
+            hunt.attach_metrics(&registry);
+            hunt
+        })
+        .collect();
+
+    let latency = registry.histogram_labeled("bench_hunt_ns", &labels);
+    let hunts_total = registry.counter_labeled("bench_hunts_total", &labels);
+    let matches_total = registry.counter_labeled("bench_matches_total", &labels);
+    let rows_scanned = registry.counter("follow_rows_scanned_total");
+    let mut round_rows = Vec::new();
+    for batch in sc.log.events.chunks(STANDING_CHUNK) {
+        store.append_batch(&[], batch);
+        let snapshot = store.snapshot();
+        let before = rows_scanned.get();
+        for hunt in &mut hunts {
+            let t = Instant::now();
+            let delta = hunt.poll(&snapshot).expect("valid standing poll");
+            latency.record_duration(t.elapsed());
+            hunts_total.inc();
+            matches_total.add(delta.new_matches as u64);
+        }
+        round_rows.push((rows_scanned.get() - before) as f64);
+    }
+    // Each hunt's cumulative stage breakdown feeds the case profile.
+    let stages = TraceSink::new(Arc::clone(&registry), "hunt_stage_ns");
+    for hunt in &hunts {
+        if let Some(result) = hunt.result() {
+            result.stats.record_stages(&stages);
+        }
+    }
+    // The feasibility guardrail: infeasible queries must be refused at
+    // plan time, before a standing query is ever registered.
+    let rejected = registry.counter_labeled("bench_rejected_total", &labels);
+    for q in INFEASIBLE_QUERIES {
+        assert!(
+            matches!(cache.plan(q), Err(EngineError::Infeasible(_))),
+            "static analysis must reject: {q}"
+        );
+        rejected.inc();
+    }
+
+    // Flat-vs-linear: mean scanned rows per poll round over the first
+    // and last quarter of the stream.
+    let quarter = (round_rows.len() / 4).max(1);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len().max(1) as f64;
+    let early = mean(&round_rows[..quarter]);
+    let late = mean(&round_rows[round_rows.len() - quarter..]);
+
+    let snapshot = registry.snapshot();
+    let mut extra: Vec<(String, f64)> = vec![
+        ("poll_rows_early".into(), early),
+        ("poll_rows_late".into(), late),
+        (
+            "follow_partials_retained".into(),
+            snapshot.gauge("follow_partials_retained").unwrap_or(0) as f64,
+        ),
+    ];
+    for name in [
+        "follow_rows_scanned_total",
+        "follow_matches_total",
+        "follow_delta_polls_total",
+        "follow_delta_rows_total",
+        "follow_full_fallback_total",
+        "follow_invalidated_total",
+        "follow_partials_aged_total",
+        "follow_dedup_aged_total",
+        "storage_seals_total",
+    ] {
+        if let Some(v) = snapshot.counter(name) {
+            extra.push((name.into(), v as f64));
+        }
+    }
+    let rows_pruned = snapshot
+        .samples
+        .iter()
+        .filter(|s| s.name == "engine_rows_pruned_total")
+        .map(|s| match s.value {
+            SampleValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum();
+    CaseResult {
+        engine,
+        workload: w.name,
+        events: sc.log.events.len(),
+        hunts: hunts_total.get(),
+        matches: matches_total.get(),
+        latency: snapshot
+            .histogram("bench_hunt_ns", &labels)
+            .cloned()
+            .unwrap_or_default(),
+        rejected: rejected.get(),
+        rows_pruned,
+        extra,
+        profile: profile_summary(&snapshot),
+    }
+}
+
 /// Runs one engine × workload cell.
 pub fn run_case(engine: EngineKind, w: &Workload) -> CaseResult {
     let sc = scenario(w);
@@ -470,7 +629,10 @@ pub fn run_case(engine: EngineKind, w: &Workload) -> CaseResult {
     }
 }
 
-/// Runs the whole suite, in deterministic order.
+/// Runs the whole suite, in deterministic order: the engine × workload
+/// cross product, then the standing-query pair (incremental path vs.
+/// full-re-execution oracle) over the shared `standing-queries`
+/// workload.
 pub fn run_suite(smoke: bool) -> Vec<CaseResult> {
     let mut out = Vec::new();
     for w in &workloads(smoke) {
@@ -478,6 +640,9 @@ pub fn run_suite(smoke: bool) -> Vec<CaseResult> {
             out.push(run_case(engine, w));
         }
     }
+    let standing = standing_workload(smoke);
+    out.push(run_standing(&standing, false));
+    out.push(run_standing(&standing, true));
     out
 }
 
@@ -708,6 +873,53 @@ mod tests {
             .iter()
             .all(|(k, _)| k.starts_with("hunt_stage_ns/")));
         assert!(result.profile.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn standing_cases_separate_delta_from_full_reexecution() {
+        let w = Workload {
+            name: "standing-tiny",
+            seed: 11,
+            target_events: 5_000,
+            queries: STANDING_QUERIES,
+            repeat: 1,
+        };
+        let delta = run_standing(&w, false);
+        let full = run_standing(&w, true);
+        let get = |c: &CaseResult, k: &str| {
+            c.extra
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| *v)
+                .expect("extra present")
+        };
+        // Same workload, same deliveries.
+        assert_eq!(delta.hunts, full.hunts);
+        assert_eq!(delta.matches, full.matches);
+        // Every poll of an event-only standing query runs incrementally;
+        // the oracle never does.
+        assert_eq!(get(&delta, "follow_delta_polls_total"), delta.hunts as f64);
+        assert_eq!(get(&full, "follow_delta_polls_total"), 0.0);
+        // Flat vs. linear: by the last quarter of the stream the oracle
+        // re-scans the whole store each round while the delta case scans
+        // rows proportional to the chunk, not the store.
+        let (d_early, d_late) = (
+            get(&delta, "poll_rows_early"),
+            get(&delta, "poll_rows_late"),
+        );
+        let (f_early, f_late) = (get(&full, "poll_rows_early"), get(&full, "poll_rows_late"));
+        assert!(
+            f_late > f_early * 2.0,
+            "oracle per-poll rows must grow with the store ({f_early} → {f_late})"
+        );
+        assert!(
+            d_late < f_late / 2.0,
+            "delta per-poll rows must stay well under the oracle's \
+             (delta {d_early} → {d_late}, full {f_early} → {f_late})"
+        );
+        // Both cases serialize into a valid record.
+        let doc = to_json(&[delta, full], true);
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
     }
 
     #[test]

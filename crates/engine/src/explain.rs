@@ -90,6 +90,10 @@ pub struct ExplainActuals {
     pub total: Duration,
     /// Complete matches produced.
     pub matches: usize,
+    /// Delta-mode actuals, when the execution ran incrementally (a
+    /// follow-mode poll through the delta path): fresh-range start,
+    /// fresh/carry rows scanned, and retained-partial counts.
+    pub delta: Option<crate::result::DeltaStats>,
 }
 
 /// A rendered query plan, optionally with execution actuals.
@@ -176,6 +180,18 @@ impl ExplainReport {
         }
         if let Some(a) = &self.actuals {
             out.push_str("actuals:\n");
+            if let Some(d) = &a.delta {
+                writeln!(
+                    out,
+                    "  delta: fresh-from={} fresh-rows={} carry-rows={} partials {}→{}",
+                    d.fresh_from,
+                    d.fresh_rows,
+                    d.carry_rows,
+                    d.carried_partials,
+                    d.retained_partials
+                )
+                .unwrap();
+            }
             for (i, p) in a.patterns.iter().enumerate() {
                 let shards: Vec<String> = p
                     .shard_rows
@@ -343,6 +359,7 @@ pub(crate) fn attach_actuals(report: &mut ExplainReport, stats: &HuntStats, matc
         project: stats.project_elapsed,
         total: stats.elapsed,
         matches,
+        delta: stats.delta,
     });
 }
 

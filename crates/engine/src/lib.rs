@@ -33,9 +33,13 @@
 //! * [`explain`] — `EXPLAIN` / `EXPLAIN ANALYZE` reports: the compiled
 //!   plan (schedule, filters, predicted fan-out) plus measured actuals
 //!   (per-pattern × per-shard rows scanned, propagation prune sizes,
-//!   join selectivity, per-stage wall time).
+//!   join selectivity, per-stage wall time);
+//! * [`delta`] — incremental execution for standing queries: epoch-range
+//!   restricted scans joined against retained partial bindings, O(delta)
+//!   per poll in the steady state.
 
 pub mod compile;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -43,8 +47,9 @@ pub mod result;
 pub mod score;
 pub mod sharded;
 
+pub use delta::DeltaState;
 pub use error::EngineError;
 pub use exec::{Engine, ExecMode};
 pub use explain::{ExplainActuals, ExplainEntry, ExplainReport, PatternActuals};
-pub use result::{HuntResult, HuntStats, JoinStats, Match};
+pub use result::{DeltaStats, HuntResult, HuntStats, JoinStats, Match};
 pub use sharded::ShardedEngine;

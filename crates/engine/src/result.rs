@@ -41,6 +41,27 @@ impl JoinStats {
     }
 }
 
+/// Actuals of one incremental (delta-mode) execution, carried on
+/// [`HuntStats::delta`] when the hunt ran through the delta path
+/// ([`crate::delta::DeltaState`]) instead of a full re-execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// First global event position scanned as "fresh": the epoch-delta
+    /// range was `[fresh_from, event_count)`. Zero means the poll was a
+    /// (first-poll or post-discontinuity) full re-execution.
+    pub fresh_from: usize,
+    /// Rows fetched from the fresh range across all patterns (the seed
+    /// scans) — the quantity that stays O(delta) as the store grows.
+    pub fresh_rows: usize,
+    /// Rows fetched by carry scans (full-range, IN-set-filtered scans
+    /// joining an upstream delta forward through later patterns).
+    pub carry_rows: usize,
+    /// Retained partial bindings consulted by this poll.
+    pub carried_partials: usize,
+    /// Partial bindings retained after this poll.
+    pub retained_partials: usize,
+}
+
 /// Execution statistics.
 #[derive(Debug, Clone, Default)]
 pub struct HuntStats {
@@ -77,6 +98,10 @@ pub struct HuntStats {
     pub project_elapsed: Duration,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Present when this execution ran through the incremental (delta)
+    /// path: the fresh-range and retained-partial actuals. `None` for
+    /// full executions.
+    pub delta: Option<DeltaStats>,
 }
 
 impl HuntStats {

@@ -130,7 +130,7 @@ impl<'s> ShardedEngine<'s> {
             cq,
             mode,
             &mut |pat, extra| {
-                let (rows, per_shard, pruned) = self.fetch_pattern(cq, pat, extra, mode);
+                let (rows, per_shard, pruned) = self.fetch_pattern(cq, pat, extra, mode, 0);
                 shard_rows.borrow_mut().push((pat.id.clone(), per_shard));
                 rows_pruned.borrow_mut().push((pat.id.clone(), pruned));
                 rows
@@ -201,15 +201,25 @@ impl<'s> ShardedEngine<'s> {
     /// Also returns the per-shard row counts (index = shard) feeding the
     /// execution profile, and the number of rows the DBM feasible-range
     /// clamp excluded.
-    fn fetch_pattern(
+    ///
+    /// `min_pos` restricts event-pattern scans to rows whose witness
+    /// position is at least `min_pos` — the delta executor's epoch-range
+    /// restriction. Shards lying entirely below the cut are skipped
+    /// without scanning (reporting zero rows); only the boundary shard
+    /// filters row by row. Path patterns ignore it (the delta executor
+    /// never runs them). `0` scans everything.
+    pub(crate) fn fetch_pattern(
         &self,
         cq: &CompiledQuery,
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
         mode: ExecMode,
+        min_pos: usize,
     ) -> (Vec<PatternRow>, Vec<usize>, usize) {
         let (mut rows, mut per_shard) = match pat.shape {
-            CompiledShape::Event { .. } => self.scatter_event_pattern(cq, pat, extra, mode),
+            CompiledShape::Event { .. } => {
+                self.scatter_event_pattern(cq, pat, extra, mode, min_pos)
+            }
             CompiledShape::Path { .. } => {
                 let rows = self.path_over_shards(cq, pat, extra);
                 // Paths expand globally; attribute each row to the shard
@@ -273,6 +283,7 @@ impl<'s> ShardedEngine<'s> {
         pat: &CompiledPattern,
         extra: &HashMap<String, Predicate>,
         mode: ExecMode,
+        min_pos: usize,
     ) -> (Vec<PatternRow>, Vec<usize>) {
         let mut extra = extra.clone();
         for var in [&pat.subject_var, &pat.object_var] {
@@ -291,12 +302,23 @@ impl<'s> ShardedEngine<'s> {
         let n = self.store.shard_count();
         let run_shard = |i: usize| -> Vec<PatternRow> {
             let offset = self.store.offset(i);
+            // Epoch-range restriction: a shard entirely below the cut
+            // cannot contribute a fresh row — skip its scan outright.
+            if self.store.offset(i + 1) <= min_pos {
+                return Vec::new();
+            }
             let engine = Engine::new(self.store.shard(i));
             let mut rows = engine.run_pattern(cq, pat, extra, mode);
             for r in &mut rows {
                 for pos in &mut r.events {
                     *pos += offset;
                 }
+            }
+            if offset < min_pos {
+                // Boundary shard: keep only rows witnessing the fresh
+                // range (compaction can merge a former seal boundary
+                // into the middle of a shard).
+                rows.retain(|r| r.events.iter().any(|&p| p >= min_pos));
             }
             rows
         };

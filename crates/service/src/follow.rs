@@ -31,6 +31,41 @@
 //! re-fires it. The flip side of identity-keyed delivery: two distinct
 //! events with the same entity pair, operation, and start time count as
 //! one behavior instance and alert once.
+//!
+//! ## Incremental evaluation
+//!
+//! Polls run through the engine's delta path
+//! ([`threatraptor_engine::DeltaState`]) whenever the snapshot carries a
+//! [`StreamFrontier`] and the plan supports it (event patterns only):
+//! the poll scans just the epoch delta — newly sealed rows plus the
+//! open window — and joins the fresh rows against **retained partial
+//! bindings** over the stable prefix, so steady-state cost is O(delta)
+//! rather than O(store). Re-led open-window runs need no re-validation:
+//! the open window is entirely above the stable frontier and is
+//! re-scanned every poll. The hunt falls back to full re-execution on
+//! discontinuity (raw or sealed frontier regression — retained state is
+//! invalidated first), on batch snapshots without a frontier, and for
+//! path-pattern plans; the first poll is by construction a from-zero
+//! scan through the same delta code path.
+//!
+//! Retained state is **watermark-bounded**. Each poll ages, against the
+//! frontier's settled bound (`min(watermark, earliest open start)` — no
+//! future fresh row can start earlier):
+//!
+//! * *partials* whose feasible completion deadline (the next scheduled
+//!   pattern's DBM-tightened `[lo, hi]` upper bound, clamped further by
+//!   `before` constraints against bound patterns) has passed;
+//! * *delivered-match witnesses* (`seen`) whose newest witness run
+//!   starts before the settled bound — such a match can never be
+//!   re-found by a delta poll, so its dedup entry is dead weight;
+//! * on a **drained** query (every pattern's feasible window closed
+//!   below the settled bound), all dedup state including the
+//!   distinct-row history — no new match can ever form.
+//!
+//! Queries with unbounded patterns retain partials and distinct-row
+//! history indefinitely (their semantics require it); `seen` still ages.
+//!
+//! [`StreamFrontier`]: threatraptor_storage::StreamFrontier
 
 use crate::cache::CachedPlan;
 use crate::job::ServiceError;
@@ -39,9 +74,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use threatraptor_audit::entity::EntityId;
 use threatraptor_audit::event::Operation;
-use threatraptor_engine::result::{HuntStats, Match};
-use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
-use threatraptor_obs::{Counter, Registry};
+use threatraptor_engine::result::{DeltaStats, HuntStats, Match};
+use threatraptor_engine::{DeltaState, ExecMode, HuntResult, ShardedEngine};
+use threatraptor_obs::{Counter, Gauge, Registry};
 use threatraptor_storage::ShardedStore;
 
 /// Stable identity of one witnessing event: the CPR *run identity* —
@@ -108,6 +143,8 @@ fn merge_stats(running: &mut HuntStats, poll: &HuntStats) {
             running.pattern_elapsed.push((pat.clone(), *elapsed));
         }
     }
+    // Delta actuals reflect the latest execution, like execution_order.
+    running.delta = poll.delta;
 }
 
 /// Registry handles for follow-hunt telemetry. The counters are
@@ -127,6 +164,24 @@ struct FollowObs {
     rows_scanned: Arc<Counter>,
     /// `follow_matches_total`: matches delivered (exactly-once).
     matches: Arc<Counter>,
+    /// `follow_delta_polls_total`: executions through the delta path.
+    delta_polls: Arc<Counter>,
+    /// `follow_delta_rows_total`: rows scanned by delta-path polls
+    /// (fresh-range plus carry scans).
+    delta_rows: Arc<Counter>,
+    /// `follow_full_fallback_total`: executions that scanned from
+    /// position zero — first poll, discontinuity, or unsupported plan.
+    fallbacks: Arc<Counter>,
+    /// `follow_invalidated_total`: discontinuities that dropped state.
+    invalidated: Arc<Counter>,
+    /// `follow_partials_aged_total`: partials dropped by deadline
+    /// passage.
+    partials_aged: Arc<Counter>,
+    /// `follow_dedup_aged_total`: dedup entries (`seen` witnesses and,
+    /// on a drained query, distinct-row history) aged out.
+    dedup_aged: Arc<Counter>,
+    /// `follow_partials_retained`: retained partial bindings right now.
+    partials_retained: Arc<Gauge>,
     /// For `follow_pattern_rows_total{pattern=...}` series.
     registry: Arc<Registry>,
 }
@@ -144,6 +199,9 @@ pub struct FollowDelta {
     /// Wall-clock time of the whole poll — engine execution plus delta
     /// extraction, projection, and merge (≈ 0 when `unchanged`).
     pub elapsed: Duration,
+    /// Incremental-execution actuals when this poll ran through the
+    /// delta path (`None` for skipped polls and full re-executions).
+    pub delta: Option<DeltaStats>,
 }
 
 impl FollowDelta {
@@ -161,6 +219,16 @@ pub struct FollowHunt {
     mode: ExecMode,
     shard_threads: usize,
     seen: HashSet<MatchKey>,
+    /// Distinct-row history: every projected row ever delivered, kept
+    /// so `distinct` queries never repeat a row across polls. Cleared
+    /// only when the query drains (every feasible window closed).
+    known: HashSet<Vec<String>>,
+    /// Retained incremental-evaluation state, `None` when the plan
+    /// cannot run incrementally (path patterns).
+    delta: Option<DeltaState>,
+    /// Diagnostic switch: always re-execute in full (the oracle mode of
+    /// the parity tests). Retained state is never aged in this mode.
+    force_full: bool,
     result: Option<HuntResult>,
     /// Raw-event high-water mark (`reduction().before`) of the last
     /// snapshot polled; appends are the only way results can change, so
@@ -174,16 +242,45 @@ pub struct FollowHunt {
 impl FollowHunt {
     /// A follow hunt over an already compiled plan.
     pub fn new(plan: Arc<CachedPlan>, mode: ExecMode, shard_threads: usize) -> FollowHunt {
+        let delta = DeltaState::new(&plan.compiled, mode);
         FollowHunt {
             plan,
             mode,
             shard_threads: shard_threads.max(1),
             seen: HashSet::new(),
+            known: HashSet::new(),
+            delta,
+            force_full: false,
             result: None,
             last_raw: None,
             polls: 0,
             obs: None,
         }
+    }
+
+    /// Disables the incremental path: every poll is a full
+    /// re-execution, and retained dedup state is never aged. This is
+    /// the oracle the delta path is verified against
+    /// (`tests/follow_parity.rs`) and a diagnostic escape hatch.
+    pub fn with_full_reexecution(mut self) -> FollowHunt {
+        self.force_full = true;
+        self
+    }
+
+    /// Retained partial bindings carried across polls (0 when the plan
+    /// runs non-incrementally).
+    pub fn retained_partials(&self) -> usize {
+        self.delta.as_ref().map_or(0, DeltaState::retained)
+    }
+
+    /// Delivered-match dedup entries currently held.
+    pub fn dedup_entries(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Distinct-row history entries currently held.
+    pub fn known_rows(&self) -> usize {
+        self.known.len()
     }
 
     /// Attaches cumulative telemetry to `registry`: `follow_*_total`
@@ -196,6 +293,13 @@ impl FollowHunt {
             executions: registry.counter("follow_executions_total"),
             rows_scanned: registry.counter("follow_rows_scanned_total"),
             matches: registry.counter("follow_matches_total"),
+            delta_polls: registry.counter("follow_delta_polls_total"),
+            delta_rows: registry.counter("follow_delta_rows_total"),
+            fallbacks: registry.counter("follow_full_fallback_total"),
+            invalidated: registry.counter("follow_invalidated_total"),
+            partials_aged: registry.counter("follow_partials_aged_total"),
+            dedup_aged: registry.counter("follow_dedup_aged_total"),
+            partials_retained: registry.gauge("follow_partials_retained"),
             registry: Arc::clone(registry),
         });
     }
@@ -217,8 +321,8 @@ impl FollowHunt {
 
     /// Evaluates the standing query against a snapshot and merges the
     /// delta into the running result. Snapshots must come from one
-    /// growing store (polling across unrelated stores would produce
-    /// deltas without meaning).
+    /// growing store (polling across unrelated stores invalidates the
+    /// retained state and re-delivers from scratch).
     pub fn poll(&mut self, snapshot: &ShardedStore) -> Result<FollowDelta, ServiceError> {
         self.polls += 1;
         if let Some(obs) = &self.obs {
@@ -233,11 +337,44 @@ impl FollowHunt {
             });
         }
 
+        let plan = Arc::clone(&self.plan);
+        let cq = &plan.compiled;
         let engine = ShardedEngine::with_threads(snapshot, self.shard_threads);
-        let full = engine
-            .execute(&self.plan.compiled, self.mode)
-            .map_err(ServiceError::from)?;
+        let frontier = snapshot.frontier();
+
+        // Snapshot discontinuity: the raw high-water mark or the sealed
+        // frontier regressed — this is not the store we were following.
+        // Drop retained partials; the next execution scans from zero.
+        // (Dedup state is kept: already-delivered identities stay
+        // delivered, though entries aged out earlier may re-fire across
+        // a discontinuity.)
+        let regressed = self.last_raw.is_some_and(|prev| raw < prev)
+            || self
+                .delta
+                .as_ref()
+                .zip(frontier)
+                .is_some_and(|(d, f)| f.sealed_events < d.stable_events());
+        if regressed {
+            if let Some(d) = &mut self.delta {
+                d.invalidate();
+            }
+            if let Some(obs) = &self.obs {
+                obs.invalidated.inc();
+            }
+        }
+
+        // Delta path when the snapshot exposes a frontier and the plan
+        // supports it; full re-execution otherwise. A delta poll with
+        // `fresh_from == 0` (first poll, post-discontinuity) *is* the
+        // full re-execution — same scans, same joins — so the fallback
+        // counter treats both uniformly as from-zero scans.
+        let use_delta = !self.force_full && frontier.is_some();
+        let full = match (use_delta, &mut self.delta, frontier) {
+            (true, Some(state), Some(f)) => state.poll(&engine, cq, self.mode, f.sealed_events),
+            _ => engine.execute(cq, self.mode).map_err(ServiceError::from)?,
+        };
         self.last_raw = Some(raw);
+        let delta_stats = full.stats.delta;
 
         // Extract the delta: matches no earlier poll has seen.
         let delta_matches: Vec<Match> = full
@@ -246,7 +383,7 @@ impl FollowHunt {
             .filter(|m| self.seen.insert(match_key(m, snapshot)))
             .cloned()
             .collect();
-        let (columns, mut delta_rows) = engine.project(&self.plan.compiled, &delta_matches);
+        let (columns, mut delta_rows) = engine.project(cq, &delta_matches);
 
         // Merge into the running result. Stats accumulate (per-pattern
         // scan counters and elapsed sum across polls) rather than being
@@ -258,21 +395,71 @@ impl FollowHunt {
             stats: HuntStats::default(),
         });
         merge_stats(&mut running.stats, &full.stats);
-        if self.plan.compiled.distinct {
-            // Projection deduped within the delta; dedup against history
-            // too so the running rows stay a distinct set.
-            let known: HashSet<&Vec<String>> = running.rows.iter().collect();
-            delta_rows.retain(|r| !known.contains(r));
+        if cq.distinct {
+            // Projection deduped within the delta; dedup against the
+            // persistent history so the running rows stay a distinct
+            // set without rescanning them every poll.
+            delta_rows.retain(|r| self.known.insert(r.clone()));
         }
         let new_matches = delta_matches.len();
         running.matches.extend(delta_matches);
         let rows = delta_rows.clone();
         running.rows.extend(delta_rows);
 
+        // Age retained state by the stream's settled bound: no future
+        // fresh row can start below it. Only meaningful on the delta
+        // path — a forced-full hunt re-finds old matches every poll and
+        // must keep its dedup history complete.
+        let mut aged_partials = 0usize;
+        let mut aged_dedup = 0usize;
+        if delta_stats.is_some() {
+            if let Some(f) = frontier {
+                let settled = f.settled_before();
+                let before = self.seen.len();
+                self.seen.retain(|key| {
+                    key.1
+                        .iter()
+                        .flat_map(|(_, ws)| ws.iter().map(|w| w.3))
+                        .max()
+                        .is_none_or(|newest_start| newest_start >= settled)
+                });
+                aged_dedup = before - self.seen.len();
+                if let Some(state) = &mut self.delta {
+                    aged_partials = state.age(cq, settled);
+                }
+                // Drained query: every pattern's feasible window closed
+                // below the settled bound — no new match can ever form,
+                // so even the distinct-row history is dead.
+                let drained = cq
+                    .patterns
+                    .iter()
+                    .all(|p| p.bounds.or(p.window).is_some_and(|b| b.hi < settled));
+                if drained {
+                    aged_dedup += self.seen.len() + self.known.len();
+                    self.seen.clear();
+                    self.known.clear();
+                }
+            }
+        }
+
         if let Some(obs) = &self.obs {
             obs.executions.inc();
             obs.rows_scanned.add(full.stats.total_rows() as u64);
             obs.matches.add(new_matches as u64);
+            match &delta_stats {
+                Some(d) => {
+                    obs.delta_polls.inc();
+                    obs.delta_rows.add((d.fresh_rows + d.carry_rows) as u64);
+                    if d.fresh_from == 0 {
+                        obs.fallbacks.inc();
+                    }
+                }
+                None => obs.fallbacks.inc(),
+            }
+            obs.partials_aged.add(aged_partials as u64);
+            obs.dedup_aged.add(aged_dedup as u64);
+            obs.partials_retained
+                .set(self.delta.as_ref().map_or(0, DeltaState::retained) as i64);
             for (pat, fetched) in &full.stats.rows_fetched {
                 obs.registry
                     .counter_labeled("follow_pattern_rows_total", &[("pattern", pat)])
@@ -285,6 +472,7 @@ impl FollowHunt {
             rows,
             unchanged: false,
             elapsed: t0.elapsed(),
+            delta: delta_stats,
         })
     }
 }
@@ -455,7 +643,9 @@ mod tests {
             .target_events(3_000)
             .build();
         let mut store = StreamingStore::new(true, SealPolicy::events(400));
-        let mut hunt = follow(FIG2_TBQL);
+        // Forced-full oracle mode: the per-poll comparison below runs a
+        // solo *full* execution, so the hunt must match its scan counts.
+        let mut hunt = follow(FIG2_TBQL).with_full_reexecution();
         store.append_batch(&sc.log.entities, &[]);
 
         let mut per_poll_fetched = Vec::new();

@@ -1126,6 +1126,34 @@ mod tests {
     }
 
     #[test]
+    fn dispatcher_follows_run_incrementally() {
+        let sc = scenario();
+        let server = server();
+        let (_alerts, _) = server.follow(FIG2_TBQL).unwrap();
+        for chunk in LogFeed::by_events(&sc.raw, 800) {
+            server.append(&chunk.unwrap());
+        }
+        assert!(server.wait_caught_up(Duration::from_secs(60)));
+        // Dispatcher snapshots carry the stream frontier, so every
+        // standing-query poll takes the delta path — no full
+        // re-execution after the seeding poll, and the telemetry layer
+        // sees the incremental counters.
+        let metrics = server.metrics();
+        let delta_polls = metrics.counter("follow_delta_polls_total").unwrap_or(0);
+        assert!(delta_polls > 0, "server follows must run incrementally");
+        // From-zero scans are confined to startup: the seeding poll on
+        // the empty store, plus dispatcher polls before the first rows
+        // stabilize. Steady-state polls all scan the fresh range only.
+        let fallbacks = metrics.counter("follow_full_fallback_total").unwrap_or(0);
+        assert!(
+            fallbacks < delta_polls,
+            "steady-state polls must not re-scan from zero \
+             ({fallbacks} fallbacks / {delta_polls} delta polls)"
+        );
+        assert!(metrics.gauge("follow_partials_retained").is_some());
+    }
+
+    #[test]
     fn profiles_propagate_trace_context_end_to_end() {
         let sc = scenario();
         let server = server();

@@ -37,6 +37,6 @@ pub mod store;
 pub mod stream;
 
 pub use relational::{Database, Predicate, SqlSelect, Value};
-pub use sharded::ShardedStore;
+pub use sharded::{ShardedStore, StreamFrontier};
 pub use store::{AuditStore, EntityTables, EventLookup};
-pub use stream::{AppendOutcome, SealPolicy, SnapshotParts, StreamingStore};
+pub use stream::{AppendOutcome, CompactionPolicy, SealPolicy, SnapshotParts, StreamingStore};

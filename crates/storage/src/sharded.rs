@@ -59,6 +59,40 @@ where
     })
 }
 
+/// Stream provenance of a snapshot, for incremental (delta) standing
+/// queries: where the immutable sealed prefix ends and how far the CPR
+/// watermark has advanced. Snapshots built from a batch log carry no
+/// frontier ([`ShardedStore::frontier`] is `None`) — consumers must then
+/// treat the whole store as provisional and fall back to full scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFrontier {
+    /// Global positions `[0, sealed_events)` are sealed: byte-identical
+    /// in every later snapshot of the same stream. Positions at or above
+    /// it form the open window, which is provisional (an open CPR run
+    /// may still absorb later constituents or be re-led).
+    pub sealed_events: usize,
+    /// The reducer's sealing watermark: every *future* non-final output
+    /// of the stream starts at or after this time. `u64::MAX` when CPR
+    /// is off (every stored event is final on arrival).
+    pub watermark: u64,
+    /// Minimum start time over the open window's events (`None` when the
+    /// open window is empty). Together with the watermark this bounds the
+    /// start of any row that can still appear or change: rows older than
+    /// `min(watermark, open_min_start)` are settled for good.
+    pub open_min_start: Option<u64>,
+}
+
+impl StreamFrontier {
+    /// The start time below which no row of this stream can ever again
+    /// appear, change, or be re-scanned by a delta poll: the minimum of
+    /// the watermark (bounds future outputs) and the open window's
+    /// earliest start (bounds re-scanned provisional rows).
+    pub fn settled_before(&self) -> u64 {
+        self.open_min_start
+            .map_or(self.watermark, |lo| lo.min(self.watermark))
+    }
+}
+
 /// A log partitioned into independent [`AuditStore`] shards by
 /// time-window, with globally reduced events and global entity ids.
 ///
@@ -79,6 +113,8 @@ pub struct ShardedStore {
     entities: Arc<[Entity]>,
     /// The shared entity tables, for store-level entity-filter probes.
     tables: EntityTables,
+    /// Stream provenance, when this store is a streaming snapshot.
+    frontier: Option<StreamFrontier>,
 }
 
 impl ShardedStore {
@@ -133,7 +169,21 @@ impl ShardedStore {
             reduction,
             entities,
             tables,
+            frontier: None,
         }
+    }
+
+    /// Attaches stream provenance (the streaming snapshot path; batch
+    /// builds carry none).
+    pub fn with_frontier(mut self, frontier: StreamFrontier) -> ShardedStore {
+        self.frontier = Some(frontier);
+        self
+    }
+
+    /// Stream provenance of this snapshot, when it was taken from a
+    /// [`crate::stream::StreamingStore`]; `None` for batch-built stores.
+    pub fn frontier(&self) -> Option<StreamFrontier> {
+        self.frontier
     }
 
     fn build(
@@ -183,6 +233,7 @@ impl ShardedStore {
             reduction,
             entities,
             tables,
+            frontier: None,
         }
     }
 

@@ -30,7 +30,7 @@
 //! open window — exactly the positions batch ingestion assigns.
 
 use crate::cpr::{IncrementalReducer, ReductionStats};
-use crate::sharded::ShardedStore;
+use crate::sharded::{ShardedStore, StreamFrontier};
 use crate::store::{AuditStore, EntityTables};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +90,41 @@ impl SealPolicy {
     }
 }
 
+/// When to merge adjacent sealed shards back together.
+///
+/// Small seal thresholds keep snapshot cost low (it is proportional to
+/// the open window), but grow the sealed-shard list without bound — and
+/// with it every hunt's per-shard scan fan-out. Compaction merges
+/// adjacent sealed shards by pure concatenation: global event positions
+/// are the concatenation of sealed shards plus the open window, so
+/// merging neighbors changes *where* a position lives, never *what* it
+/// holds — snapshots before and after compaction are byte-identical,
+/// position for position.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionPolicy {
+    /// Merge the smallest adjacent sealed pair whenever the sealed shard
+    /// count exceeds this. `None` disables compaction.
+    pub max_sealed_shards: Option<usize>,
+}
+
+impl CompactionPolicy {
+    /// Never compact (the historical behavior).
+    pub fn disabled() -> CompactionPolicy {
+        CompactionPolicy::default()
+    }
+
+    /// Keep at most `n` sealed shards (clamped to ≥ 1).
+    pub fn max_shards(n: usize) -> CompactionPolicy {
+        CompactionPolicy {
+            max_sealed_shards: Some(n.max(1)),
+        }
+    }
+
+    fn triggered(&self, sealed_shards: usize) -> bool {
+        self.max_sealed_shards.is_some_and(|n| sealed_shards > n)
+    }
+}
+
 /// What one append did: how much arrived, and whether it tripped a seal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AppendOutcome {
@@ -112,6 +147,8 @@ struct StreamObs {
     raw_events: Arc<Counter>,
     /// `storage_seals_total`: shards frozen.
     seals: Arc<Counter>,
+    /// `storage_compactions_total`: adjacent sealed-shard merges.
+    compactions: Arc<Counter>,
     /// `storage_open_events`: current open-window size (reduced).
     open_events: Arc<Gauge>,
     /// `storage_sealed_shards`: current sealed shard count.
@@ -141,6 +178,7 @@ pub struct SnapshotParts {
     open_events: Vec<Event>,
     raw_appended: usize,
     sealed_events: usize,
+    watermark: u64,
 }
 
 impl SnapshotParts {
@@ -148,6 +186,11 @@ impl SnapshotParts {
     /// and assembles the sharded view. The expensive half of
     /// [`StreamingStore::snapshot`]; needs no access to the live store.
     pub fn build(self) -> ShardedStore {
+        let frontier = StreamFrontier {
+            sealed_events: self.sealed_events,
+            watermark: self.watermark,
+            open_min_start: self.open_events.iter().map(|e| e.start).min(),
+        };
         let open_stats = ReductionStats {
             before: self.open_events.len(),
             after: self.open_events.len(),
@@ -170,6 +213,7 @@ impl SnapshotParts {
                 after: total,
             },
         )
+        .with_frontier(frontier)
     }
 }
 
@@ -179,6 +223,7 @@ impl SnapshotParts {
 pub struct StreamingStore {
     use_cpr: bool,
     policy: SealPolicy,
+    compaction: CompactionPolicy,
     /// All entities seen so far, in global id order (append-only).
     entities: Vec<Entity>,
     /// Shared entity array/tables as of `shared.len` entities; refreshed
@@ -203,6 +248,7 @@ impl StreamingStore {
         StreamingStore {
             use_cpr,
             policy,
+            compaction: CompactionPolicy::disabled(),
             entities: Vec::new(),
             shared: None,
             reducer: IncrementalReducer::new(use_cpr),
@@ -213,6 +259,17 @@ impl StreamingStore {
         }
     }
 
+    /// Sets the sealed-shard compaction policy (disabled by default).
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> StreamingStore {
+        self.compaction = compaction;
+        self
+    }
+
+    /// The compaction policy.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
+    }
+
     /// Attaches stream telemetry to `registry`: `storage_*` counters
     /// and gauges updated on every append and seal. Gauges are synced
     /// to the store's current state immediately.
@@ -221,6 +278,7 @@ impl StreamingStore {
             appends: registry.counter("storage_appends_total"),
             raw_events: registry.counter("storage_raw_events_total"),
             seals: registry.counter("storage_seals_total"),
+            compactions: registry.counter("storage_compactions_total"),
             open_events: registry.gauge("storage_open_events"),
             sealed_shards: registry.gauge("storage_sealed_shards"),
             stored_events: registry.gauge("storage_stored_events"),
@@ -321,12 +379,49 @@ impl StreamingStore {
         ));
         self.sealed_events += shard.event_count();
         self.sealed.push(Arc::clone(&shard));
+        self.maybe_compact();
         self.epoch.fetch_add(1, Ordering::Release);
         if let Some(obs) = &self.obs {
             obs.seals.inc();
         }
         self.sync_gauges();
         Some(shard)
+    }
+
+    /// Merges the smallest adjacent sealed pair while the compaction
+    /// policy is triggered. Concatenation only: the merged shard holds
+    /// the same events at the same global positions, so every invariant
+    /// a snapshot relies on — positions, sealed-prefix immutability, the
+    /// sealed-event count — is preserved by construction.
+    fn maybe_compact(&mut self) {
+        while self.compaction.triggered(self.sealed.len()) {
+            let i = (0..self.sealed.len() - 1)
+                .min_by_key(|&i| self.sealed[i].event_count() + self.sealed[i + 1].event_count())
+                .expect("compaction triggers only above one shard");
+            let (a, b) = (&self.sealed[i], &self.sealed[i + 1]);
+            let mut events = Vec::with_capacity(a.event_count() + b.event_count());
+            events.extend_from_slice(&a.events);
+            events.extend_from_slice(&b.events);
+            let stats = ReductionStats {
+                before: events.len(),
+                after: events.len(),
+            };
+            let shared = self
+                .shared
+                .as_ref()
+                .expect("sealed shards imply shared entity state");
+            let merged = Arc::new(AuditStore::from_shared(
+                Arc::clone(&shared.entities),
+                &shared.tables,
+                events,
+                stats,
+            ));
+            self.sealed[i] = merged;
+            self.sealed.remove(i + 1);
+            if let Some(obs) = &self.obs {
+                obs.compactions.inc();
+            }
+        }
     }
 
     /// An immutable epoch view over everything appended so far: all
@@ -360,6 +455,7 @@ impl StreamingStore {
             open_events: self.reducer.visible(),
             raw_appended: self.reducer.appended(),
             sealed_events: self.sealed_events,
+            watermark: self.reducer.watermark(),
         }
     }
 
@@ -675,6 +771,57 @@ mod tests {
             snap.gauge("storage_entities"),
             Some(store.entities().len() as i64)
         );
+    }
+
+    #[test]
+    fn compaction_preserves_snapshot_parity() {
+        let log = scenario_log(3_000);
+        let mut plain = StreamingStore::new(true, SealPolicy::events(100));
+        let mut compacted = StreamingStore::new(true, SealPolicy::events(100))
+            .with_compaction(CompactionPolicy::max_shards(3));
+        replay(&log, &mut plain, 64);
+        replay(&log, &mut compacted, 64);
+        assert!(
+            plain.sealed_count() > 3,
+            "the seal policy must fragment the uncompacted store"
+        );
+        assert!(
+            compacted.sealed_count() <= 3,
+            "compaction must bound the sealed shard count"
+        );
+        // Byte-identical, position for position, to the uncompacted
+        // stream and to batch reduction of the same log.
+        assert_stream_parity(&log, &compacted, true);
+        let (a, b) = (plain.snapshot(), compacted.snapshot());
+        assert_eq!(a.event_count(), b.event_count());
+        for pos in 0..a.event_count() {
+            assert_eq!(a.event_at(pos), b.event_at(pos), "position {pos}");
+        }
+        // Compaction moves no boundary the frontier depends on.
+        assert_eq!(a.frontier(), b.frontier());
+    }
+
+    #[test]
+    fn snapshots_carry_the_stream_frontier() {
+        let log = scenario_log(1_000);
+        let mut store = StreamingStore::new(true, SealPolicy::events(150));
+        replay(&log, &mut store, 64);
+        let snap = store.snapshot();
+        let frontier = snap
+            .frontier()
+            .expect("streaming snapshots carry a frontier");
+        assert_eq!(
+            frontier.sealed_events,
+            store.event_count() - store.open_len()
+        );
+        let open_min = (frontier.sealed_events..snap.event_count())
+            .map(|p| snap.event_at(p).start)
+            .min();
+        assert_eq!(frontier.open_min_start, open_min);
+        assert!(frontier.settled_before() <= frontier.watermark);
+        // Batch-built stores carry no frontier.
+        let batch = ShardedStore::ingest(&log, true, 4);
+        assert!(batch.frontier().is_none());
     }
 
     #[test]
