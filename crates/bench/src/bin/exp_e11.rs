@@ -18,13 +18,13 @@
 //!
 //! `--smoke` runs a reduced configuration for CI.
 
-use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use threatraptor::prelude::*;
 use threatraptor::Registry;
 use threatraptor_audit::LogFeed;
 use threatraptor_bench::{fmt, suite};
 use threatraptor_service::{HuntServer, PlanCache, ServerConfig, ServiceError};
+use threatraptor_sync::{Arc, Mutex, PoisonError};
 
 /// Distinct match identities in a result: bindings plus each witness's
 /// CPR run identity (entity pair, op, run start). This — not the raw

@@ -1,0 +1,247 @@
+//! # threatraptor-check — deterministic interleaving checker
+//!
+//! A mini-loom: small closed concurrency models run under a controlled
+//! scheduler that explores thread interleavings exhaustively up to a
+//! preemption bound, instead of hoping the OS scheduler stumbles into
+//! the bad one. Production code participates through the
+//! `threatraptor-sync` facade — built normally it re-exports
+//! `std::sync`; built with `RUSTFLAGS="--cfg threatraptor_check"` it
+//! swaps in this crate's instrumented primitives ([`sync`], [`thread`])
+//! whose every acquire/release/wait/notify/atomic-write is a
+//! scheduling point.
+//!
+//! ## How exploration works
+//!
+//! [`model`] runs the closure once per schedule. Threads are real OS
+//! threads, but a baton ensures only one runs at a time; at each
+//! scheduling point the controller picks which runnable thread
+//! continues. Branching choices are recorded, and after each iteration
+//! the explorer backtracks to the deepest decision with an untried
+//! alternative — bounded DFS over schedules, where switching away from
+//! a still-runnable thread costs one *preemption* and at most
+//! [`CheckConfig::preemption_bound`] preemptions are spent per
+//! schedule (most real concurrency bugs need ≤ 2; the bound keeps the
+//! space polynomial instead of exponential).
+//!
+//! Detected violations: assertion/panic in any model thread, deadlock
+//! (no runnable thread and no timed waiter), and livelock via the
+//! per-iteration step cap. Condvar timeouts are modelled as quiescence
+//! wakes — a timed waiter can be woken only when nothing else can run,
+//! and [`quiescent_wakes`] lets a model assert its wakeup protocol
+//! never *needed* the timeout backstop (turning missed-wakeup liveness
+//! bugs into hard failures).
+//!
+//! Without the cfg, [`model`] degrades to a single smoke run on real
+//! threads, so the checked models double as plain concurrency tests in
+//! tier-1.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration budget and identification for one model.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Name used in reports and failure messages.
+    pub name: &'static str,
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule.
+    pub preemption_bound: usize,
+    /// Hard cap on explored interleavings (the space may be larger).
+    pub max_iterations: u64,
+    /// Per-iteration scheduling-point cap; exceeding it is reported as
+    /// a livelock violation.
+    pub max_steps: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            name: "model",
+            preemption_bound: 2,
+            max_iterations: 20_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// A schedule on which the model failed.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Panic message, deadlock description, or step-cap report.
+    pub message: String,
+    /// The branching choices (thread ids) that led to the failure.
+    pub schedule: Vec<usize>,
+    /// Which iteration hit it (1-based).
+    pub iteration: u64,
+}
+
+/// What one [`model`] call explored.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub name: &'static str,
+    /// Distinct interleavings completed (or attempted, for the failing
+    /// one).
+    pub iterations: u64,
+    /// True when the whole preemption-bounded space was explored.
+    pub exhausted: bool,
+    /// Iterations where replay no longer matched the recorded prefix
+    /// (a sign of nondeterminism in the model itself).
+    pub divergences: u64,
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Asserts the model held on every explored schedule, and — under
+    /// `cfg(threatraptor_check)` only — that exploration was deep
+    /// enough to mean something: either the whole preemption-bounded
+    /// space was exhausted, or at least `min_interleavings` schedules
+    /// ran.
+    ///
+    /// # Panics
+    ///
+    /// On any recorded violation, or (instrumented builds) when
+    /// exploration stopped early without exhausting the space.
+    #[track_caller]
+    pub fn assert_ok(&self, min_interleavings: u64) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model '{}' violated on iteration {} (schedule {:?}): {}",
+                self.name, v.iteration, v.schedule, v.message
+            );
+        }
+        if cfg!(threatraptor_check) {
+            assert!(
+                self.exhausted || self.iterations >= min_interleavings,
+                "model '{}' explored only {} interleavings (wanted >= {} or exhaustion)",
+                self.name,
+                self.iterations,
+                min_interleavings,
+            );
+        }
+    }
+}
+
+/// Quiescence (timeout) wakes taken so far in the current iteration,
+/// `0` outside a model run. See the crate docs for why a correct
+/// wakeup protocol asserts this stays zero.
+pub fn quiescent_wakes() -> u64 {
+    sched::current().map_or(0, |(run, _)| run.quiescent_wakes())
+}
+
+/// Explores `f` under the controlled scheduler (instrumented builds)
+/// or runs it once on real threads (normal builds). `f` must be a
+/// *closed* model: every thread it spawns must be joined or otherwise
+/// finished by the time it returns, and all cross-thread state must go
+/// through the `threatraptor-sync` facade to be visible to the
+/// scheduler.
+pub fn model<F>(cfg: CheckConfig, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_impl(cfg, Arc::new(f))
+}
+
+#[cfg(not(threatraptor_check))]
+fn model_impl(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let violation = panic::catch_unwind(AssertUnwindSafe(|| f()))
+        .err()
+        .map(|p| Violation {
+            message: sched::panic_message(p.as_ref()),
+            schedule: Vec::new(),
+            iteration: 1,
+        });
+    Report {
+        name: cfg.name,
+        iterations: 1,
+        exhausted: false,
+        divergences: 0,
+        violation,
+    }
+}
+
+#[cfg(threatraptor_check)]
+fn model_impl(cfg: CheckConfig, f: Arc<dyn Fn() + Send + Sync + 'static>) -> Report {
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut iterations = 0u64;
+    let mut divergences = 0u64;
+    loop {
+        let outcome = run_iteration(&f, &schedule, &cfg);
+        iterations += 1;
+        if outcome.diverged {
+            divergences += 1;
+        }
+        if let Some(message) = outcome.violation {
+            return Report {
+                name: cfg.name,
+                iterations,
+                exhausted: false,
+                divergences,
+                violation: Some(Violation {
+                    message,
+                    schedule: outcome.schedule_taken,
+                    iteration: iterations,
+                }),
+            };
+        }
+        if iterations >= cfg.max_iterations {
+            return Report {
+                name: cfg.name,
+                iterations,
+                exhausted: false,
+                divergences,
+                violation: None,
+            };
+        }
+        match sched::next_schedule(&outcome.decisions, cfg.preemption_bound) {
+            Some(s) => schedule = s,
+            None => {
+                return Report {
+                    name: cfg.name,
+                    iterations,
+                    exhausted: true,
+                    divergences,
+                    violation: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(threatraptor_check)]
+fn run_iteration(
+    f: &Arc<dyn Fn() + Send + Sync + 'static>,
+    schedule: &[usize],
+    cfg: &CheckConfig,
+) -> sched::IterationOutcome {
+    let run = Arc::new(sched::Run::new());
+    let root_tid = run.register();
+    let child_run = run.clone();
+    let f = f.clone();
+    let root = std::thread::Builder::new()
+        .name(format!("check-{}", cfg.name))
+        .spawn(move || {
+            sched::set_current(Some((child_run.clone(), root_tid)));
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                child_run.wait_for_grant(root_tid);
+                f()
+            })) {
+                Ok(()) => child_run.finish(root_tid, None),
+                Err(p) => {
+                    let msg = if p.is::<sched::AbortIteration>() {
+                        None
+                    } else {
+                        Some(sched::panic_message(p.as_ref()))
+                    };
+                    child_run.finish(root_tid, msg);
+                }
+            }
+        })
+        .expect("failed to spawn model root thread");
+    let outcome = sched::controller_loop(&run, schedule, cfg.max_steps);
+    root.join().expect("model root thread never unwinds");
+    outcome
+}

@@ -1,0 +1,434 @@
+//! The controlled scheduler: one baton, many parked threads.
+//!
+//! Model threads are real OS threads, but only one runs at a time. At
+//! every scheduling point (lock acquire/release, condvar wait/notify,
+//! atomic store/RMW, spawn/join/yield) the running thread parks and
+//! hands the baton to the controller, which picks the next thread to
+//! grant. Recording which candidates were available at each branching
+//! decision lets the explorer enumerate schedules: backtrack to the
+//! deepest decision with an untried alternative (within the preemption
+//! bound), replay the prefix, and diverge there.
+//!
+//! The baton makes multi-step bookkeeping trivially atomic: a thread
+//! that holds the baton can update several pieces of scheduler state in
+//! sequence (e.g. condvar wait = mark-waiting, release the mutex, park)
+//! without any other model thread observing an intermediate state —
+//! the classic lost-wakeup window between unlock and wait simply cannot
+//! be preempted.
+
+use std::cell::RefCell;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to tear an iteration down: every parked thread is
+/// woken with this payload once a violation aborts the run. Thread
+/// wrappers recognise it and exit quietly instead of reporting it as a
+/// second violation.
+pub(crate) struct AbortIteration;
+
+/// Where a parked thread stands with the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Parked, eligible to be granted the baton.
+    Ready,
+    /// Holds the baton right now.
+    Running,
+    /// Parked until the lock at this address is released.
+    BlockedLock(usize),
+    /// Parked in a condvar wait; `timed` waiters can be woken by the
+    /// controller at quiescence (modelling a timeout firing).
+    Waiting { cv: usize, timed: bool },
+    /// Parked until the target thread finishes.
+    BlockedJoin(usize),
+    /// The thread function returned (or unwound).
+    Done,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Thread(usize),
+}
+
+#[derive(Debug)]
+struct Slot {
+    status: Status,
+    /// For `Waiting` threads: whether the wake that made them `Ready`
+    /// was a quiescence (timeout) wake rather than a notify.
+    timed_out: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct State {
+    turn: Turn,
+    slots: Vec<Slot>,
+    abort: bool,
+    violation: Option<String>,
+    steps: u64,
+    quiescent_wakes: u64,
+    last_running: Option<usize>,
+}
+
+/// One exploration iteration's shared scheduler state. Every model
+/// thread holds an `Arc<Run>`; the controller owns the decision log.
+pub(crate) struct Run {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Run>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The run this thread is managed by, if any. `None` means the thread
+/// is outside any model (instrumented primitives pass through to std).
+pub(crate) fn current() -> Option<(Arc<Run>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Run>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+fn lock_state(run: &Run) -> MutexGuard<'_, State> {
+    run.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Run {
+    #[cfg_attr(not(threatraptor_check), allow(dead_code))]
+    pub(crate) fn new() -> Run {
+        Run {
+            state: Mutex::new(State {
+                turn: Turn::Controller,
+                slots: Vec::new(),
+                abort: false,
+                violation: None,
+                steps: 0,
+                quiescent_wakes: 0,
+                last_running: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Registers a new model thread; it starts `Ready` but parked (its
+    /// wrapper must call [`Run::wait_for_grant`] before touching the
+    /// model).
+    pub(crate) fn register(&self) -> usize {
+        let mut st = lock_state(self);
+        st.slots.push(Slot {
+            status: Status::Ready,
+            timed_out: false,
+        });
+        st.slots.len() - 1
+    }
+
+    /// Parks until the controller grants this thread the baton.
+    pub(crate) fn wait_for_grant(&self, me: usize) {
+        let st = lock_state(self);
+        self.grant_loop(st, me);
+    }
+
+    fn grant_loop(&self, mut st: MutexGuard<'_, State>, me: usize) -> bool {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortIteration);
+            }
+            if st.turn == Turn::Thread(me) {
+                let timed_out = st.slots[me].timed_out;
+                st.slots[me].timed_out = false;
+                st.slots[me].status = Status::Running;
+                return timed_out;
+            }
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Hands the baton to the controller with `status` and parks until
+    /// granted again. Returns whether the wake was a quiescence
+    /// (timeout) wake — meaningful only for `Waiting` parks.
+    pub(crate) fn park(&self, me: usize, status: Status) -> bool {
+        let mut st = lock_state(self);
+        st.slots[me].status = status;
+        st.turn = Turn::Controller;
+        self.cond.notify_all();
+        self.grant_loop(st, me)
+    }
+
+    /// A plain scheduling point: any other runnable thread may be
+    /// granted here.
+    pub(crate) fn sched_point(&self, me: usize) {
+        self.park(me, Status::Ready);
+    }
+
+    /// Marks every thread blocked on `addr` ready again. Called by the
+    /// releasing thread while it still holds the baton, so the woken
+    /// threads cannot run before the release completes.
+    pub(crate) fn release_lock(&self, addr: usize) {
+        let mut st = lock_state(self);
+        for slot in &mut st.slots {
+            if slot.status == Status::BlockedLock(addr) {
+                slot.status = Status::Ready;
+            }
+        }
+    }
+
+    /// Wakes waiters of the condvar at `addr` (lowest thread id first
+    /// for `notify_one`; the pick is deterministic by construction).
+    pub(crate) fn notify_cv(&self, addr: usize, all: bool) {
+        let mut st = lock_state(self);
+        for slot in &mut st.slots {
+            if let Status::Waiting { cv, .. } = slot.status {
+                if cv == addr {
+                    slot.status = Status::Ready;
+                    slot.timed_out = false;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parks as a join on `target`, or as a plain scheduling point when
+    /// the target already finished. The check and the park share one
+    /// state lock, so the target cannot slip to `Done` in between.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = lock_state(self);
+        let status = if st.slots[target].status == Status::Done {
+            Status::Ready
+        } else {
+            Status::BlockedJoin(target)
+        };
+        st.slots[me].status = status;
+        st.turn = Turn::Controller;
+        self.cond.notify_all();
+        self.grant_loop(st, me);
+    }
+
+    /// Marks this thread done, wakes its joiners, and records a
+    /// violation when the thread unwound with a real (non-teardown)
+    /// panic.
+    pub(crate) fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = lock_state(self);
+        st.slots[me].status = Status::Done;
+        for slot in &mut st.slots {
+            if slot.status == Status::BlockedJoin(me) {
+                slot.status = Status::Ready;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            if st.violation.is_none() {
+                st.violation = Some(msg);
+            }
+            st.abort = true;
+        }
+        st.turn = Turn::Controller;
+        self.cond.notify_all();
+    }
+
+    /// Quiescence (timeout) wakes taken so far this iteration. A model
+    /// whose wakeup protocol is correct never needs one: asserting zero
+    /// here turns a missed-wakeup liveness bug (otherwise masked by the
+    /// timeout backstop) into a hard failure.
+    pub(crate) fn quiescent_wakes(&self) -> u64 {
+        lock_state(self).quiescent_wakes
+    }
+}
+
+/// One branching choice the controller made: which candidates were
+/// runnable and which was granted. Non-branching grants (a single
+/// candidate) are not recorded — replay re-derives them.
+#[derive(Debug, Clone)]
+#[cfg_attr(not(threatraptor_check), allow(dead_code))]
+pub(crate) struct Decision {
+    /// Candidate thread ids; `candidates[0]` is the preferred choice
+    /// (the previously running thread when it is still runnable).
+    candidates: Vec<usize>,
+    /// Index into `candidates` actually granted.
+    chosen: usize,
+    /// Whether `candidates[0]` is the running-thread continuation, so
+    /// granting any other candidate costs a preemption.
+    continuation: bool,
+    /// Preemptions already spent on the path before this decision.
+    preemptions_before: usize,
+}
+
+#[cfg_attr(not(threatraptor_check), allow(dead_code))]
+pub(crate) struct IterationOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) violation: Option<String>,
+    pub(crate) schedule_taken: Vec<usize>,
+    pub(crate) diverged: bool,
+}
+
+/// Runs the controller loop for one iteration: grants threads per the
+/// replay `schedule` (then by preference), records branching decisions,
+/// and returns once every model thread is `Done`.
+#[cfg_attr(not(threatraptor_check), allow(dead_code))]
+pub(crate) fn controller_loop(
+    run: &Arc<Run>,
+    schedule: &[usize],
+    max_steps: u64,
+) -> IterationOutcome {
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut preemptions = 0usize;
+    let mut replay_at = 0usize;
+    let mut diverged = false;
+    let mut st = lock_state(run);
+    loop {
+        while st.turn != Turn::Controller {
+            st = run.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.slots.iter().all(|s| s.status == Status::Done) {
+            break;
+        }
+        if st.abort {
+            // A violation is tearing the iteration down: keep waking
+            // parked threads until they have all unwound to Done.
+            run.cond.notify_all();
+            st = run.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            continue;
+        }
+        st.steps += 1;
+        if st.steps > max_steps {
+            st.violation = Some(format!(
+                "step cap exceeded ({max_steps} scheduling points): livelock or unbounded loop"
+            ));
+            st.abort = true;
+            run.cond.notify_all();
+            continue;
+        }
+
+        let ready: Vec<usize> = st
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+
+        let candidates: Vec<usize>;
+        let continuation: bool;
+        if ready.is_empty() {
+            let timed: Vec<usize> = st
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.status, Status::Waiting { timed: true, .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if timed.is_empty() {
+                let held: Vec<String> = st
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.status != Status::Done)
+                    .map(|(i, s)| format!("thread {i}: {:?}", s.status))
+                    .collect();
+                st.violation = Some(format!(
+                    "deadlock: no runnable thread [{}]",
+                    held.join(", ")
+                ));
+                st.abort = true;
+                run.cond.notify_all();
+                continue;
+            }
+            // Quiescence: only timeouts can make progress. Waking one
+            // timed waiter is itself a (branching) decision.
+            candidates = timed;
+            continuation = false;
+        } else {
+            let mut c = ready;
+            c.sort_unstable();
+            let cont = st.last_running.filter(|lr| c.contains(lr));
+            if let Some(lr) = cont {
+                c.retain(|&t| t != lr);
+                c.insert(0, lr);
+            }
+            continuation = cont.is_some();
+            candidates = c;
+        }
+
+        let mut chosen = 0usize;
+        if candidates.len() > 1 {
+            if replay_at < schedule.len() {
+                match candidates.iter().position(|&t| t == schedule[replay_at]) {
+                    Some(idx) => chosen = idx,
+                    None => {
+                        // The replayed prefix no longer matches (the
+                        // model is not perfectly deterministic): stop
+                        // replaying and continue with defaults.
+                        diverged = true;
+                        replay_at = schedule.len();
+                    }
+                }
+                replay_at += 1;
+            }
+            decisions.push(Decision {
+                candidates: candidates.clone(),
+                chosen,
+                continuation,
+                preemptions_before: preemptions,
+            });
+            if continuation && chosen != 0 {
+                preemptions += 1;
+            }
+        }
+
+        let tid = candidates[chosen];
+        let slot = &mut st.slots[tid];
+        if let Status::Waiting { .. } = slot.status {
+            slot.status = Status::Ready;
+            slot.timed_out = true;
+            st.quiescent_wakes += 1;
+            // The woken waiter becomes the sole Ready thread and is
+            // granted on the next pass round the loop.
+            continue;
+        }
+        st.turn = Turn::Thread(tid);
+        st.last_running = Some(tid);
+        run.cond.notify_all();
+    }
+    let violation = st.violation.clone();
+    drop(st);
+    IterationOutcome {
+        schedule_taken: decisions.iter().map(|d| d.candidates[d.chosen]).collect(),
+        decisions,
+        violation,
+        diverged,
+    }
+}
+
+/// The next schedule to explore: backtracks to the deepest decision
+/// with an untried alternative whose cost stays within the preemption
+/// bound. `None` when the bounded space is exhausted.
+#[cfg_attr(not(threatraptor_check), allow(dead_code))]
+pub(crate) fn next_schedule(decisions: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    for j in (0..decisions.len()).rev() {
+        let d = &decisions[j];
+        for k in d.chosen + 1..d.candidates.len() {
+            let cost = d.preemptions_before + usize::from(d.continuation && k != 0);
+            if cost <= bound {
+                let mut s: Vec<usize> = decisions[..j]
+                    .iter()
+                    .map(|p| p.candidates[p.chosen])
+                    .collect();
+                s.push(d.candidates[k]);
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

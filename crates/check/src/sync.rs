@@ -1,0 +1,632 @@
+//! Instrumented drop-ins for the `std::sync` primitives the facade
+//! re-exports. Each wraps the real std type (so poison semantics and
+//! guard types behave identically) and adds scheduling points around
+//! every visible action: acquire, release, wait, notify, atomic store
+//! and RMW. On threads outside a model run, every operation passes
+//! straight through to std.
+//!
+//! Lock acquisition never blocks the OS thread: it is a `try_lock`
+//! loop where each failure parks the thread with the scheduler as
+//! blocked-on-address, and each release marks those threads runnable
+//! again. Condvar waits never touch the std condvar inside a model —
+//! the park *is* the wait, and the baton makes release-and-wait atomic,
+//! so the scheduler sees every lost-wakeup window the real primitive
+//! has (and none it does not).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError};
+use std::time::Duration;
+
+use crate::sched::{current, Status};
+
+/// A mutex whose acquire/release are scheduling points inside a model.
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current() {
+            None => wrap_guard(self, self.inner.lock()),
+            Some((run, me)) => {
+                run.sched_point(me);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => {
+                            return Ok(MutexGuard {
+                                inner: Some(g),
+                                mutex: self,
+                            })
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return Err(PoisonError::new(MutexGuard {
+                                inner: Some(e.into_inner()),
+                                mutex: self,
+                            }))
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            run.park(me, Status::BlockedLock(self.addr()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        if let Some((run, me)) = current() {
+            run.sched_point(me);
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                mutex: self,
+            }),
+            Err(TryLockError::Poisoned(e)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    inner: Some(e.into_inner()),
+                    mutex: self,
+                })))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+fn wrap_guard<'a, T>(
+    mutex: &'a Mutex<T>,
+    r: LockResult<std::sync::MutexGuard<'a, T>>,
+) -> LockResult<MutexGuard<'a, T>> {
+    match r {
+        Ok(g) => Ok(MutexGuard {
+            inner: Some(g),
+            mutex,
+        }),
+        Err(e) => Err(PoisonError::new(MutexGuard {
+            inner: Some(e.into_inner()),
+            mutex,
+        })),
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Releases the lock (with scheduler bookkeeping) *without* the
+    /// usual post-release scheduling point, returning the mutex for
+    /// re-acquisition. Used by condvar waits, where the very next step
+    /// is the park itself.
+    /// Takes the std guard out, skipping all scheduler bookkeeping.
+    /// Used on the pass-through (unmanaged) condvar paths.
+    fn take_std(mut self) -> (&'a Mutex<T>, std::sync::MutexGuard<'a, T>) {
+        let mutex = self.mutex;
+        let g = self.inner.take().expect("guard already released");
+        (mutex, g)
+    }
+
+    fn unlock_quiet(mut self) -> &'a Mutex<T> {
+        let mutex = self.mutex;
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some((run, _)) = current() {
+                run.release_lock(mutex.addr());
+            }
+        }
+        mutex
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some((run, me)) = current() {
+                run.release_lock(self.mutex.addr());
+                // Release is a visible action, so it is a scheduling
+                // point — except during unwinding, where parking (and
+                // the abort-teardown panic) would double-panic.
+                if !std::thread::panicking() {
+                    run.sched_point(me);
+                }
+            }
+        }
+    }
+}
+
+/// An rwlock whose acquires/releases are scheduling points. Blocked
+/// readers and writers share the lock-address wait list; whoever the
+/// scheduler grants retries its `try_` acquire.
+#[derive(Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const RwLock<T> as usize
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match current() {
+            None => match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    addr: self.addr(),
+                }),
+                Err(e) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: Some(e.into_inner()),
+                    addr: self.addr(),
+                })),
+            },
+            Some((run, me)) => {
+                run.sched_point(me);
+                loop {
+                    match self.inner.try_read() {
+                        Ok(g) => {
+                            return Ok(RwLockReadGuard {
+                                inner: Some(g),
+                                addr: self.addr(),
+                            })
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return Err(PoisonError::new(RwLockReadGuard {
+                                inner: Some(e.into_inner()),
+                                addr: self.addr(),
+                            }))
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            run.park(me, Status::BlockedLock(self.addr()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match current() {
+            None => match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    addr: self.addr(),
+                }),
+                Err(e) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: Some(e.into_inner()),
+                    addr: self.addr(),
+                })),
+            },
+            Some((run, me)) => {
+                run.sched_point(me);
+                loop {
+                    match self.inner.try_write() {
+                        Ok(g) => {
+                            return Ok(RwLockWriteGuard {
+                                inner: Some(g),
+                                addr: self.addr(),
+                            })
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return Err(PoisonError::new(RwLockWriteGuard {
+                                inner: Some(e.into_inner()),
+                                addr: self.addr(),
+                            }))
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            run.park(me, Status::BlockedLock(self.addr()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident) => {
+        pub struct $name<'a, T> {
+            inner: Option<std::sync::$std<'a, T>>,
+            addr: usize,
+        }
+
+        impl<T> Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.inner.as_ref().expect("guard already released")
+            }
+        }
+
+        impl<T: fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.deref().fmt(f)
+            }
+        }
+
+        impl<T> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                if let Some(g) = self.inner.take() {
+                    drop(g);
+                    if let Some((run, me)) = current() {
+                        run.release_lock(self.addr);
+                        if !std::thread::panicking() {
+                            run.sched_point(me);
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard);
+rw_guard!(RwLockWriteGuard, RwLockWriteGuard);
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+/// Result of an instrumented `wait_timeout`. Inside a model "the
+/// timeout fired" means the scheduler woke the waiter at quiescence
+/// instead of through a notify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condvar whose waits are scheduler parks and whose notifies are
+/// scheduling points. Model time is abstract: a timed wait never
+/// consults the clock — it parks as a *timed* waiter, which the
+/// controller may wake at quiescence (that wake is the timeout).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match current() {
+            None => {
+                // Not inside a model: fall through to the std condvar.
+                let (mutex, g) = guard.take_std();
+                wrap_guard(mutex, self.inner.wait(g))
+            }
+            Some((run, me)) => {
+                let mutex = guard.unlock_quiet();
+                run.park(
+                    me,
+                    Status::Waiting {
+                        cv: self.addr(),
+                        timed: false,
+                    },
+                );
+                mutex.lock()
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match current() {
+            None => {
+                let (mutex, g) = guard.take_std();
+                match self.inner.wait_timeout(g, dur) {
+                    Ok((g, t)) => Ok((
+                        MutexGuard {
+                            inner: Some(g),
+                            mutex,
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )),
+                    Err(e) => {
+                        let (g, t) = e.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                inner: Some(g),
+                                mutex,
+                            },
+                            WaitTimeoutResult(t.timed_out()),
+                        )))
+                    }
+                }
+            }
+            Some((run, me)) => {
+                let mutex = guard.unlock_quiet();
+                let timed_out = run.park(
+                    me,
+                    Status::Waiting {
+                        cv: self.addr(),
+                        timed: true,
+                    },
+                );
+                match mutex.lock() {
+                    Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                    Err(e) => Err(PoisonError::new((
+                        e.into_inner(),
+                        WaitTimeoutResult(timed_out),
+                    ))),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((run, me)) = current() {
+            run.sched_point(me);
+            run.notify_cv(self.addr(), false);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((run, me)) = current() {
+            run.sched_point(me);
+            run.notify_cv(self.addr(), true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+/// Instrumented atomics: loads pass through (they cannot block and
+/// treating every load as a branching point would explode the schedule
+/// space), while stores and read-modify-writes — the actions other
+/// threads can race against — are scheduling points.
+pub mod atomic {
+    pub use std::sync::atomic::{fence, Ordering};
+
+    use crate::sched::current;
+
+    fn yield_point() {
+        if let Some((run, me)) = current() {
+            run.sched_point(me);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$name,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        inner: std::sync::atomic::$name::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    yield_point();
+                    self.inner.store(val, order);
+                }
+
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.swap(val, order)
+                }
+
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_add(val, order)
+                }
+
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_max(val, order)
+                }
+
+                pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_min(val, order)
+                }
+
+                pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_and(val, order)
+                }
+
+                pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_or(val, order)
+                }
+
+                #[allow(clippy::missing_errors_doc)]
+                pub fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.inner.compare_exchange(cur, new, ok, err)
+                }
+
+                #[allow(clippy::missing_errors_doc)]
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.inner.compare_exchange_weak(cur, new, ok, err)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU8, u8);
+    int_atomic!(AtomicU32, u32);
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicI32, i32);
+    int_atomic!(AtomicI64, i64);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            yield_point();
+            self.inner.store(val, order);
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.swap(val, order)
+        }
+
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.fetch_or(val, order)
+        }
+
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.fetch_and(val, order)
+        }
+
+        #[allow(clippy::missing_errors_doc)]
+        pub fn compare_exchange(
+            &self,
+            cur: bool,
+            new: bool,
+            ok: Ordering,
+            err: Ordering,
+        ) -> Result<bool, bool> {
+            yield_point();
+            self.inner.compare_exchange(cur, new, ok, err)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+    }
+}

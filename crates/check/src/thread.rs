@@ -1,0 +1,137 @@
+//! Thread spawning under the scheduler. A thread spawned from inside a
+//! model becomes a *managed* thread: a real OS thread that registers
+//! with the run, parks until granted, and reports back when it
+//! finishes (or unwinds). Spawns from unmanaged threads pass straight
+//! through to `std::thread`.
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::sched::{current, panic_message, set_current, AbortIteration};
+
+pub struct Builder {
+    inner: std::thread::Builder,
+}
+
+impl Builder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Builder {
+        Builder {
+            inner: std::thread::Builder::new(),
+        }
+    }
+
+    pub fn name(self, name: String) -> Builder {
+        Builder {
+            inner: self.inner.name(name),
+        }
+    }
+
+    pub fn stack_size(self, size: usize) -> Builder {
+        Builder {
+            inner: self.inner.stack_size(size),
+        }
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current() {
+            None => self.inner.spawn(f).map(|h| JoinHandle {
+                inner: h,
+                managed: None,
+            }),
+            Some((run, _)) => {
+                let tid = run.register();
+                let child_run = run.clone();
+                let h = self.inner.spawn(move || -> T {
+                    set_current(Some((child_run.clone(), tid)));
+                    // The grant wait lives inside the catch: an abort
+                    // arriving before the first grant must still reach
+                    // finish(), or the controller waits forever.
+                    match panic::catch_unwind(AssertUnwindSafe(|| {
+                        child_run.wait_for_grant(tid);
+                        f()
+                    })) {
+                        Ok(v) => {
+                            child_run.finish(tid, None);
+                            v
+                        }
+                        Err(p) => {
+                            let msg = if p.is::<AbortIteration>() {
+                                None
+                            } else {
+                                Some(panic_message(p.as_ref()))
+                            };
+                            child_run.finish(tid, msg);
+                            panic::resume_unwind(p);
+                        }
+                    }
+                })?;
+                Ok(JoinHandle {
+                    inner: h,
+                    managed: Some(tid),
+                })
+            }
+        }
+    }
+}
+
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// The scheduler thread id, when the thread was spawned inside a
+    /// model run.
+    managed: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    #[allow(clippy::missing_errors_doc)]
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(target), Some((run, me))) = (self.managed, current()) {
+            run.join_wait(me, target);
+        }
+        self.inner.join()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    pub fn thread(&self) -> &std::thread::Thread {
+        self.inner.thread()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("JoinHandle { .. }")
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Inside a model, time is abstract: sleeping is just a scheduling
+/// point (the sleeper stays runnable — a sleep is never load-bearing
+/// for correctness, which is exactly what the checker verifies).
+pub fn sleep(dur: Duration) {
+    match current() {
+        None => std::thread::sleep(dur),
+        Some((run, me)) => run.sched_point(me),
+    }
+}
+
+pub fn yield_now() {
+    match current() {
+        None => std::thread::yield_now(),
+        Some((run, me)) => run.sched_point(me),
+    }
+}

@@ -1,0 +1,194 @@
+//! Self-tests for the checker runtime itself: tiny hand-built models
+//! with known-correct and known-broken variants. The broken variants
+//! prove the explorer actually reaches the failing schedules; the
+//! correct ones prove it terminates and (in instrumented builds)
+//! exhausts their bounded spaces.
+//!
+//! Build normally these run each model once as a plain concurrency
+//! smoke test; build with `RUSTFLAGS="--cfg threatraptor_check"` they
+//! explore schedules exhaustively.
+
+use threatraptor_check::{model, CheckConfig};
+use threatraptor_sync::atomic::{AtomicUsize, Ordering};
+use threatraptor_sync::{thread, Arc, Condvar, Mutex, PoisonError};
+
+fn cfg(name: &'static str) -> CheckConfig {
+    CheckConfig {
+        name,
+        ..CheckConfig::default()
+    }
+}
+
+/// Two threads bumping a counter with a proper atomic RMW: correct on
+/// every schedule.
+#[test]
+fn atomic_increment_is_race_free() {
+    let report = model(cfg("atomic-increment"), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    // ordering: test-local counter, no ordering contract.
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    report.assert_ok(2);
+}
+
+/// The same counter "incremented" with a load/store pair: the classic
+/// lost update. The explorer must find the schedule where both threads
+/// load 0.
+#[cfg(threatraptor_check)]
+#[test]
+fn load_store_race_is_found() {
+    let report = model(cfg("load-store-race"), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    // ordering: deliberately racy read-modify-write.
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(
+        report.violation.is_some(),
+        "the lost-update schedule must be explored (got {} clean interleavings)",
+        report.iterations
+    );
+}
+
+/// Mutex-protected increments never lose updates.
+#[test]
+fn mutex_increment_is_race_free() {
+    let report = model(cfg("mutex-increment"), || {
+        let n = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap_or_else(PoisonError::into_inner), 2);
+    });
+    report.assert_ok(2);
+}
+
+/// AB-BA lock ordering: the explorer must find the deadlock.
+#[cfg(threatraptor_check)]
+#[test]
+fn ab_ba_deadlock_is_found() {
+    let report = model(cfg("ab-ba-deadlock"), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+            let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+        });
+        {
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+        let _ = t.join();
+    });
+    let v = report
+        .violation
+        .expect("AB-BA must deadlock on some schedule");
+    assert!(
+        v.message.contains("deadlock"),
+        "unexpected violation: {}",
+        v.message
+    );
+}
+
+/// Condvar handoff with the notify under the lock: no schedule loses
+/// the wakeup, so the timed wait never needs its timeout backstop.
+#[test]
+fn condvar_handoff_never_misses_a_wakeup() {
+    let report = model(cfg("condvar-handoff"), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (lock, cond) = &*state2;
+            let mut done = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            *done = true;
+            cond.notify_all();
+            drop(done);
+        });
+        let (lock, cond) = &*state;
+        let mut done = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            let (g, _) = cond
+                .wait_timeout(done, std::time::Duration::from_secs(30))
+                .unwrap_or_else(PoisonError::into_inner);
+            done = g;
+        }
+        drop(done);
+        t.join().unwrap();
+        assert_eq!(
+            threatraptor_check::quiescent_wakes(),
+            0,
+            "a notify-under-lock handoff must never fall back to the timeout"
+        );
+    });
+    report.assert_ok(3);
+}
+
+/// The check-then-wait bug (notify *not* under the lock is fine; the
+/// waiter checking the flag before waiting *without* the lock is not):
+/// here the waiter re-checks under the lock, but the setter flips the
+/// flag outside any lock and notifies without it — the waiter can park
+/// after the notify and only the timeout saves it. The quiescent-wake
+/// stat must expose that.
+#[cfg(threatraptor_check)]
+#[test]
+fn lost_wakeup_shows_up_as_quiescent_wakes() {
+    let report = model(cfg("lost-wakeup"), || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let state = Arc::new((Mutex::new(()), Condvar::new()));
+        let (flag2, state2) = (Arc::clone(&flag), Arc::clone(&state));
+        let t = thread::spawn(move || {
+            // ordering: test-local flag, no ordering contract.
+            flag2.store(1, Ordering::SeqCst);
+            // BUG under test: notify without holding the lock that the
+            // waiter's check-then-wait relies on.
+            state2.1.notify_all();
+        });
+        let (lock, cond) = &*state;
+        while flag.load(Ordering::SeqCst) == 0 {
+            let g = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            let (g, _) = cond
+                .wait_timeout(g, std::time::Duration::from_secs(1))
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(g);
+        }
+        t.join().unwrap();
+        if threatraptor_check::quiescent_wakes() > 0 {
+            panic!("missed wakeup: waiter needed the timeout backstop");
+        }
+    });
+    assert!(
+        report.violation.is_some(),
+        "some schedule must park the waiter after the notify"
+    );
+}

@@ -65,8 +65,8 @@ pub mod thread {
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex, PoisonError};
     use std::time::{Duration, Instant};
+    use threatraptor_sync::{Arc, Condvar, Mutex, PoisonError};
 
     /// The sending side disconnected mid-`recv`.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +135,7 @@ pub mod channel {
     }
 
     impl<T> Shared<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        fn lock(&self) -> threatraptor_sync::MutexGuard<'_, Inner<T>> {
             // Poison recovery: a consumer panicking while holding the
             // lock must not wedge every other worker on the queue.
             self.inner.lock().unwrap_or_else(PoisonError::into_inner)

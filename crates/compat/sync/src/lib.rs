@@ -1,0 +1,68 @@
+//! # threatraptor-sync — the swappable sync facade
+//!
+//! Every production crate imports its locks, condvars, atomics, and
+//! thread-spawning through this facade instead of `std::sync` /
+//! `std::thread` directly (`threatraptor-lint` rule L005 enforces it).
+//! Built normally, everything here is a zero-cost re-export of the std
+//! primitive — same types, same codegen. Built with
+//! `RUSTFLAGS="--cfg threatraptor_check"`, the lock/condvar/atomic/
+//! thread surface swaps to `threatraptor-check`'s instrumented
+//! primitives, and the deterministic interleaving checker can drive
+//! real production protocols (worker pool, ingest epochs, follow
+//! dispatch, plan cache) through exhaustive schedule exploration.
+//!
+//! Types with no scheduling-visible behaviour worth modelling
+//! (`Arc`, `Weak`, `Once`, `OnceLock`, `PoisonError`, `LockResult`,
+//! `TryLockError`) come from std in both configurations — code using
+//! the facade never needs to know which build it is in.
+
+// --- shared re-exports (identical in both configurations) -----------
+pub use std::sync::{Arc, LockResult, Once, OnceLock, PoisonError, TryLockError, Weak};
+
+// --- normal builds: std::sync verbatim ------------------------------
+#[cfg(not(threatraptor_check))]
+pub use std::sync::{
+    Barrier, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+
+#[cfg(not(threatraptor_check))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+/// Thread spawning routed through the facade so model-spawned threads
+/// register with the checker's scheduler. `sleep` inside a model is a
+/// scheduling point, not a real delay.
+#[cfg(not(threatraptor_check))]
+pub mod thread {
+    pub use std::thread::{
+        available_parallelism, current, sleep, spawn, yield_now, Builder, JoinHandle, Thread,
+    };
+}
+
+// --- checker builds: instrumented primitives -------------------------
+#[cfg(threatraptor_check)]
+pub use std::sync::Barrier;
+
+#[cfg(threatraptor_check)]
+pub use threatraptor_check::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(threatraptor_check)]
+pub mod atomic {
+    pub use threatraptor_check::sync::atomic::{
+        fence, AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+    // Atomics the checker does not instrument fall back to std; no
+    // production code shares them across model threads.
+    pub use std::sync::atomic::{AtomicI16, AtomicI8, AtomicIsize, AtomicU16};
+}
+
+#[cfg(threatraptor_check)]
+pub mod thread {
+    pub use std::thread::{available_parallelism, current, Thread};
+    pub use threatraptor_check::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}

@@ -1,0 +1,24 @@
+// Fixture: allow directives. A standalone directive comment suppresses
+// the next code line; a trailing directive suppresses its own line; a
+// directive for a DIFFERENT code suppresses nothing. Expected
+// findings: L001 x1 (the mismatched-code site).
+
+struct S {
+    m: threatraptor_sync::Mutex<u32>,
+}
+
+impl S {
+    fn suppressed_next_line(&self) {
+        // threatraptor-lint: allow L001 — poisoning is fatal here by design
+        let _g = self.m.lock().unwrap();
+    }
+
+    fn suppressed_trailing(&self) {
+        let _g = self.m.lock().unwrap(); // threatraptor-lint: allow L001 — ditto
+    }
+
+    fn wrong_code_not_suppressed(&self) {
+        // threatraptor-lint: allow L003 — this directive is for another rule
+        let _g = self.m.lock().unwrap();
+    }
+}

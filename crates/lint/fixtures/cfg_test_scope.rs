@@ -1,0 +1,27 @@
+// Fixture: the awk-bug regression. The old tools/lint.sh exempted
+// EVERYTHING after the first `#[cfg(test)]` line, so the production
+// violation *below* the test module was never linted. The engine
+// scopes the exemption to the test module's brace span. Expected
+// findings: L001 x1 — in `below_the_tests`, NOT in the test module.
+
+struct S {
+    m: threatraptor_sync::Mutex<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_assert_on_poison() {
+        let s = S::default();
+        // Exempt: tests may unwrap guards to assert on poisoning.
+        let _g = s.m.lock().unwrap();
+    }
+}
+
+impl S {
+    fn below_the_tests(&self) {
+        let _g = self.m.lock().unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+// Fixture: L001 — unwrap/expect on lock-guard acquisition (the repo
+// recovers poison with `.unwrap_or_else(PoisonError::into_inner)`).
+// Expected findings: L001 x4. The recovered acquisition and the
+// string/comment decoys are clean.
+
+struct S {
+    m: threatraptor_sync::Mutex<u32>,
+    l: threatraptor_sync::RwLock<u32>,
+}
+
+impl S {
+    fn single_line(&self) {
+        let _g = self.m.lock().unwrap();
+    }
+
+    fn read_guard(&self) {
+        let _g = self.l.read().unwrap();
+    }
+
+    fn split_chain(&self) {
+        let _g = self.m
+            .lock()
+            .unwrap();
+    }
+
+    fn with_expect(&self) {
+        let _g = self.m.lock().expect("poisoned");
+    }
+
+    fn recovered(&self) {
+        let _g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+
+    fn decoys(&self) {
+        // A comment saying x.lock().unwrap() must not trip.
+        let _s = "x.lock().unwrap()";
+    }
+}

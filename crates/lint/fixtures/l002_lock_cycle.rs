@@ -1,0 +1,32 @@
+// Fixture: L002 — lock-order cycle. `ab` nests b under a, `ba` nests a
+// under b: the per-file lock graph has the cycle a ⇄ b. `same_order`
+// repeats the a→b order, which is consistent and adds no finding.
+// Expected findings: L002 x2 (one per edge on the cycle).
+
+struct S {
+    a: threatraptor_sync::Mutex<u32>,
+    b: threatraptor_sync::Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(ga);
+        drop(gb);
+    }
+
+    fn same_order(&self) {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(gb);
+        drop(ga);
+    }
+}

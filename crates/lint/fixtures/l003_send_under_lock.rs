@@ -1,0 +1,34 @@
+// Fixture: L003 — blocking channel/epoch operations under a live lock
+// guard. A conditional drop inside a nested block does NOT end the
+// guard on the fall-through path (the dispatch-loop shape). Expected
+// findings: L003 x3 (send, recv, wait_epoch_newer). The send after the
+// same-depth drop is clean.
+
+struct S {
+    state: threatraptor_sync::Mutex<u32>,
+}
+
+impl S {
+    fn send_under_guard(&self, tx: &Sender<u32>) {
+        let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        tx.send(*g).unwrap();
+        drop(g);
+        tx.send(0).unwrap();
+    }
+
+    fn recv_under_guard(&self, rx: &Receiver<u32>) {
+        let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if *g == 0 {
+            drop(g);
+            return;
+        }
+        // The drop above is conditional: the guard is still considered
+        // held here.
+        let _v = rx.recv().unwrap();
+    }
+
+    fn wait_under_guard(&self, svc: &IngestService) {
+        let _g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let _e = svc.wait_epoch_newer(0, timeout);
+    }
+}

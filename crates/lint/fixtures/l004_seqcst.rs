@@ -1,0 +1,27 @@
+// Fixture: L004 — Ordering::SeqCst without a nearby rationale comment.
+// (The magic comment marker is deliberately not spelled out in this
+// header: it would land inside the lookback window of the first site
+// and suppress it.) Expected findings: L004 x1 (the bare site). The
+// site with a rationale and the weaker orderings are clean; so is the
+// `std::cmp::Ordering` decoy (that enum has no SeqCst variant, so the
+// literal-token match cannot collide — the decoy documents why).
+
+fn counters(n: &AtomicU64) {
+    n.fetch_add(1, Ordering::SeqCst);
+
+    // ordering: SeqCst is required here — this flag participates in a
+    // Dekker-style two-flag protocol whose correctness needs a single
+    // total order over both stores.
+    n.fetch_add(1, Ordering::SeqCst);
+
+    n.fetch_add(1, Ordering::Relaxed);
+    n.store(0, Ordering::Release);
+    let _ = n.load(Ordering::Acquire);
+}
+
+fn decoy(a: u32, b: u32) -> std::cmp::Ordering {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => std::cmp::Ordering::Less,
+        other => other,
+    }
+}

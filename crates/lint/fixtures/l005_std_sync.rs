@@ -1,0 +1,22 @@
+// Fixture: L005 — std::sync lock/atomic imports bypassing the
+// threatraptor-sync facade. Expected findings: L005 x4 (grouped use,
+// atomic use, inline path, multi-line group). Arc/OnceLock/PoisonError
+// from std are fine — the facade re-exports them unchanged.
+
+use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, PoisonError};
+
+use std::sync::{
+    Condvar,
+    Weak,
+};
+
+fn inline() {
+    let _l = std::sync::RwLock::new(1);
+    let _a = std::sync::Arc::new(1);
+}
+
+fn in_a_string() {
+    let _s = "use std::sync::Mutex;";
+}

@@ -1,0 +1,21 @@
+// Fixture: #[cfg(check_mutants)] spans hold seeded bugs and are
+// skipped by default, included with --include-mutants. Expected
+// findings: default → L001 x1 (the production site only);
+// --include-mutants → L001 x2.
+
+struct S {
+    m: threatraptor_sync::Mutex<u32>,
+}
+
+#[cfg(check_mutants)]
+impl S {
+    fn seeded_bug(&self) {
+        let _g = self.m.lock().unwrap();
+    }
+}
+
+impl S {
+    fn production_site(&self) {
+        let _g = self.m.lock().unwrap();
+    }
+}

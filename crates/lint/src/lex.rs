@@ -1,0 +1,299 @@
+//! A lossy Rust lexer that classifies every byte of a source file as
+//! *code*, *comment*, or *string/char contents*.
+//!
+//! The rules in this crate are textual, so the one thing the lexer must
+//! get right is *where text stops being code*: a `.lock().unwrap()`
+//! inside a doc comment or a `"std::sync::Mutex"` inside a string
+//! literal must not trip a rule, and an allow directive inside a string
+//! must not suppress one. The output is two same-length views of the
+//! file with non-members blanked to spaces (newlines preserved), so
+//! byte offsets, line numbers, and columns stay valid in both:
+//!
+//! * [`Lexed::code`] — code only; comment bodies and string/char
+//!   interiors are spaces (the delimiting quotes survive, so token
+//!   boundaries stay visible);
+//! * [`Lexed::comments`] — comment text only (without the `//` / `/*`
+//!   markers); everything else is spaces. Directive scans run here.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings with any `#` count, byte and byte-raw strings,
+//! char literals (including escaped), and the char-vs-lifetime
+//! ambiguity (`'a'` is a literal, `&'a T` is not).
+
+/// Classified views of one source file. Both fields are exactly as long
+/// as the input, with newlines in place.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code view: comments and literal interiors blanked.
+    pub code: String,
+    /// Comment view: everything except comment text blanked.
+    pub comments: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Escape-aware; `true` while the next char is escaped.
+    Str {
+        escaped: bool,
+    },
+    /// Number of `#` in the delimiter.
+    RawStr {
+        hashes: u32,
+    },
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Lexes `source` into its classified views.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut code = vec![b' '; bytes.len()];
+    let mut comments = vec![b' '; bytes.len()];
+    // Newlines survive in both views so line structure is shared.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Str { escaped: false };
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", br", b".
+                if b == b'r' || b == b'b' {
+                    if let Some((hashes, len)) = raw_prefix(&bytes[i..]) {
+                        code[i..i + len].copy_from_slice(&bytes[i..i + len]);
+                        state = State::RawStr { hashes };
+                        i += len;
+                        continue;
+                    }
+                    if b == b'b'
+                        && bytes.get(i + 1) == Some(&b'"')
+                        && !is_ident(prev_byte(bytes, i))
+                    {
+                        code[i] = b'b';
+                        code[i + 1] = b'"';
+                        state = State::Str { escaped: false };
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'b'
+                        && bytes.get(i + 1) == Some(&b'\'')
+                        && !is_ident(prev_byte(bytes, i))
+                    {
+                        code[i] = b'b';
+                        code[i + 1] = b'\'';
+                        state = State::CharLit { escaped: false };
+                        i += 2;
+                        continue;
+                    }
+                }
+                if b == b'\'' && !is_ident(prev_byte(bytes, i)) && is_char_literal(&bytes[i..]) {
+                    code[i] = b'\'';
+                    state = State::CharLit { escaped: false };
+                    i += 1;
+                    continue;
+                }
+                code[i] = b;
+                i += 1;
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                } else {
+                    comments[i] = b;
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    if b != b'\n' {
+                        comments[i] = b;
+                    }
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if b == b'\\' {
+                    state = State::Str { escaped: true };
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if b == b'"' && closes_raw(&bytes[i + 1..], hashes) {
+                    let end = i + 1 + hashes as usize;
+                    code[i] = b'"';
+                    code[i + 1..end].fill(b'#');
+                    state = State::Code;
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if b == b'\\' {
+                    state = State::CharLit { escaped: true };
+                } else if b == b'\'' {
+                    code[i] = b'\'';
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        // Only ASCII bytes were written over the space-filled buffers;
+        // multi-byte chars inside literals/comments stay blanked, so
+        // both views are valid UTF-8.
+        code: String::from_utf8(code).expect("code view is ASCII-patched UTF-8"),
+        comments: String::from_utf8(comments).expect("comment view is ASCII-patched UTF-8"),
+    }
+}
+
+fn prev_byte(bytes: &[u8], i: usize) -> Option<u8> {
+    i.checked_sub(1).map(|p| bytes[p])
+}
+
+fn is_ident(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Recognizes a raw-string opener at the start of `s` (`r"`, `r#"`,
+/// `br##"`, …), returning (hash count, prefix length).
+fn raw_prefix(s: &[u8]) -> Option<(u32, usize)> {
+    let mut j = 0;
+    if s[0] == b'b' {
+        j = 1;
+    }
+    if s.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while s.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (s.get(j) == Some(&b'"')).then_some((hashes, j + 1))
+}
+
+fn closes_raw(after_quote: &[u8], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| after_quote.get(k) == Some(&b'#'))
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime):
+/// a `'` opens a literal iff the escape marker follows, or a single
+/// char (possibly multi-byte) is closed by another `'`.
+fn is_char_literal(s: &[u8]) -> bool {
+    match s.get(1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            // One UTF-8 char then a closing quote.
+            let len = utf8_len(c);
+            s.get(1 + len) == Some(&b'\'')
+        }
+        None => false,
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_code() {
+        let src = "let x = \"a.lock().unwrap()\"; // .lock().unwrap()\nreal.lock();";
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("unwrap"), "{}", lexed.code);
+        assert!(lexed.code.contains("real.lock();"));
+        assert!(lexed.comments.contains(".lock().unwrap()"));
+        assert_eq!(lexed.code.len(), src.len());
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nafter.lock();";
+        let lexed = lex(src);
+        assert!(lexed.code.contains("&'a str"));
+        assert!(lexed.code.contains("' '"), "literal interior blanked");
+        assert!(!lexed.code.contains("'x'"));
+        assert!(lexed.code.contains("after.lock();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"quote \" inside .lock().unwrap()\"#; x.lock();";
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(lexed.code.contains("x.lock();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment .lock().unwrap() */ code();";
+        let lexed = lex(src);
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(lexed.code.contains("code();"));
+        assert!(lexed.comments.contains("still comment"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let src = r#"let s = "with \" escaped"; y.lock();"#;
+        let lexed = lex(src);
+        assert!(lexed.code.contains("y.lock();"));
+        assert!(!lexed.code.contains("escaped"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Source scopes: where rules apply and where findings are suppressed.
+//!
+//! Three scope kinds come out of this module:
+//!
+//! * **Test spans** — the brace (or statement) span of every item
+//!   carrying `#[cfg(test)]`. This fixes the old `tools/lint.sh` awk
+//!   bug where everything after the *first* `#[cfg(test)]` line in a
+//!   file was exempt: production code *below* a test module was never
+//!   linted. Here the exemption ends where the test item's braces do.
+//! * **Mutant spans** — the span of every item carrying
+//!   `#[cfg(check_mutants)]` (seeded bugs for the checker's mutant CI
+//!   job). Skipped by default; included with `--include-mutants`.
+//! * **Allow directives** — `// threatraptor-lint: allow L00X — reason`
+//!   suppresses that code on its own line (trailing comment) or on the
+//!   next code line (standalone comment line).
+//!
+//! Plus the L004 contract input: the set of lines carrying an
+//! `// ordering:` rationale comment.
+
+use crate::lex::Lexed;
+
+/// Byte offsets of each line start; resolves offsets to (line, col).
+#[derive(Debug)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    pub fn new(source: &str) -> LineIndex {
+        let mut starts = vec![0];
+        starts.extend(
+            source
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        LineIndex { starts }
+    }
+
+    /// 1-based (line, col) of a byte offset.
+    pub fn locate(&self, offset: usize) -> (usize, usize) {
+        let line = self.starts.partition_point(|&s| s <= offset);
+        (line, offset - self.starts[line - 1] + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.locate(offset).0
+    }
+
+    /// Byte range of a 1-based line (start inclusive, end exclusive of
+    /// the newline).
+    pub fn line_span(&self, line: usize, total_len: usize) -> (usize, usize) {
+        let start = self.starts[line - 1];
+        let end = self
+            .starts
+            .get(line)
+            .map_or(total_len, |&next| next.saturating_sub(1));
+        (start, end)
+    }
+
+    pub fn line_count(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// Inclusive byte range of one cfg-carrying item.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn contains(&self, offset: usize) -> bool {
+        (self.start..=self.end).contains(&offset)
+    }
+}
+
+/// All scopes of one file, resolved once and queried per finding.
+#[derive(Debug)]
+pub struct Scopes {
+    pub test_spans: Vec<Span>,
+    pub mutant_spans: Vec<Span>,
+    /// `(line, code)` pairs: `code` findings on `line` are suppressed.
+    allows: Vec<(usize, String)>,
+    /// Lines whose comment carries an `// ordering:` rationale.
+    rationale_lines: Vec<usize>,
+}
+
+impl Scopes {
+    pub fn resolve(lexed: &Lexed, index: &LineIndex) -> Scopes {
+        let mut test_spans = Vec::new();
+        let mut mutant_spans = Vec::new();
+        for (needle, out) in [
+            ("#[cfg(test)]", &mut test_spans),
+            ("#[cfg(check_mutants)]", &mut mutant_spans),
+        ] {
+            let mut from = 0;
+            while let Some(pos) = lexed.code[from..].find(needle) {
+                let attr_start = from + pos;
+                let attr_end = attr_start + needle.len();
+                out.push(item_span(&lexed.code, attr_start, attr_end));
+                from = attr_end;
+            }
+        }
+        let (allows, rationale_lines) = scan_directives(lexed, index);
+        Scopes {
+            test_spans,
+            mutant_spans,
+            allows,
+            rationale_lines,
+        }
+    }
+
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(offset))
+    }
+
+    pub fn in_mutant(&self, offset: usize) -> bool {
+        self.mutant_spans.iter().any(|s| s.contains(offset))
+    }
+
+    /// Whether `code` findings on 1-based `line` are suppressed by an
+    /// allow directive.
+    pub fn allowed(&self, line: usize, code: &str) -> bool {
+        self.allows.iter().any(|(l, c)| *l == line && c == code)
+    }
+
+    /// Whether any of the `window` lines ending at 1-based `line`
+    /// carries an `// ordering:` rationale comment.
+    pub fn has_rationale_near(&self, line: usize, window: usize) -> bool {
+        self.rationale_lines
+            .iter()
+            .any(|&l| l <= line && line - l <= window)
+    }
+}
+
+/// The span covered by the item an attribute at `attr_start..attr_end`
+/// decorates: further attributes are skipped, then the item runs to the
+/// matching `}` of its first top-level brace, or to the terminating `;`
+/// for brace-less items (`use`, statement-level attributes).
+fn item_span(code: &str, attr_start: usize, attr_end: usize) -> Span {
+    let bytes = code.as_bytes();
+    let mut i = attr_end;
+    // Skip whitespace and any further `#[...]` attributes.
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'#' && bytes.get(i + 1) == Some(&b'[') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Walk the item: a `;` at paren/bracket depth 0 before any brace
+    // ends it; otherwise the matching close of the first `{` does.
+    let mut paren = 0i64;
+    let mut brace = 0i64;
+    let mut saw_brace = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' => {
+                brace += 1;
+                saw_brace = true;
+            }
+            b'}' => {
+                brace -= 1;
+                if saw_brace && brace == 0 {
+                    return Span {
+                        start: attr_start,
+                        end: i,
+                    };
+                }
+            }
+            b';' if !saw_brace && paren == 0 => {
+                return Span {
+                    start: attr_start,
+                    end: i,
+                };
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Span {
+        start: attr_start,
+        end: code.len().saturating_sub(1),
+    }
+}
+
+fn scan_directives(lexed: &Lexed, index: &LineIndex) -> (Vec<(usize, String)>, Vec<usize>) {
+    let mut allows = Vec::new();
+    let mut rationale = Vec::new();
+    let total = lexed.comments.len();
+    let lines = index.line_count();
+    for line in 1..=lines {
+        let (start, end) = index.line_span(line, total);
+        let comment = &lexed.comments[start..end.max(start)];
+        if comment.contains("ordering:") {
+            rationale.push(line);
+        }
+        let Some(pos) = comment.find("threatraptor-lint:") else {
+            continue;
+        };
+        let rest = &comment[pos + "threatraptor-lint:".len()..];
+        let Some(allow_pos) = rest.find("allow") else {
+            continue;
+        };
+        let mut codes = Vec::new();
+        for token in rest[allow_pos + "allow".len()..].split(|c: char| !c.is_ascii_alphanumeric()) {
+            if token.len() == 4
+                && token.starts_with('L')
+                && token[1..].chars().all(|c| c.is_ascii_digit())
+            {
+                codes.push(token.to_string());
+            } else if !token.is_empty() && !codes.is_empty() {
+                break; // codes come first; the em-dash reason ends them
+            }
+        }
+        // A trailing directive covers its own line; a standalone
+        // comment line covers the next line holding code.
+        let code_line = &lexed.code[start..end.max(start)];
+        let target = if code_line.trim().is_empty() {
+            (line + 1..=lines)
+                .find(|&l| {
+                    let (s, e) = index.line_span(l, total);
+                    !lexed.code[s..e.max(s)].trim().is_empty()
+                })
+                .unwrap_or(line)
+        } else {
+            line
+        };
+        for code in codes {
+            allows.push((target, code));
+        }
+    }
+    (allows, rationale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn scopes(src: &str) -> (Scopes, LineIndex) {
+        let lexed = lex(src);
+        let index = LineIndex::new(src);
+        let s = Scopes::resolve(&lexed, &index);
+        (s, index)
+    }
+
+    #[test]
+    fn test_span_ends_at_the_closing_brace() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let (s, _) = scopes(src);
+        let in_mod = src.find("fn t").unwrap();
+        let after = src.find("fn after").unwrap();
+        assert!(s.in_test(in_mod));
+        assert!(!s.in_test(after), "code after the test module is linted");
+    }
+
+    #[test]
+    fn statement_level_cfg_spans_to_the_semicolon() {
+        let src = "#[cfg(check_mutants)]\nlet key = (a, b);\nlet real = 1;\n";
+        let (s, _) = scopes(src);
+        assert!(s.in_mutant(src.find("key").unwrap()));
+        assert!(!s.in_mutant(src.find("real").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn x() {} }\nfn prod() {}\n";
+        let (s, _) = scopes(src);
+        assert!(s.in_test(src.find("fn x").unwrap()));
+        assert!(!s.in_test(src.find("fn prod").unwrap()));
+    }
+
+    #[test]
+    fn allow_directive_targets_the_next_code_line() {
+        let src = "// threatraptor-lint: allow L003 — deliberate\nx.send(1);\ny.send(2);\n";
+        let (s, _) = scopes(src);
+        assert!(s.allowed(2, "L003"));
+        assert!(!s.allowed(3, "L003"));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "x.send(1); // threatraptor-lint: allow L003 — fine\n";
+        let (s, _) = scopes(src);
+        assert!(s.allowed(1, "L003"));
+    }
+
+    #[test]
+    fn rationale_lines_are_collected() {
+        let src = "// ordering: Relaxed — counter only\nn.fetch_add(1, Ordering::SeqCst);\n";
+        let (s, _) = scopes(src);
+        assert!(s.has_rationale_near(2, 8));
+        assert!(!s.has_rationale_near(20, 8));
+    }
+}

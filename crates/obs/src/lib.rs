@@ -1,8 +1,8 @@
 //! ThreatRaptor telemetry layer.
 //!
 //! The paper's headline claim is hunting *efficiency*; this crate
-//! makes that measurable. It provides, with zero external
-//! dependencies:
+//! makes that measurable. It provides, with no dependencies beyond
+//! `std` and the workspace's `threatraptor-sync` facade:
 //!
 //! - **Metric primitives** ([`Counter`], [`Gauge`], [`Histogram`]) —
 //!   lock-free atomic cells; histograms use 64 log2 buckets with
@@ -23,8 +23,10 @@
 //!   text or JSON; [`JsonValue`] is a minimal parser/printer the bench
 //!   trajectory records build on.
 //!
-//! Everything is `std`-only to match the repo's offline-shim
-//! constraint.
+//! Nothing here touches the network or the registry, matching the
+//! repo's offline-shim constraint; sync primitives come through the
+//! facade so the interleaving checker (`crates/check`) can instrument
+//! them.
 
 pub mod json;
 pub mod metrics;

@@ -8,7 +8,7 @@
 //! individual cell is exact; cross-cell skew is bounded by in-flight
 //! updates).
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use threatraptor_sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Number of log2 buckets in a [`Histogram`].
 ///
@@ -19,6 +19,12 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A monotonically increasing counter.
+///
+// ordering: every metric in this module uses Relaxed. Each is an
+// independent scalar with no cross-variable invariant: scrapers
+// tolerate a stale or torn-across-metrics view, and nothing
+// synchronizes-with a metric write. (A snapshot taken mid-update may
+// show count bumped before sum — the documented contract.)
 #[derive(Debug, Default)]
 pub struct Counter {
     value: AtomicU64,

@@ -9,7 +9,7 @@
 //! keep tenants apart; [`Scope`] prefixes names for the same reason.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use threatraptor_sync::{Arc, OnceLock, RwLock};
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{MetricsSnapshot, Sample, SampleValue};

@@ -9,8 +9,8 @@
 //! `trace_event` JSON loadable in `about:tracing` or Perfetto.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use threatraptor_sync::atomic::{AtomicU64, Ordering};
 
 use crate::json::JsonValue;
 
@@ -23,6 +23,8 @@ pub struct TraceId(pub u64);
 impl TraceId {
     /// Allocates the next process-unique id.
     pub fn next() -> TraceId {
+        // ordering: Relaxed — only uniqueness matters (fetch_add is
+        // atomic at any ordering); ids carry no happens-before edge.
         TraceId(NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed))
     }
 }

@@ -25,12 +25,12 @@
 //! intermediate states are valid maps.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use threatraptor_engine::compile::{compile_with_lint, CompiledQuery};
 use threatraptor_engine::EngineError;
 use threatraptor_nlp::ThreatExtractor;
 use threatraptor_obs::{Counter, Registry, Span, TraceSink};
+use threatraptor_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use threatraptor_sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use threatraptor_synth::{synthesize, SynthesisError};
 use threatraptor_tbql::analyze::analyze;
 use threatraptor_tbql::lint::LintReport;
@@ -300,6 +300,11 @@ impl PlanCache {
         });
     }
 
+    // ordering: every atomic in this cache is Relaxed. The stats
+    // counters are advisory scalars with no cross-variable invariant,
+    // and the LRU recency ticks only *order* entries — a stale tick
+    // costs at worst a suboptimal eviction, never incoherence, because
+    // all structural mutation happens under the `plans` RwLock.
     fn observe_evictions(&self, evicted: usize) {
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         if let Some(obs) = self.obs.get() {

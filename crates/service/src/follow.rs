@@ -109,7 +109,17 @@ fn match_key(m: &Match, store: &ShardedStore) -> MatchKey {
                     .iter()
                     .map(|&p| {
                         let e = store.event_at(p);
-                        (e.subject, e.object, e.op, e.start)
+                        #[cfg(not(check_mutants))]
+                        let key = (e.subject, e.object, e.op, e.start);
+                        // Seeded bug (mutant CI job): key the witness by
+                        // its leading event id instead of the run start.
+                        // A same-start tie arriving later re-leads the
+                        // merged run under a new id, so the same logical
+                        // match refires — the exact exactly-once
+                        // regression the dispatcher model must re-find.
+                        #[cfg(check_mutants)]
+                        let key = (e.subject, e.object, e.op, u64::from(e.id.0));
+                        key
                     })
                     .collect(),
             )

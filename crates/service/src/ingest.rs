@@ -36,14 +36,14 @@
 use crate::cache::{CacheStats, PlanCache};
 use crate::follow::{FollowDelta, FollowHunt};
 use crate::job::ServiceError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_engine::{ExecMode, HuntResult, ShardedEngine};
 use threatraptor_obs::{MetricsSnapshot, Registry, TraceSink};
 use threatraptor_storage::cpr::ReductionStats;
 use threatraptor_storage::{AppendOutcome, SealPolicy, ShardedStore, StreamingStore};
+use threatraptor_sync::atomic::{AtomicU64, Ordering};
+use threatraptor_sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
 /// Construction parameters for an [`IngestService`].
 #[derive(Debug, Clone, Copy)]
@@ -236,6 +236,8 @@ impl IngestService {
     /// Current stream epoch — one atomic load, no lock. Differs between
     /// two observations iff an append or seal happened in between.
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the stream's Release bumps — an
+        // observed epoch guarantees its chunk is visible in snapshots.
         self.epoch.load(Ordering::Acquire)
     }
 

@@ -22,9 +22,9 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::thread::JoinHandle;
 use threatraptor_obs::{Counter, Gauge, Registry};
+use threatraptor_sync::thread::JoinHandle;
+use threatraptor_sync::{Arc, Mutex, PoisonError};
 
 /// A unit of pool work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -89,7 +89,7 @@ impl WorkerPool {
             .map(|i| {
                 let rx: Receiver<Task> = rx.clone();
                 let obs = obs.clone();
-                std::thread::Builder::new()
+                threatraptor_sync::thread::Builder::new()
                     .name(format!("hunt-worker-{i}"))
                     .spawn(move || {
                         // recv drains buffered tasks even after the
@@ -206,6 +206,27 @@ impl WorkerPool {
         for handle in handles {
             let _ = handle.join();
         }
+    }
+}
+
+/// Seeded deadlock (mutant CI job): two probes that nest the pool's two
+/// locks in opposite orders — `tx` under `handles` in one, `handles`
+/// under `tx` in the other. Real code never nests them (guards are
+/// statement-local temporaries), so the lint's lock-order graph is
+/// acyclic on the real tree; `threatraptor-lint --include-mutants` must
+/// flag this cycle as L002.
+#[cfg(check_mutants)]
+impl WorkerPool {
+    pub fn mutant_probe_handles_then_tx(&self) -> usize {
+        let handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        let tx = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        handles.len() + usize::from(tx.is_some())
+    }
+
+    pub fn mutant_probe_tx_then_handles(&self) -> usize {
+        let tx = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        let handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        handles.len() + usize::from(tx.is_some())
     }
 }
 

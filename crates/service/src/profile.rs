@@ -9,8 +9,8 @@
 //! this hunt slow?" stays answerable after the fact without keeping
 //! every execution forever.
 
-use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
+use threatraptor_sync::{Arc, Mutex, PoisonError};
 
 use crate::server::JobId;
 use threatraptor_obs::{TraceId, TraceTree};

@@ -37,9 +37,6 @@ use crate::profile::{HuntProfile, SlowHuntLog};
 use crate::scheduler::execute_job;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_engine::{HuntResult, HuntStats};
@@ -47,6 +44,9 @@ use threatraptor_obs::{
     Counter, Histogram, MetricsSnapshot, Registry, TraceId, TraceSink, TraceTree, ROOT_SPAN,
 };
 use threatraptor_storage::{AppendOutcome, ShardedStore};
+use threatraptor_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use threatraptor_sync::thread::JoinHandle;
+use threatraptor_sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Construction parameters for a [`HuntServer`].
 #[derive(Debug, Clone, Copy)]
@@ -470,7 +470,7 @@ impl HuntServer {
             let shutdown = Arc::clone(&shutdown);
             let processed = Arc::clone(&processed);
             let snapshots = Arc::clone(&snapshots);
-            std::thread::Builder::new()
+            threatraptor_sync::thread::Builder::new()
                 .name("hunt-dispatcher".into())
                 .spawn(move || dispatch_loop(&ingest, &follows, &shutdown, &processed, &snapshots))
                 .expect("spawning the dispatcher thread")
@@ -581,6 +581,7 @@ impl HuntServer {
     /// same-epoch burst of jobs); after [`HuntServer::shutdown`] the
     /// handle completes immediately with [`ServiceError::Shutdown`].
     pub fn submit(&self, job: HuntJob) -> JobHandle {
+        // ordering: Relaxed — id allocation needs uniqueness only.
         let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
         let trace_id = TraceId::next();
         let state = Arc::new(JobState::default());
@@ -694,6 +695,7 @@ impl HuntServer {
             self.config.ingest.shard_threads,
         );
         hunt.attach_metrics(self.ingest.registry());
+        // ordering: Relaxed — id allocation needs uniqueness only.
         let id = self.next_follow.fetch_add(1, Ordering::Relaxed);
         // Unbounded on purpose: the dispatcher must never block on a slow
         // subscriber (deltas are small — rows of the new matches).
@@ -762,7 +764,7 @@ impl HuntServer {
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            threatraptor_sync::thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -771,6 +773,10 @@ impl HuntServer {
     /// disconnect every subscription channel. Idempotent; also runs on
     /// drop.
     pub fn shutdown(&self) {
+        // ordering: Release pairs with the Acquire loads in submit(),
+        // follow(), and the dispatcher loop — a thread that observes
+        // the flag also sees everything shut down before it. (SeqCst
+        // would buy nothing: there is no second flag to order against.)
         self.shutdown.store(true, Ordering::Release);
         // Wake the dispatcher so it observes the flag now instead of at
         // its next timeout.
@@ -824,6 +830,9 @@ fn dispatch_loop(
     // Start from the epoch captured at *construction*, not from a fresh
     // read on this thread: appends can land before this thread's first
     // instruction, and a fresh read would silently mark them processed.
+    // ordering: `processed` stores are Release / loads Acquire so that
+    // wait_caught_up() observing epoch N also sees every delta the
+    // dispatcher delivered for N (fan-out happens-before the bump).
     let mut last = processed.load(Ordering::Acquire);
     while !shutdown.load(Ordering::Acquire) {
         // The timeout is a liveness backstop only (a poke-less exit
@@ -859,6 +868,11 @@ fn dispatch_loop(
                         || delta.is_empty()
                         || entry
                             .tx
+                            // The subscription channel is unbounded
+                            // (see follow()): this send never blocks,
+                            // so holding the registry lock across it
+                            // cannot stall other threads.
+                            // threatraptor-lint: allow L003 — unbounded channel, non-blocking send
                             .send(FollowEvent {
                                 epoch: current,
                                 delta,

@@ -32,12 +32,12 @@
 use crate::cpr::{IncrementalReducer, ReductionStats};
 use crate::sharded::{ShardedStore, StreamFrontier};
 use crate::store::{AuditStore, EntityTables};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use threatraptor_audit::entity::Entity;
 use threatraptor_audit::event::Event;
 use threatraptor_audit::parser::LogChunk;
 use threatraptor_obs::{Counter, Gauge, Registry};
+use threatraptor_sync::atomic::{AtomicU64, Ordering};
+use threatraptor_sync::Arc;
 
 /// When to freeze the open window into an immutable shard. Both limits
 /// are optional; with neither set, sealing is manual only.
@@ -330,6 +330,9 @@ impl StreamingStore {
             .all(|e| e.subject.index() < self.entities.len()
                 && e.object.index() < self.entities.len()));
         self.reducer.append(events);
+        // ordering: Release publishes the appended data to epoch-handle
+        // readers — an Acquire load that sees the new value also sees
+        // the events written above. Pairs with the Acquire in epoch().
         self.epoch.fetch_add(1, Ordering::Release);
 
         let mut sealed = 0;
@@ -380,6 +383,8 @@ impl StreamingStore {
         self.sealed_events += shard.event_count();
         self.sealed.push(Arc::clone(&shard));
         self.maybe_compact();
+        // ordering: Release, same publish contract as the append-path
+        // bump — the sealed shard must be visible before the new epoch.
         self.epoch.fetch_add(1, Ordering::Release);
         if let Some(obs) = &self.obs {
             obs.seals.inc();
@@ -500,6 +505,10 @@ impl StreamingStore {
     /// Monotone change counter: differs between two observations iff an
     /// append or seal happened in between.
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the Release bumps in append()
+        // and seal(): observing a bump implies seeing the data behind
+        // it. Relaxed would let a reader act on an epoch whose chunk it
+        // cannot yet see.
         self.epoch.load(Ordering::Acquire)
     }
 

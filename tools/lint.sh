@@ -1,40 +1,16 @@
 #!/usr/bin/env bash
 # Repo-specific lints, run alongside clippy in CI.
 #
-# Lint 1: no `unwrap()`/`expect()` on Mutex/RwLock guard acquisition in
-# production code. A hunt worker panicking while holding a shared lock
-# must not take down every other worker through poison propagation —
-# shared state in this repo recovers the guard instead:
-#
-#     map.lock().unwrap_or_else(PoisonError::into_inner)
-#
-# (sound wherever every critical section leaves the value valid; see the
-# plan-cache module docs). Everything after the first `#[cfg(test)]`
-# line in a file is exempt: tests may assert on poisoning itself.
-#
-# The check is textual (single-line `.lock().unwrap()` chains); it is a
-# tripwire, not a proof. Split chains slip through — reviewers still
-# look for them.
+# This script is a thin wrapper around the structured lint engine in
+# crates/lint (`cargo run -p threatraptor-lint`). The engine replaced
+# the old awk tripwire that lived here: the awk version only matched
+# single-line `.lock().unwrap()` chains and — worse — exempted
+# EVERYTHING after the first `#[cfg(test)]` line in a file, so any
+# production code below a test module went unlinted. The engine scopes
+# test/mutant exemptions to their actual brace spans and adds
+# lock-order, hold-across-blocking, SeqCst-rationale, and sync-facade
+# rules. See crates/lint/src/lib.rs for the rule catalog (L001-L005).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
-while IFS= read -r file; do
-    hits=$(awk -v f="$file" '
-        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
-        /\.(lock|read|write)\(\)[[:space:]]*\.[[:space:]]*(unwrap|expect)\(/ {
-            print f ":" FNR ": " $0
-        }
-    ' "$file")
-    if [ -n "$hits" ]; then
-        printf '%s\n' "$hits"
-        fail=1
-    fi
-done < <(find crates -path '*/src/*' -name '*.rs'; find examples -name '*.rs' 2>/dev/null)
-
-if [ "$fail" -ne 0 ]; then
-    echo "error: lock guards must recover poison in production code" >&2
-    echo "       (use .unwrap_or_else(PoisonError::into_inner))" >&2
-    exit 1
-fi
-echo "tools/lint.sh: ok"
+exec cargo run -q -p threatraptor-lint -- "$@"
